@@ -1,0 +1,1 @@
+bench/e01_rank_sampling.ml: Array Int List Printf Table Topk_core Topk_util Workloads

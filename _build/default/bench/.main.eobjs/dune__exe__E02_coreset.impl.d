@@ -1,0 +1,1 @@
+bench/e02_coreset.ml: Array List Table Topk_core Topk_interval Topk_util Workloads

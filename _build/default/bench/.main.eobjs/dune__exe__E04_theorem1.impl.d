@@ -1,0 +1,1 @@
+bench/e04_theorem1.ml: List Table Topk_em Topk_interval Topk_util Workloads

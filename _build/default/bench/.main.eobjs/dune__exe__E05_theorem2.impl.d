@@ -1,0 +1,1 @@
+bench/e05_theorem2.ml: List Table Topk_em Topk_interval Topk_util Workloads

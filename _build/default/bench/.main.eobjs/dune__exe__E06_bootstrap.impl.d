@@ -1,0 +1,1 @@
+bench/e06_bootstrap.ml: Array List Table Topk_core Topk_em Topk_interval Topk_util Workloads

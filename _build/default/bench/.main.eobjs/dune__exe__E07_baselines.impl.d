@@ -1,0 +1,1 @@
+bench/e07_baselines.ml: List Printf Table Topk_em Topk_interval Topk_util Workloads

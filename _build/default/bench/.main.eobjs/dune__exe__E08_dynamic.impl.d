@@ -1,0 +1,1 @@
+bench/e08_dynamic.ml: Array Float List Table Topk_em Topk_interval Topk_range Topk_util Unix Workloads

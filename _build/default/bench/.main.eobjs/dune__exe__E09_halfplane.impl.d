@@ -1,0 +1,1 @@
+bench/e09_halfplane.ml: Array Float List Table Topk_em Topk_geom Topk_halfspace Topk_util Workloads

@@ -1,0 +1,1 @@
+bench/e10_kd.ml: Array Float List Table Topk_em Topk_halfspace Topk_util Workloads

@@ -1,0 +1,1 @@
+bench/e11_enclosure.ml: Array Float List Table Topk_em Topk_enclosure Topk_util Workloads

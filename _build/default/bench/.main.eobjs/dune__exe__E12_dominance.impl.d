@@ -1,0 +1,1 @@
+bench/e12_dominance.ml: Array Float List Table Topk_dominance Topk_em Topk_util Workloads

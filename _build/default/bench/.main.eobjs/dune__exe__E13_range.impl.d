@@ -1,0 +1,1 @@
+bench/e13_range.ml: Array Float List Table Topk_em Topk_range Topk_util Workloads

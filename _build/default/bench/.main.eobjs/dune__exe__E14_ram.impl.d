@@ -1,0 +1,1 @@
+bench/e14_ram.ml: Array Float List Table Topk_em Topk_interval Topk_util Workloads

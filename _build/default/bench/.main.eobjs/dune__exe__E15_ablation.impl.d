@@ -1,0 +1,1 @@
+bench/e15_ablation.ml: Float List Printf Table Topk_core Topk_em Topk_interval Topk_util Workloads

@@ -1,0 +1,1 @@
+bench/e16_ortho.ml: Array Float List Table Topk_em Topk_geom Topk_ortho Topk_util Workloads

@@ -1,0 +1,1 @@
+bench/workloads.ml: Array Float List Topk_core Topk_em Topk_interval Topk_util

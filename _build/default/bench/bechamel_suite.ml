@@ -1,0 +1,178 @@
+(* Wall-clock microbenchmarks (one Bechamel test per experiment
+   family) complementing the I/O-count tables: the same structures,
+   measured in nanoseconds per query on the host machine. *)
+
+open Bechamel
+module Rng = Topk_util.Rng
+module Gen = Topk_util.Gen
+module I_inst = Topk_interval.Instances
+module H = Topk_halfspace
+module H_inst = Topk_halfspace.Instances
+module E_inst = Topk_enclosure.Instances
+module D_inst = Topk_dominance.Instances
+
+let n = 16_384
+
+let interval_tests () =
+  let elems =
+    Workloads.intervals ~seed:900 ~shape:Gen.Mixed_intervals ~n
+  in
+  let queries = Workloads.stab_queries ~seed:901 ~n:64 in
+  let params = I_inst.params () in
+  let pri = Topk_interval.Seg_stab.build elems in
+  let mx = Topk_interval.Slab_max.build elems in
+  let t1 = I_inst.Topk_t1.build ~params elems in
+  let t2 = I_inst.Topk_t2.build ~params elems in
+  let rj = I_inst.Topk_rj.build elems in
+  let naive = I_inst.Topk_naive.build elems in
+  let cursor = ref 0 in
+  let next () =
+    cursor := (!cursor + 1) mod Array.length queries;
+    queries.(!cursor)
+  in
+  [
+    Test.make ~name:"interval/pri-query (E4)"
+      (Staged.stage (fun () ->
+           ignore (Topk_interval.Seg_stab.query pri (next ()) ~tau:Float.infinity)));
+    Test.make ~name:"interval/max-query (E5)"
+      (Staged.stage (fun () -> ignore (Topk_interval.Slab_max.query mx (next ()))));
+    Test.make ~name:"interval/thm1 top-10 (E4)"
+      (Staged.stage (fun () -> ignore (I_inst.Topk_t1.query t1 (next ()) ~k:10)));
+    Test.make ~name:"interval/thm2 top-10 (E5)"
+      (Staged.stage (fun () -> ignore (I_inst.Topk_t2.query t2 (next ()) ~k:10)));
+    Test.make ~name:"interval/rj14 top-10 (E7)"
+      (Staged.stage (fun () -> ignore (I_inst.Topk_rj.query rj (next ()) ~k:10)));
+    Test.make ~name:"interval/naive top-10 (E7)"
+      (Staged.stage (fun () ->
+           ignore (I_inst.Topk_naive.query naive (next ()) ~k:10)));
+  ]
+
+let dynamic_tests () =
+  let rng = Rng.create 902 in
+  let s = I_inst.Dyn_topk.build ~params:(I_inst.params ()) [||] in
+  let id = ref 0 in
+  [
+    Test.make ~name:"interval/dynamic insert (E8)"
+      (Staged.stage (fun () ->
+           incr id;
+           let lo = Rng.uniform rng in
+           I_inst.Dyn_topk.insert s
+             (Topk_interval.Interval.make ~id:!id ~lo
+                ~hi:(min 1. (lo +. 0.1))
+                ~weight:(float_of_int !id) ())));
+  ]
+
+let halfplane_tests () =
+  let nn = 4096 in
+  let rng = Rng.create 903 in
+  let pts =
+    Topk_geom.Point2.of_coords rng
+      (Array.map (fun c -> (c.(0), c.(1))) (Gen.points rng ~n:nn ~d:2))
+  in
+  let queries = Array.map Topk_geom.Halfplane.of_triple (Gen.halfplanes rng ~n:64) in
+  let t2 = H_inst.Topk2_t2.build ~params:(H_inst.params2 ()) pts in
+  let cursor = ref 0 in
+  let next () =
+    cursor := (!cursor + 1) mod Array.length queries;
+    queries.(!cursor)
+  in
+  [
+    Test.make ~name:"halfplane/thm2 top-10 (E9)"
+      (Staged.stage (fun () -> ignore (H_inst.Topk2_t2.query t2 (next ()) ~k:10)));
+  ]
+
+let kd_tests () =
+  let d = 4 in
+  let rng = Rng.create 904 in
+  let pts = H.Pointd.of_coords rng (Gen.points rng ~n ~d) in
+  let t1 = H_inst.Topkd_t1.build ~params:(H_inst.paramsd ~d) pts in
+  let queries =
+    Array.init 64 (fun _ ->
+        let normal = Array.init d (fun _ -> Rng.uniform rng -. 0.5) in
+        if Array.for_all (fun a -> Float.abs a < 1e-9) normal then
+          normal.(0) <- 1.;
+        let anchor = Array.init d (fun _ -> Rng.uniform rng) in
+        let c = ref 0. in
+        Array.iteri (fun i a -> c := !c +. (a *. anchor.(i))) normal;
+        H.Predicates.Halfspace.make ~normal ~c:!c)
+  in
+  let cursor = ref 0 in
+  let next () =
+    cursor := (!cursor + 1) mod Array.length queries;
+    queries.(!cursor)
+  in
+  [
+    Test.make ~name:"kd4/thm1 top-8 (E10)"
+      (Staged.stage (fun () -> ignore (H_inst.Topkd_t1.query t1 (next ()) ~k:8)));
+  ]
+
+let enclosure_tests () =
+  let nn = 8192 in
+  let rng = Rng.create 905 in
+  let rects = Topk_enclosure.Rect.of_boxes rng (Gen.rectangles rng ~n:nn) in
+  let t2 = E_inst.Topk_t2.build ~params:(E_inst.params ()) rects in
+  let queries = Array.init 64 (fun _ -> (Rng.uniform rng, Rng.uniform rng)) in
+  let cursor = ref 0 in
+  let next () =
+    cursor := (!cursor + 1) mod Array.length queries;
+    queries.(!cursor)
+  in
+  [
+    Test.make ~name:"enclosure/thm2 top-10 (E11)"
+      (Staged.stage (fun () -> ignore (E_inst.Topk_t2.query t2 (next ()) ~k:10)));
+  ]
+
+let dominance_tests () =
+  let nn = 8192 in
+  let rng = Rng.create 906 in
+  let hotels = D_inst.hotels rng ~n:nn in
+  let params =
+    { (D_inst.params ()) with Topk_core.Params.coreset_scale = 1. /. 64. }
+  in
+  let t2 = D_inst.Topk_t2.build ~params hotels in
+  let queries =
+    Array.init 64 (fun _ ->
+        ( 40. +. Rng.float rng 460.,
+          Rng.float rng 25.,
+          -.(1. +. Rng.float rng 4.) ))
+  in
+  let cursor = ref 0 in
+  let next () =
+    cursor := (!cursor + 1) mod Array.length queries;
+    queries.(!cursor)
+  in
+  [
+    Test.make ~name:"dominance/thm2 top-10 (E12)"
+      (Staged.stage (fun () -> ignore (D_inst.Topk_t2.query t2 (next ()) ~k:10)));
+  ]
+
+let run () =
+  Table.section "Bechamel wall-clock microbenchmarks (ns per query)";
+  let tests =
+    Test.make_grouped ~name:"topk"
+      (interval_tests () @ dynamic_tests () @ halfplane_tests ()
+      @ kd_tests () @ enclosure_tests () @ dominance_tests ())
+  in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name est acc ->
+        let ns =
+          match Analyze.OLS.estimates est with
+          | Some (x :: _) -> x
+          | _ -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (name, ns) -> [ name; Table.ff ~d:0 ns ])
+  in
+  Table.print ~title:"OLS estimate of run time" ~header:[ "benchmark"; "ns/query" ]
+    rows

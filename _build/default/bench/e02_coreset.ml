@@ -1,0 +1,78 @@
+(* E2 (Lemma 2): core-set size and rank capture on interval stabbing,
+   the problem whose distinct outcomes we can enumerate (one per
+   elementary slab, so at most 2n + 1). *)
+
+module Rng = Topk_util.Rng
+module Gen = Topk_util.Gen
+module I = Topk_interval.Interval
+module Core_set = Topk_core.Core_set
+module RS = Topk_core.Rank_sampling
+
+let lambda = 1.
+
+let run () =
+  Table.section "E2: Lemma 2 (top-k core-sets on interval stabbing)";
+  let rows = ref [] in
+  List.iter
+    (fun (shape, shape_name, n) ->
+      List.iter
+        (fun kk ->
+          let rng = Rng.create (20_000 + n + kk) in
+          let elems = Workloads.intervals ~seed:(n + kk) ~shape ~n in
+          let cs = Core_set.build rng ~lambda ~k:kk elems in
+          let bound = Core_set.size_bound ~lambda ~k:kk ~n in
+          (* Check rank capture over sampled distinct outcomes. *)
+          let queries = Workloads.stab_queries ~seed:(n * 3 + kk) ~n:300 in
+          let checked = ref 0 and violated = ref 0 in
+          Array.iter
+            (fun q ->
+              let q_d =
+                Array.of_list
+                  (List.filter
+                     (fun itv -> I.contains itv q)
+                     (Array.to_list elems))
+              in
+              if Array.length q_d >= 4 * kk then begin
+                incr checked;
+                let q_r =
+                  Array.of_list
+                    (List.filter
+                       (fun itv -> I.contains itv q)
+                       (Array.to_list cs.Core_set.elems))
+                in
+                if Array.length q_r < cs.Core_set.rank_target then
+                  incr violated
+                else begin
+                  let e =
+                    Topk_util.Select.nth_largest ~cmp:I.compare_weight
+                      (Array.copy q_r) cs.Core_set.rank_target
+                  in
+                  let rank = RS.rank_of ~cmp:I.compare_weight q_d e in
+                  if rank < kk || rank > 4 * kk then incr violated
+                end
+              end)
+            queries;
+          rows :=
+            [ shape_name; Table.fi n; Table.fi kk;
+              Table.fi (Array.length cs.Core_set.elems); Table.fi bound;
+              Table.ff ~d:4 cs.Core_set.p; Table.fi cs.Core_set.retries;
+              Table.fi !checked; Table.fi !violated ]
+            :: !rows)
+        [ 200; 1000 ])
+    (let base =
+       [ (Gen.Mixed_intervals, "mixed", 60_000);
+         (Gen.Nested_intervals, "nested", 20_000);
+         (Gen.Nested_intervals, "nested", 60_000) ]
+     in
+     if !Workloads.quick then [ List.hd (List.rev base) ] else base);
+  Table.print
+    ~title:
+      "Core-set size vs the 12*lambda*(n/K)*ln n bound, and rank capture \
+       over large-output stab queries"
+    ~header:
+      [ "shape"; "n"; "K"; "|R|"; "bound"; "p"; "retries"; "big-queries";
+        "violations" ]
+    (List.rev !rows);
+  Table.note
+    "Claim: |R| <= bound, and for every q with |q(D)| >= 4K the \
+     rank-ceil(8*lambda*ln n) element of q(R) has rank in [K, 4K] in q(D)."

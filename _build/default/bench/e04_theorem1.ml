@@ -1,0 +1,63 @@
+(* E4 (Theorem 1): space blowup S_top/S_pri stays O(1) and the query
+   slowdown Q_top/Q_pri grows no faster than log_B n on a polylog
+   black box (interval stabbing) — and stays flat on a polynomial
+   black box (kd-tree halfspace, E10 presents that half). *)
+
+module Gen = Topk_util.Gen
+module Seg = Topk_interval.Seg_stab
+module Inst = Topk_interval.Instances
+
+let run () =
+  Table.section
+    "E4: Theorem 1 on interval stabbing (polylog Q_pri: slowdown <= log_B n)";
+  let b = float_of_int Workloads.em_model.Topk_em.Config.b in
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      let elems =
+        Workloads.intervals ~seed:(40_000 + n) ~shape:Gen.Mixed_intervals ~n
+      in
+      let queries = Workloads.stab_queries ~seed:n ~n:100 in
+      let pri = Topk_em.Config.with_model Workloads.em_model (fun () -> Seg.build elems) in
+      let q_pri = Workloads.measured_q_pri_interval pri ~queries in
+      let t1 =
+        Topk_em.Config.with_model Workloads.em_model (fun () ->
+            Inst.Topk_t1.build ~params:(Inst.params ()) elems)
+      in
+      let q_top k =
+        Workloads.per_query_ios
+          (fun q -> ignore (Inst.Topk_t1.query t1 q ~k))
+          queries
+      in
+      let q10 = q_top 10 and q1000 = q_top 1000 in
+      let log_b_n = log (float_of_int n) /. log b in
+      let space_ratio =
+        float_of_int (Inst.Topk_t1.space_words t1)
+        /. float_of_int (Seg.space_words pri)
+      in
+      let info = Inst.Topk_t1.info t1 in
+      rows :=
+        [ Table.fi n; Table.ff ~d:1 q_pri;
+          Table.ff ~d:1 (q10 -. 10. /. b); Table.ff ~d:1 (q1000 -. 1000. /. b);
+          Table.fx ((q10 -. 10. /. b) /. q_pri);
+          Table.ff ~d:2 log_b_n;
+          Table.fx space_ratio;
+          Table.fi info.Inst.Topk_t1.f;
+          Table.fi info.Inst.Topk_t1.ladder_rungs;
+          Table.fi (Inst.Topk_t1.fallbacks t1) ]
+        :: !rows)
+    (Workloads.sizes [ 4096; 16_384; 65_536; 262_144; 524_288 ]);
+  Table.print
+    ~title:
+      "Per-query I/Os (output term k/B subtracted) vs the measured \
+       prioritized cost"
+    ~header:
+      [ "n"; "Q_pri"; "Q_top(k=10)"; "Q_top(k=1000)"; "slowdown";
+        "log_B n"; "S_top/S_pri"; "f"; "rungs"; "fallbacks" ]
+    (List.rev !rows);
+  Table.note
+    "Claim (eqs. 3-4): S_top = O(S_pri); Q_top/Q_pri <= O(log_B n).  The \
+     slowdown column must grow no faster than the log_B n column.";
+  Table.note
+    "f = 12*lambda*B*Q_pri(n) (eq. 9): queries with k <= f use the \
+     core-set chain; larger k the rung ladder."

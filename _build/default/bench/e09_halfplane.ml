@@ -1,0 +1,85 @@
+(* E9 (Theorem 3, first bullet + onion-layer profile): 2D halfplane
+   top-k via Theorem 2 over the onion-layer prioritized structure and
+   the hull-tournament max structure.
+
+   Two parameterizations are shown: the paper's asymptotic constants
+   (at laptop n the ladder base B*Q_max exceeds n/4, so queries
+   legitimately degenerate to scans) and a calibrated one (Q_pri/Q_max
+   set to their measured values, coreset_scale = 1/8) that exercises
+   the round machinery. *)
+
+module Rng = Topk_util.Rng
+module Gen = Topk_util.Gen
+module P2 = Topk_geom.Point2
+module Hp = Topk_geom.Halfplane
+module Layers = Topk_geom.Layers
+module H = Topk_halfspace
+module Inst = Topk_halfspace.Instances
+
+let random_points ~seed ~n =
+  let rng = Rng.create seed in
+  P2.of_coords rng
+    (Array.map (fun c -> (c.(0), c.(1))) (Gen.points rng ~n ~d:2))
+
+let run () =
+  Table.section "E9: top-k 2D halfplane reporting (Theorem 3, bullet 1)";
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      let pts = random_points ~seed:(90_000 + n) ~n in
+      let rng = Rng.create (91_000 + n) in
+      let queries = Array.map Hp.of_triple (Gen.halfplanes rng ~n:40) in
+      let layers = Layers.build pts in
+      let pri, mx =
+        Topk_em.Config.with_model Workloads.em_model (fun () ->
+            (H.Hp_pri.build pts, H.Hp_max.build pts))
+      in
+      let q_pri =
+        Workloads.per_query_ios
+          (fun q -> ignore (H.Hp_pri.query pri q ~tau:Float.infinity))
+          queries
+      in
+      let q_max =
+        Workloads.per_query_ios (fun q -> ignore (H.Hp_max.query mx q)) queries
+      in
+      let params_cal =
+        Workloads.calibrate (Inst.params2 ()) ~q_pri ~q_max ~scale:0.125 ()
+      in
+      let t2_paper, t2_cal =
+        Topk_em.Config.with_model Workloads.em_model (fun () ->
+            ( Inst.Topk2_t2.build ~params:(Inst.params2 ()) pts,
+              Inst.Topk2_t2.build ~params:params_cal pts ))
+      in
+      let cost t k =
+        Workloads.per_query_ios
+          (fun q -> ignore (Inst.Topk2_t2.query t q ~k))
+          queries
+      in
+      rows :=
+        [ Table.fi n;
+          Table.fi (Layers.layer_count layers);
+          Table.ff ~d:1 q_pri;
+          Table.ff ~d:1 q_max;
+          Table.ff ~d:1 (cost t2_paper 10);
+          Table.ff ~d:1 (cost t2_cal 1);
+          Table.ff ~d:1 (cost t2_cal 10);
+          Table.ff ~d:1 (cost t2_cal 100);
+          Table.fx (cost t2_cal 10 /. (q_pri +. q_max)) ]
+        :: !rows)
+    (Workloads.sizes [ 1024; 4096; 16_384; 65_536 ]);
+  Table.print
+    ~title:
+      "Onion depth, black-box costs, and Theorem 2 query I/Os (paper \
+       constants vs calibrated)"
+    ~header:
+      [ "n"; "layers"; "Q_pri"; "Q_max"; "paper k=10"; "cal k=1";
+        "cal k=10"; "cal k=100"; "cal-overhead" ]
+    (List.rev !rows);
+  Table.note
+    "Claim: Q_top = O(Q_pri + Q_max) in expectation — the calibrated \
+     overhead column stays O(1) as n grows; with paper constants the \
+     ladder is empty below n ~ B*Q_max*4 and the (then optimal) scan \
+     answers.";
+  Table.note
+    "The onion depth (~n^(2/3) on uniform points) drives the build cost, \
+     not the query cost."

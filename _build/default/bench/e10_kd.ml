@@ -1,0 +1,134 @@
+(* E10 (Theorem 3, bullets 2-3): in the polynomial-Q_pri regime
+   (kd-tree halfspace reporting, Q_pri ~ n^(1-1/d)), Theorem 1 loses
+   nothing: Q_top/Q_pri stays flat as n grows — the "hard queries"
+   remark after Theorem 1.  Also Corollary 1: circular queries via the
+   lifting map cost the same as native ball queries. *)
+
+module Rng = Topk_util.Rng
+module Gen = Topk_util.Gen
+module H = Topk_halfspace
+module Inst = Topk_halfspace.Instances
+
+let d = 4
+
+let random_points ~seed ~n =
+  let rng = Rng.create seed in
+  H.Pointd.of_coords rng (Gen.points rng ~n ~d)
+
+let random_halfspaces ~seed ~n =
+  let rng = Rng.create seed in
+  Array.init n (fun _ ->
+      let normal = Array.init d (fun _ -> Rng.uniform rng -. 0.5) in
+      if Array.for_all (fun a -> Float.abs a < 1e-9) normal then
+        normal.(0) <- 1.;
+      let anchor = Array.init d (fun _ -> Rng.uniform rng) in
+      let c = ref 0. in
+      Array.iteri (fun i a -> c := !c +. (a *. anchor.(i))) normal;
+      H.Predicates.Halfspace.make ~normal ~c:!c)
+
+(* Empirical Q_pri: reporting cost of a full (tau = -inf) query minus
+   the t/B output term. *)
+let measured_q_pri pri queries =
+  let b = float_of_int Workloads.em_model.Topk_em.Config.b in
+  let total = ref 0. and count = ref 0. in
+  Array.iter
+    (fun q ->
+      let result = ref 0 in
+      let ios =
+        Workloads.per_query_ios
+          (fun q ->
+            result :=
+              List.length (Inst.Kd_hs_pri.query pri q ~tau:Float.neg_infinity))
+          [| q |]
+      in
+      total := !total +. ios -. (float_of_int !result /. b);
+      count := !count +. 1.)
+    queries;
+  !total /. Float.max 1. !count
+
+let run () =
+  Table.section
+    "E10: Theorem 1 in the polynomial regime (kd-tree halfspace, d = 4)";
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      let pts = random_points ~seed:(100_000 + n) ~n in
+      let queries = random_halfspaces ~seed:(101_000 + n) ~n:30 in
+      let pri, t1 =
+        Topk_em.Config.with_model Workloads.em_model (fun () ->
+            ( Inst.Kd_hs_pri.build pts,
+              Inst.Topkd_t1.build ~params:(Inst.paramsd ~d) pts ))
+      in
+      let q_pri = measured_q_pri pri queries in
+      let q_top k =
+        Workloads.per_query_ios
+          (fun q -> ignore (Inst.Topkd_t1.query t1 q ~k))
+          queries
+      in
+      let poly = float_of_int n ** (1. -. (1. /. float_of_int d)) in
+      rows :=
+        [ Table.fi n;
+          Table.ff ~d:0 q_pri;
+          Table.ff ~d:0 poly;
+          Table.ff ~d:3 (q_pri /. poly);
+          Table.ff ~d:0 (q_top 8);
+          Table.ff ~d:0 (q_top 64);
+          Table.fx (q_top 8 /. q_pri) ]
+        :: !rows)
+    (Workloads.sizes [ 4096; 16_384; 65_536; 262_144 ]);
+  Table.print
+    ~title:
+      "Measured Q_pri (reporting cost minus t/B) vs n^(3/4), and Theorem \
+       1's top-k cost"
+    ~header:
+      [ "n"; "Q_pri"; "n^(1-1/d)"; "Q_pri/n^(3/4)"; "top-8"; "top-64";
+        "Q_top/Q_pri" ]
+    (List.rev !rows);
+  Table.note
+    "Claim: once Q_pri >= (n/B)^eps, eq. (4) collapses to Q_top = \
+     O(Q_pri): the last column must stay bounded by a constant as n \
+     grows.  Here it is even < 1: at laptop n the reduction's monitored \
+     scan (n/B I/Os) is cheaper than the kd boundary (~2 n^(3/4)); the \
+     two meet around n ~ 2.8e8, beyond which the ratio levels off.";
+
+  (* Corollary 1: circular reporting by lifting. *)
+  Table.section "E10b: Corollary 1 (circular reporting via the lifting map)";
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      let rng = Rng.create (103_000 + n) in
+      let pts3 = H.Pointd.of_coords rng (Gen.points rng ~n ~d:3) in
+      let balls =
+        Array.map
+          (fun (c, r) -> H.Predicates.Ball.make ~center:c ~radius:r)
+          (Gen.balls rng ~n:30 ~d:3)
+      in
+      let native, lifted =
+        Topk_em.Config.with_model Workloads.em_model (fun () ->
+            ( Inst.Topk_ball_t1.build ~params:(Inst.paramsd ~d:3) pts3,
+              Inst.Topkd_t1.build ~params:(Inst.paramsd ~d:4)
+                (H.Lifting.lift_points pts3) ))
+      in
+      let native_ios =
+        Workloads.per_query_ios
+          (fun b -> ignore (Inst.Topk_ball_t1.query native b ~k:10))
+          balls
+      in
+      let lifted_ios =
+        Workloads.per_query_ios
+          (fun b ->
+            ignore (Inst.Topkd_t1.query lifted (H.Lifting.lift_ball b) ~k:10))
+          balls
+      in
+      rows :=
+        [ Table.fi n; Table.ff ~d:0 native_ios; Table.ff ~d:0 lifted_ios;
+          Table.fx (lifted_ios /. native_ios) ]
+        :: !rows)
+    (Workloads.sizes [ 4096; 16_384; 65_536 ]);
+  Table.print
+    ~title:"Top-10 ball queries: native 3D kd vs lifted 4D halfspace"
+    ~header:[ "n"; "native ios"; "lifted ios"; "lifted/native" ]
+    (List.rev !rows);
+  Table.note
+    "Claim: the lifting map turns a d-ball query into a (d+1)-halfspace \
+     query with the same output and comparable polynomial cost."

@@ -1,0 +1,77 @@
+(* E12 (Theorem 6): top-k 3D dominance — the "hotel search" workload
+   of Section 1.4.  The honest ladder base B*Q_max(n) exceeds our n at
+   laptop scale (the theorem then answers by scanning, which is
+   genuinely optimal); the calibrated variant (measured black-box
+   costs, coreset_scale = 1/8) exercises the round machinery. *)
+
+module Rng = Topk_util.Rng
+module Inst = Topk_dominance.Instances
+module Dom_pri = Topk_dominance.Dom_pri
+module Dom_max = Topk_dominance.Dom_max
+
+let corners rng n =
+  Array.init n (fun _ ->
+      ( 40. +. Rng.float rng 460.,
+        Rng.float rng 25.,
+        -.(1. +. Rng.float rng 4.) ))
+
+let run () =
+  Table.section "E12: top-k 3D dominance (Theorem 6, hotel search)";
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      let rng = Rng.create (120_000 + n) in
+      let hotels = Inst.hotels rng ~n in
+      let queries = corners rng 30 in
+      let pri, mx =
+        Topk_em.Config.with_model Workloads.em_model (fun () ->
+            (Dom_pri.build hotels, Dom_max.build hotels))
+      in
+      let q_pri =
+        Workloads.per_query_ios
+          (fun q -> ignore (Dom_pri.query pri q ~tau:Float.infinity))
+          queries
+      in
+      let q_max =
+        Workloads.per_query_ios (fun q -> ignore (Dom_max.query mx q)) queries
+      in
+      let params_cal =
+        Workloads.calibrate (Inst.params ()) ~q_pri ~q_max ~scale:0.125 ()
+      in
+      let t2_paper, t2_cal, rj, naive =
+        Topk_em.Config.with_model Workloads.em_model (fun () ->
+            ( Inst.Topk_t2.build ~params:(Inst.params ()) hotels,
+              Inst.Topk_t2.build ~params:params_cal hotels,
+              Inst.Topk_rj.build hotels,
+              Inst.Topk_naive.build hotels ))
+      in
+      let cost f k = Workloads.per_query_ios (fun q -> ignore (f q ~k)) queries in
+      let info = Inst.Topk_t2.info t2_paper
+      and info_c = Inst.Topk_t2.info t2_cal in
+      rows :=
+        [ Table.fi n;
+          Table.ff ~d:1 q_pri;
+          Table.ff ~d:1 q_max;
+          Table.fi info.Inst.Topk_t2.rungs;
+          Table.fi info_c.Inst.Topk_t2.rungs;
+          Table.ff ~d:1 (cost (Inst.Topk_t2.query t2_paper) 10);
+          Table.ff ~d:1 (cost (Inst.Topk_t2.query t2_cal) 10);
+          Table.ff ~d:1 (cost (Inst.Topk_rj.query rj) 10);
+          Table.ff ~d:1 (cost (Inst.Topk_naive.query naive) 10) ]
+        :: !rows)
+    (Workloads.sizes [ 2048; 8192; 32_768 ]);
+  Table.print
+    ~title:
+      "Average I/Os per top-10 dominance query (paper constants vs \
+       calibrated)"
+    ~header:
+      [ "n"; "Q_pri"; "Q_max"; "rungs"; "rungs(cal)"; "thm2"; "thm2(cal)";
+        "rj14"; "naive" ]
+    (List.rev !rows);
+  Table.note
+    "With paper constants, B*Q_max(n) > n/4 at these sizes, so the ladder \
+     is empty and Theorem 2 degenerates to the (then optimal) scan; the \
+     calibrated variant exercises rounds and beats both baselines.";
+  Table.note
+    "Correctness of every structure is cross-checked against the oracle \
+     in the test suite (test_dominance.ml)."

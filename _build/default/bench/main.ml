@@ -1,0 +1,68 @@
+(* Experiment harness: regenerates every "table" of EXPERIMENTS.md.
+
+   The paper (PODS'16) has no empirical section, so the artifacts to
+   reproduce are its complexity claims: one experiment per lemma /
+   theorem, each printing a table whose shape (growth rates, who wins,
+   crossovers) validates the claim.  See DESIGN.md section 4 for the
+   index.
+
+   Usage:
+     main.exe                 run all experiments + microbenchmarks
+     main.exe e1 e5 e7        run selected experiments
+     main.exe --quick [...]   shrink sweeps (CI-sized)
+     main.exe --no-bechamel   skip the wall-clock suite *)
+
+let experiments =
+  [
+    ("e1", "Lemma 1 + Lemma 3 rank sampling", E01_rank_sampling.run);
+    ("e2", "Lemma 2 core-sets", E02_coreset.run);
+    ("e3", "Lemma 3 (alias of e1's second table)", E01_rank_sampling.run_lemma3);
+    ("e4", "Theorem 1 worst-case reduction", E04_theorem1.run);
+    ("e5", "Theorem 2 expected reduction", E05_theorem2.run);
+    ("e6", "Theorem 2 bootstrapping power", E06_bootstrap.run);
+    ("e7", "Reductions vs baselines (crossover)", E07_baselines.run);
+    ("e8", "Theorem 4 dynamic updates", E08_dynamic.run);
+    ("e9", "Theorem 3 bullet 1 (2D halfplane)", E09_halfplane.run);
+    ("e10", "Theorem 3 bullets 2-3 + Corollary 1 (kd)", E10_kd.run);
+    ("e11", "Theorem 5 (point enclosure)", E11_enclosure.run);
+    ("e12", "Theorem 6 (3D dominance)", E12_dominance.run);
+    ("e13", "Top-k 1D range reporting + synthesized max", E13_range.run);
+    ("e14", "Reductions in the RAM model", E14_ram.run);
+    ("e15", "Ablations: coreset_scale and sigma", E15_ablation.run);
+    ("e16", "Top-k 2D orthogonal range reporting", E16_ortho.run);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let flags, selected =
+    List.partition (fun a -> String.length a > 1 && a.[0] = '-') args
+  in
+  if List.mem "--quick" flags then Workloads.quick := true;
+  let bechamel = not (List.mem "--no-bechamel" flags) in
+  if List.mem "--help" flags then begin
+    print_endline "usage: main.exe [--quick] [--no-bechamel] [e1 .. e12]";
+    List.iter
+      (fun (id, what, _) -> Printf.printf "  %-4s %s\n" id what)
+      experiments;
+    exit 0
+  end;
+  let to_run =
+    match selected with
+    | [] -> List.filter (fun (id, _, _) -> id <> "e3") experiments
+    | ids ->
+        List.map
+          (fun id ->
+            match List.find_opt (fun (i, _, _) -> i = id) experiments with
+            | Some e -> e
+            | None ->
+                Printf.eprintf "unknown experiment %s (try --help)\n" id;
+                exit 1)
+          ids
+  in
+  Printf.printf
+    "Top-k indexing via general reductions (PODS'16) - experiment harness\n";
+  Printf.printf "Cost model: %s; quick=%b\n"
+    (Format.asprintf "%a" Topk_em.Config.pp Workloads.em_model)
+    !Workloads.quick;
+  List.iter (fun (_, _, run) -> run ()) to_run;
+  if bechamel && selected = [] then Bechamel_suite.run ()

@@ -1,0 +1,41 @@
+let fi = string_of_int
+
+let ff ?(d = 2) x =
+  if Float.is_integer x && Float.abs x < 1e15 && d = 0 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.*f" d x
+
+let fx ?(d = 2) x = Printf.sprintf "%.*fx" d x
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let note text = Printf.printf "  %s\n" text
+
+let print ~title ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width j =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row j with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let render row =
+    String.concat "  "
+      (List.mapi
+         (fun j cell ->
+           let w = List.nth widths j in
+           if j = 0 then Printf.sprintf "%-*s" w cell
+           else Printf.sprintf "%*s" w cell)
+         row)
+  in
+  Printf.printf "\n%s\n" title;
+  let head = render header in
+  print_endline head;
+  print_endline (String.make (String.length head) '-');
+  List.iter (fun row -> print_endline (render row)) rows;
+  flush stdout

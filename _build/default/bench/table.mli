@@ -1,0 +1,22 @@
+(** Fixed-width table printing for the experiment harness.  Every
+    experiment prints one or more of these; EXPERIMENTS.md records the
+    same rows. *)
+
+val print : title:string -> header:string list -> string list list -> unit
+(** Columns are sized to the widest cell; the first column is left
+    aligned, the rest right aligned. *)
+
+val fi : int -> string
+(** Format an int. *)
+
+val ff : ?d:int -> float -> string
+(** Format a float with [d] decimals (default 2). *)
+
+val fx : ?d:int -> float -> string
+(** As {!ff} but appends "x" (ratios). *)
+
+val section : string -> unit
+(** Print an experiment banner. *)
+
+val note : string -> unit
+(** Print an indented free-form remark under a table. *)

@@ -1,0 +1,315 @@
+(* topk — command-line driver for the top-k reduction library.
+
+   Subcommands build a structure over a synthetic workload, answer
+   queries, and report the EM-model cost:
+
+     topk interval  -n 100000 --method thm2 -q 0.5 -k 10
+     topk enclosure -n 50000  --method thm1 -x 33 -y 172 -k 10
+     topk dominance -n 20000  --method rj   -x 180 -y 8 -z 3.5 -k 10
+     topk halfplane -n 20000  -a 1 -b 1 -c 1.2 -k 5
+     topk circular  -n 20000  -x 4.2 -y 5.7 -r 1.5 -k 5
+     topk sample-check -n 100000 -k 1000 --delta 0.1 --trials 500 *)
+
+open Cmdliner
+
+type method_ = Thm1 | Thm2 | Rj | Naive
+
+let method_conv =
+  let parse = function
+    | "thm1" -> Ok Thm1
+    | "thm2" -> Ok Thm2
+    | "rj" -> Ok Rj
+    | "naive" -> Ok Naive
+    | s -> Error (`Msg (Printf.sprintf "unknown method %S" s))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf
+      (match m with Thm1 -> "thm1" | Thm2 -> "thm2" | Rj -> "rj" | Naive -> "naive")
+  in
+  Arg.conv (parse, print)
+
+let n_arg =
+  Arg.(value & opt int 50_000 & info [ "n" ] ~docv:"N" ~doc:"Number of elements.")
+
+let k_arg =
+  Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc:"Result size.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+
+let method_arg =
+  Arg.(
+    value
+    & opt method_conv Thm2
+    & info [ "method" ] ~docv:"METHOD"
+        ~doc:"Reduction: thm1, thm2, rj (eqs. 1-2 baseline) or naive.")
+
+let block_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "block" ] ~docv:"B" ~doc:"EM block size in words (1 = RAM).")
+
+let with_model block f =
+  let model =
+    if block <= 1 then Topk_em.Config.ram else Topk_em.Config.em ~b:block ()
+  in
+  Topk_em.Config.with_model model f
+
+let report_cost () =
+  let s = Topk_em.Stats.snapshot () in
+  Printf.printf "cost: %d I/Os (%d elements scanned)\n" s.Topk_em.Stats.ios
+    s.Topk_em.Stats.scanned
+
+(* --- interval --- *)
+
+let interval_cmd =
+  let q_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "q" ] ~docv:"Q" ~doc:"Stabbing coordinate in [0,1].")
+  in
+  let run n k seed meth q block =
+    with_model block (fun () ->
+        let elems =
+          let rng = Topk_util.Rng.create seed in
+          Topk_interval.Interval.of_spans rng
+            (Topk_util.Gen.intervals rng ~shape:Topk_util.Gen.Mixed_intervals ~n)
+        in
+        let module Inst = Topk_interval.Instances in
+        let params = Inst.params () in
+        let query =
+          match meth with
+          | Thm1 ->
+              let t = Inst.Topk_t1.build ~params elems in
+              fun () -> Inst.Topk_t1.query t q ~k
+          | Thm2 ->
+              let t = Inst.Topk_t2.build ~params elems in
+              fun () -> Inst.Topk_t2.query t q ~k
+          | Rj ->
+              let t = Inst.Topk_rj.build elems in
+              fun () -> Inst.Topk_rj.query t q ~k
+          | Naive ->
+              let t = Inst.Topk_naive.build elems in
+              fun () -> Inst.Topk_naive.query t q ~k
+        in
+        Topk_em.Stats.reset ();
+        let result = query () in
+        Printf.printf "top-%d intervals stabbed by %g (of %d):\n" k q n;
+        List.iter
+          (fun itv ->
+            Format.printf "  %a@." Topk_interval.Interval.pp itv)
+          result;
+        report_cost ())
+  in
+  Cmd.v
+    (Cmd.info "interval" ~doc:"Top-k interval stabbing (Theorem 4).")
+    Term.(const run $ n_arg $ k_arg $ seed_arg $ method_arg $ q_arg $ block_arg)
+
+(* --- enclosure --- *)
+
+let enclosure_cmd =
+  let x_arg =
+    Arg.(value & opt float 0.5 & info [ "x" ] ~docv:"X" ~doc:"Query x.")
+  in
+  let y_arg =
+    Arg.(value & opt float 0.5 & info [ "y" ] ~docv:"Y" ~doc:"Query y.")
+  in
+  let run n k seed meth x y block =
+    with_model block (fun () ->
+        let rects =
+          let rng = Topk_util.Rng.create seed in
+          Topk_enclosure.Rect.of_boxes rng (Topk_util.Gen.rectangles rng ~n)
+        in
+        let module Inst = Topk_enclosure.Instances in
+        let params = Inst.params () in
+        let query =
+          match meth with
+          | Thm1 ->
+              let t = Inst.Topk_t1.build ~params rects in
+              fun () -> Inst.Topk_t1.query t (x, y) ~k
+          | Thm2 ->
+              let t = Inst.Topk_t2.build ~params rects in
+              fun () -> Inst.Topk_t2.query t (x, y) ~k
+          | Rj ->
+              let t = Inst.Topk_rj.build rects in
+              fun () -> Inst.Topk_rj.query t (x, y) ~k
+          | Naive ->
+              let t = Inst.Topk_naive.build rects in
+              fun () -> Inst.Topk_naive.query t (x, y) ~k
+        in
+        Topk_em.Stats.reset ();
+        let result = query () in
+        Printf.printf "top-%d rectangles containing (%g, %g) of %d:\n" k x y n;
+        List.iter
+          (fun r -> Format.printf "  %a@." Topk_enclosure.Rect.pp r)
+          result;
+        report_cost ())
+  in
+  Cmd.v
+    (Cmd.info "enclosure" ~doc:"Top-k 2D point enclosure (Theorem 5).")
+    Term.(
+      const run $ n_arg $ k_arg $ seed_arg $ method_arg $ x_arg $ y_arg
+      $ block_arg)
+
+(* --- dominance --- *)
+
+let dominance_cmd =
+  let x_arg =
+    Arg.(value & opt float 200. & info [ "x" ] ~docv:"PRICE" ~doc:"Max price.")
+  in
+  let y_arg =
+    Arg.(value & opt float 10. & info [ "y" ] ~docv:"KM" ~doc:"Max distance.")
+  in
+  let z_arg =
+    Arg.(
+      value & opt float 3.
+      & info [ "z" ] ~docv:"SEC" ~doc:"Min security rating.")
+  in
+  let run n k seed meth x y z block =
+    with_model block (fun () ->
+        let hotels =
+          Topk_dominance.Instances.hotels (Topk_util.Rng.create seed) ~n
+        in
+        let module Inst = Topk_dominance.Instances in
+        let params = Inst.params () in
+        let q = (x, y, -.z) in
+        let query =
+          match meth with
+          | Thm1 ->
+              let t = Inst.Topk_t1.build ~params hotels in
+              fun () -> Inst.Topk_t1.query t q ~k
+          | Thm2 ->
+              let t = Inst.Topk_t2.build ~params hotels in
+              fun () -> Inst.Topk_t2.query t q ~k
+          | Rj ->
+              let t = Inst.Topk_rj.build hotels in
+              fun () -> Inst.Topk_rj.query t q ~k
+          | Naive ->
+              let t = Inst.Topk_naive.build hotels in
+              fun () -> Inst.Topk_naive.query t q ~k
+        in
+        Topk_em.Stats.reset ();
+        let result = query () in
+        Printf.printf
+          "top-%d hotels (price <= %g, distance <= %g, security >= %g) of %d:\n"
+          k x y z n;
+        List.iter
+          (fun h -> Format.printf "  %a@." Topk_dominance.Point3.pp h)
+          result;
+        report_cost ())
+  in
+  Cmd.v
+    (Cmd.info "dominance" ~doc:"Top-k 3D dominance (Theorem 6).")
+    Term.(
+      const run $ n_arg $ k_arg $ seed_arg $ method_arg $ x_arg $ y_arg
+      $ z_arg $ block_arg)
+
+(* --- halfplane --- *)
+
+let halfplane_cmd =
+  let a_arg = Arg.(value & opt float 1. & info [ "a" ] ~docv:"A" ~doc:"Normal x.") in
+  let b_arg = Arg.(value & opt float 1. & info [ "b" ] ~docv:"B" ~doc:"Normal y.") in
+  let c_arg = Arg.(value & opt float 1. & info [ "c" ] ~docv:"C" ~doc:"Offset.") in
+  let run n k seed a b c block =
+    with_model block (fun () ->
+        let pts =
+          let rng = Topk_util.Rng.create seed in
+          Topk_geom.Point2.of_coords rng
+            (Array.map
+               (fun p -> (p.(0), p.(1)))
+               (Topk_util.Gen.points rng ~n ~d:2))
+        in
+        let module Inst = Topk_halfspace.Instances in
+        let t = Inst.Topk2_t2.build ~params:(Inst.params2 ()) pts in
+        let q = Topk_geom.Halfplane.make ~a ~b ~c in
+        Topk_em.Stats.reset ();
+        let result = Inst.Topk2_t2.query t q ~k in
+        Format.printf "top-%d points in %a of %d:@." k Topk_geom.Halfplane.pp
+          q n;
+        List.iter (fun p -> Format.printf "  %a@." Topk_geom.Point2.pp p) result;
+        report_cost ())
+  in
+  Cmd.v
+    (Cmd.info "halfplane"
+       ~doc:"Top-k 2D halfspace reporting (Theorem 3, bullet 1).")
+    Term.(
+      const run $ n_arg $ k_arg $ seed_arg $ a_arg $ b_arg $ c_arg $ block_arg)
+
+(* --- circular --- *)
+
+let circular_cmd =
+  let x_arg = Arg.(value & opt float 0.5 & info [ "x" ] ~docv:"X" ~doc:"Center x.") in
+  let y_arg = Arg.(value & opt float 0.5 & info [ "y" ] ~docv:"Y" ~doc:"Center y.") in
+  let r_arg = Arg.(value & opt float 0.2 & info [ "r" ] ~docv:"R" ~doc:"Radius.") in
+  let run n k seed x y r block =
+    with_model block (fun () ->
+        let module H = Topk_halfspace in
+        let module Inst = Topk_halfspace.Instances in
+        let pts =
+          let rng = Topk_util.Rng.create seed in
+          H.Pointd.of_coords rng (Topk_util.Gen.points rng ~n ~d:2)
+        in
+        let t = Inst.Topk_ball_t2.build ~params:(Inst.paramsd ~d:2) pts in
+        let q = H.Predicates.Ball.make ~center:[| x; y |] ~radius:r in
+        Topk_em.Stats.reset ();
+        let result = Inst.Topk_ball_t2.query t q ~k in
+        Printf.printf "top-%d points within %g of (%g, %g) of %d:\n" k r x y n;
+        List.iter (fun p -> Format.printf "  %a@." H.Pointd.pp p) result;
+        report_cost ())
+  in
+  Cmd.v
+    (Cmd.info "circular" ~doc:"Top-k circular reporting (Corollary 1).")
+    Term.(
+      const run $ n_arg $ k_arg $ seed_arg $ x_arg $ y_arg $ r_arg $ block_arg)
+
+(* --- sample-check --- *)
+
+let sample_check_cmd =
+  let delta_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "delta" ] ~docv:"DELTA" ~doc:"Lemma 1 failure budget.")
+  in
+  let trials_arg =
+    Arg.(value & opt int 500 & info [ "trials" ] ~docv:"T" ~doc:"Trials.")
+  in
+  let run n k seed delta trials =
+    let module RS = Topk_core.Rank_sampling in
+    let rng = Topk_util.Rng.create seed in
+    let ground = Array.init n (fun i -> i) in
+    Topk_util.Rng.shuffle rng ground;
+    let p = RS.min_p ~k ~delta in
+    let fail = ref 0 in
+    for _ = 1 to trials do
+      match RS.lemma1_trial rng ~cmp:Int.compare ~k ~p ground with
+      | RS.Ok_rank -> ()
+      | _ -> incr fail
+    done;
+    Printf.printf
+      "Lemma 1: n=%d k=%d delta=%g p=%g -> %d/%d failures (rate %.4f)\n" n k
+      delta p !fail trials
+      (float_of_int !fail /. float_of_int trials)
+  in
+  Cmd.v
+    (Cmd.info "sample-check" ~doc:"Empirically check Lemma 1's rank bound.")
+    Term.(const run $ n_arg $ k_arg $ seed_arg $ delta_arg $ trials_arg)
+
+let () =
+  let info =
+    Cmd.info "topk" ~version:"1.0.0"
+      ~doc:
+        "Top-k indexing via general reductions (Rahul & Tao, PODS'16): \
+         build structures over synthetic workloads, answer queries, \
+         report EM-model costs."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            interval_cmd;
+            enclosure_cmd;
+            dominance_cmd;
+            halfplane_cmd;
+            circular_cmd;
+            sample_check_cmd;
+          ]))

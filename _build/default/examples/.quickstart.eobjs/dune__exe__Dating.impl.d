@@ -1,0 +1,1 @@
+examples/dating.ml: Array Float List Printf Topk_em Topk_enclosure Topk_util

@@ -1,0 +1,1 @@
+examples/geo.ml: Array List Printf Topk_em Topk_geom Topk_halfspace Topk_util

@@ -1,0 +1,1 @@
+examples/hotels.ml: List Printf Topk_dominance Topk_em Topk_util

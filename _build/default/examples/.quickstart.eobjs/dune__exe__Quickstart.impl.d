@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Printf Topk_em Topk_interval Topk_util

@@ -1,0 +1,1 @@
+examples/streaming.ml: Array List Printf Queue String Topk_em Topk_interval Topk_util

@@ -1,0 +1,1 @@
+lib/core/baseline_rj.ml: Array Float List Sigs Topk_em Topk_util

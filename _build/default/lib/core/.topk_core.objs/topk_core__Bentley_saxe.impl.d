@@ -1,0 +1,1 @@
+lib/core/bentley_saxe.ml: Array Hashtbl List Sigs Topk_em

@@ -1,0 +1,1 @@
+lib/core/bentley_saxe.mli: P Sigs

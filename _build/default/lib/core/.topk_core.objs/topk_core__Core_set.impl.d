@@ -1,0 +1,1 @@
+lib/core/core_set.ml: Array Params Topk_util

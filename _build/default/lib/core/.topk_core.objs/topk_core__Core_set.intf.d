@@ -1,0 +1,1 @@
+lib/core/core_set.mli: Topk_util

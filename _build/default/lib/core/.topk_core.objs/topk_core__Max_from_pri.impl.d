@@ -1,0 +1,1 @@
+lib/core/max_from_pri.ml: Array Float List Sigs Topk_util

@@ -1,0 +1,1 @@
+lib/core/max_from_pri.mli: Sigs

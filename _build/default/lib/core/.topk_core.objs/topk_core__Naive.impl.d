@@ -1,0 +1,1 @@
+lib/core/naive.ml: Array Sigs Topk_em

@@ -1,0 +1,1 @@
+lib/core/prefix_blocks.ml: Array Float List Topk_em

@@ -1,0 +1,1 @@
+lib/core/prefix_blocks.mli:

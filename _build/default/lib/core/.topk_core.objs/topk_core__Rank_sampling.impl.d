@@ -1,0 +1,1 @@
+lib/core/rank_sampling.ml: Array Format Topk_util

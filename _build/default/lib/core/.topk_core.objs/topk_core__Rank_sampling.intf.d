@@ -1,0 +1,1 @@
+lib/core/rank_sampling.mli: Format Topk_util

@@ -1,0 +1,1 @@
+lib/core/rj_counting.ml: Array Float List Sigs Topk_em

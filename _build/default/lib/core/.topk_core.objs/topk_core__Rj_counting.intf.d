@@ -1,0 +1,1 @@
+lib/core/rj_counting.mli: Sigs

@@ -1,0 +1,1 @@
+lib/core/sigs.ml: Array Float Format Int P Params Topk_util

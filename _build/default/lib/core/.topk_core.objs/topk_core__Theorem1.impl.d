@@ -1,0 +1,1 @@
+lib/core/theorem1.ml: Array Core_set Float List Params Sigs Topk_em Topk_util

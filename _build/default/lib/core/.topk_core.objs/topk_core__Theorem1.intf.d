@@ -1,0 +1,1 @@
+lib/core/theorem1.mli: Sigs

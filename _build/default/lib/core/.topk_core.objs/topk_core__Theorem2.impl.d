@@ -1,0 +1,1 @@
+lib/core/theorem2.ml: Array Float List Params Sigs Topk_em Topk_util

@@ -1,0 +1,1 @@
+lib/core/theorem2_dynamic.ml: Array Float Hashtbl List Params Sigs Topk_em Topk_util

@@ -1,0 +1,1 @@
+lib/core/theorem2_dynamic.mli: Sigs

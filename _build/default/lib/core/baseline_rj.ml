@@ -1,0 +1,70 @@
+module Stats = Topk_em.Stats
+
+module Make (S : Sigs.PRIORITIZED) = struct
+  module P = S.P
+  module W = Sigs.Weight_order (P)
+
+  type t = {
+    elems : P.elem array;
+    pri : S.t;
+    weights_desc : float array;  (* all weights, descending *)
+    mutable probe_count : int;
+  }
+
+  let name = "baseline-rj(" ^ S.name ^ ")"
+
+  let build ?params elems =
+    ignore params;
+    let elems = Array.copy elems in
+    let weights_desc = Array.map P.weight elems in
+    Array.sort (fun a b -> Float.compare b a) weights_desc;
+    { elems; pri = S.build elems; weights_desc; probe_count = 0 }
+
+  let size t = Array.length t.elems
+
+  let space_words t = Array.length t.elems + S.space_words t.pri +
+                      Array.length t.weights_desc
+
+  let probes t = t.probe_count
+
+  let select_top_k k elems =
+    Stats.charge_scan (List.length elems);
+    W.top_k k elems
+
+  let scan_filter_top ~k q elems =
+    Stats.charge_scan (Array.length elems);
+    let matching = ref [] in
+    for i = Array.length elems - 1 downto 0 do
+      if P.matches q elems.(i) then matching := elems.(i) :: !matching
+    done;
+    W.top_k k !matching
+
+  (* Does q(D) restricted to weight >= tau contain at least k elements? *)
+  let count_at_least t q ~tau ~k =
+    t.probe_count <- t.probe_count + 1;
+    match S.query_monitored t.pri q ~tau ~limit:k with
+    | Sigs.Truncated _ -> true
+    | Sigs.All s -> List.length s >= k
+
+  let query t q ~k =
+    Stats.mark_query ();
+    if k <= 0 then []
+    else begin
+      let n = Array.length t.elems in
+      if 2 * k >= n then scan_filter_top ~k q t.elems
+      else begin
+        (* Find the smallest index i (0-based in the descending weight
+           array) such that count (>= weights_desc.(i)) >= k.  The
+           predicate is monotone in i. *)
+        let ok i = count_at_least t q ~tau:t.weights_desc.(i) ~k in
+        match Topk_util.Search.binary_search_first ok 0 n with
+        | None ->
+            (* Fewer than k elements match in total. *)
+            select_top_k k (S.query t.pri q ~tau:Float.neg_infinity)
+        | Some i ->
+            (* Distinct weights: the count at this threshold is exactly
+               k, so the final query returns the answer set itself. *)
+            select_top_k k (S.query t.pri q ~tau:t.weights_desc.(i))
+      end
+    end
+end

@@ -1,0 +1,23 @@
+(** The pre-existing general reduction the paper improves on
+    (eqs. (1)–(2), due to Rahul and Janardan [28]): binary search on
+    the weight threshold [tau] using cost-monitored prioritized
+    queries.
+
+    Space [S_top = O(S_pri)]; query
+    [Q_top = O(Q_pri log n) + O((k/B) log n)] — note the multiplicative
+    [log n] on the output term, which is exactly what Theorems 1 and 2
+    remove.  Experiment E7 plots this gap.
+
+    Mechanics: the weights of [D] are kept sorted; binary search finds
+    the smallest weight [w*] with [|{e in q(D) : w(e) >= w*}| >= k]
+    (monotone in [w*]); each probe is a monitored prioritized query
+    with limit [k], costing [Q_pri + O(k/B)]; the final prioritized
+    query at [w*] returns the top-k set exactly (weights are pairwise
+    distinct, so the count increases by one per weight step). *)
+
+module Make (S : Sigs.PRIORITIZED) : sig
+  include Sigs.TOPK with module P = S.P
+
+  val probes : t -> int
+  (** Total binary-search probes issued across all queries so far. *)
+end

@@ -1,0 +1,37 @@
+module Rng = Topk_util.Rng
+
+type 'a t = {
+  elems : 'a array;
+  rank_target : int;
+  k : int;
+  p : float;
+  retries : int;
+}
+
+let size_bound ~lambda ~k ~n =
+  let bound =
+    12. *. lambda *. (float_of_int n /. float_of_int k) *. Params.ln n
+  in
+  int_of_float (ceil bound)
+
+let build rng ~lambda ?(max_retries = 20) ~k ground =
+  if k < 1 then invalid_arg "Core_set.build: K must be >= 1";
+  if lambda < 1. then invalid_arg "Core_set.build: lambda must be >= 1";
+  let n = Array.length ground in
+  let ln_n = Params.ln n in
+  let p = min 1. (4. *. lambda /. float_of_int k *. ln_n) in
+  let rank_target = int_of_float (ceil (8. *. lambda *. ln_n)) in
+  let bound = max 1 (size_bound ~lambda ~k ~n) in
+  if p >= 1. then
+    (* Degenerate: the sample is the ground set itself. *)
+    { elems = Array.copy ground; rank_target; k; p = 1.; retries = 0 }
+  else begin
+    let rec draw attempt =
+      let elems = Rng.sample rng ~p ground in
+      if Array.length elems <= bound || attempt >= max_retries then
+        (elems, attempt)
+      else draw (attempt + 1)
+    in
+    let elems, retries = draw 0 in
+    { elems; rank_target; k; p; retries }
+  end

@@ -1,0 +1,35 @@
+(** Top-k core-sets — Lemma 2 of the paper.
+
+    For an input [D] of [n] elements, a constant [lambda] (polynomial
+    boundedness) and an integer [K >= 4 lambda ln n], a core-set is a
+    p-sample [R] of [D] with [p = 4 (lambda / K) ln n] such that
+
+    - [|R| <= 12 lambda (n / K) ln n], and
+    - for every predicate [q] with [|q(D)| >= 4K], the element of
+      weight rank [ceil (8 lambda ln n)] in [q(R)] has weight rank
+      between [K] and [4K] in [q(D)].
+
+    Lemma 2 is existential (the properties hold with probability
+    [> 1/6] per draw); {!build} retries the draw until the {e size}
+    bound holds — expected O(1) retries — while the rank-capture
+    property holds with high probability and the reduction recovers
+    from the rare failure by an explicit fallback query. *)
+
+type 'a t = private {
+  elems : 'a array;   (** the core-set [R] *)
+  rank_target : int;  (** [ceil (8 lambda ln n)] with [n = |ground|] *)
+  k : int;            (** the [K] this core-set was built for *)
+  p : float;          (** the sampling probability used *)
+  retries : int;      (** draws discarded for violating the size bound *)
+}
+
+val build :
+  Topk_util.Rng.t -> lambda:float -> ?max_retries:int -> k:int ->
+  'a array -> 'a t
+(** [build rng ~lambda ~k ground] draws a core-set of [ground] for
+    rank [K = k].  If [K < 4 lambda ln n] the sampling probability
+    saturates at 1 and the core-set degenerates to a copy of the
+    ground set (still correct, no compression). *)
+
+val size_bound : lambda:float -> k:int -> n:int -> int
+(** The Lemma 2 size bound [12 lambda (n / K) ln n], rounded up. *)

@@ -1,0 +1,51 @@
+module Make (S : Sigs.PRIORITIZED) = struct
+  module P = S.P
+
+  type t = {
+    pri : S.t;
+    weights_desc : float array;
+    mutable probe_count : int;
+  }
+
+  let name = "max-from-pri(" ^ S.name ^ ")"
+
+  let build elems =
+    let weights_desc = Array.map P.weight elems in
+    Array.sort (fun a b -> Float.compare b a) weights_desc;
+    { pri = S.build elems; weights_desc; probe_count = 0 }
+
+  let size t = Array.length t.weights_desc
+
+  let space_words t = S.space_words t.pri + Array.length t.weights_desc
+
+  let probes t = t.probe_count
+
+  (* Is some element with weight >= weights_desc.(i) matching q? *)
+  let non_empty_at t q i =
+    t.probe_count <- t.probe_count + 1;
+    match S.query_monitored t.pri q ~tau:t.weights_desc.(i) ~limit:0 with
+    | Sigs.All [] -> false
+    | Sigs.All (_ :: _) | Sigs.Truncated _ -> true
+
+  let query t q =
+    let n = Array.length t.weights_desc in
+    if n = 0 then None
+    else begin
+      (* Monotone: as i grows the threshold drops, so non-emptiness
+         goes false* then true*. *)
+      match
+        Topk_util.Search.binary_search_first (non_empty_at t q) 0 n
+      with
+      | None -> None
+      | Some i -> (
+          (* The heaviest matching element has weight exactly
+             weights_desc.(i) (weights are distinct). *)
+          match S.query t.pri q ~tau:t.weights_desc.(i) with
+          | e :: rest ->
+              Some
+                (List.fold_left
+                   (fun best x -> if P.weight x > P.weight best then x else best)
+                   e rest)
+          | [] -> None)
+    end
+end

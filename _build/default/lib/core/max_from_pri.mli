@@ -1,0 +1,23 @@
+(** A bonus general reduction in the spirit of the paper: max
+    reporting from prioritized reporting alone, by binary search on
+    the weight ladder.
+
+    Theorem 2 needs {e both} a prioritized and a max structure.  When
+    no dedicated max structure exists for a problem, this functor
+    manufactures one from the prioritized black box: binary-search the
+    sorted weight array for the largest [tau] whose prioritized query
+    is non-empty, probing with cost-monitored queries of limit 1.
+
+    Costs: space [O(S_pri)], query [O(Q_pri log n)] — a logarithmic
+    degradation, which is exactly what it costs to {e not} design a
+    max structure.  Feeding the result into Theorem 2 yields a valid
+    (if log-slower) top-k structure with zero problem-specific max
+    code; the "bootstrapping" remark of Section 1.4 says the space
+    overhead still vanishes. *)
+
+module Make (S : Sigs.PRIORITIZED) : sig
+  include Sigs.MAX with module P = S.P
+
+  val probes : t -> int
+  (** Binary-search probes across all queries so far. *)
+end

@@ -1,0 +1,29 @@
+module Stats = Topk_em.Stats
+
+module Make (P : Sigs.PROBLEM) = struct
+  module P = P
+  module W = Sigs.Weight_order (P)
+
+  type t = { elems : P.elem array }
+
+  let name = "naive-scan"
+
+  let build ?params elems =
+    ignore params;
+    { elems = Array.copy elems }
+
+  let size t = Array.length t.elems
+
+  let space_words t = Array.length t.elems
+
+  let query t q ~k =
+    Stats.mark_query ();
+    let n = Array.length t.elems in
+    Stats.charge_scan n;
+    let matching = ref [] in
+    for i = n - 1 downto 0 do
+      let e = t.elems.(i) in
+      if P.matches q e then matching := e :: !matching
+    done;
+    W.top_k k !matching
+end

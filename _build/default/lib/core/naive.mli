@@ -1,0 +1,6 @@
+(** The trivial top-k structure: store [D] as a flat array; a query
+    scans everything ([n/B] I/Os) and k-selects.  This is both the
+    baseline every reduction must beat for small [k] and the method the
+    reductions themselves fall back to when [k = Omega(n)]. *)
+
+module Make (P : Sigs.PROBLEM) : Sigs.TOPK with module P = P

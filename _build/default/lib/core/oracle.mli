@@ -1,0 +1,24 @@
+(** Reference implementations, straight from the definitions.
+
+    [Oracle.Make] answers every query type by filtering the input with
+    [P.matches] and sorting — no cost accounting, no cleverness.  All
+    tests and experiments validate the real structures against it. *)
+
+module Make (P : Sigs.PROBLEM) : sig
+  type t
+
+  val build : P.elem array -> t
+
+  val elements : t -> P.elem array
+
+  val top_k : t -> P.query -> k:int -> P.elem list
+  (** The [k] heaviest matching elements, sorted descending. *)
+
+  val prioritized : t -> P.query -> tau:float -> P.elem list
+  (** All matching elements with weight [>= tau], sorted descending. *)
+
+  val max : t -> P.query -> P.elem option
+
+  val count : t -> P.query -> int
+  (** [|q(D)|]. *)
+end

@@ -1,0 +1,136 @@
+module Stats = Topk_em.Stats
+
+module Make (S : Sigs.PRIORITIZED) (C : Sigs.COUNTING with module P = S.P) =
+struct
+  module P = S.P
+  module W = Sigs.Weight_order (P)
+
+  type node =
+    | Leaf of P.elem
+    | Node of {
+        reporter : S.t;
+        counter : C.t;
+        left : node;
+        right : node;
+      }
+
+  type t = {
+    root : node option;
+    elems : P.elem array;  (* weight descending, for the k = Omega(n) scan *)
+    mutable probe_count : int;
+  }
+
+  let name = "rj-counting(" ^ S.name ^ "+" ^ C.name ^ ")"
+
+  let rec build_node sorted lo hi =
+    if hi - lo = 1 then Leaf sorted.(lo)
+    else begin
+      let mid = (lo + hi) / 2 in
+      let range = Array.sub sorted lo (hi - lo) in
+      Node
+        {
+          reporter = S.build range;
+          counter = C.build range;
+          left = build_node sorted lo mid;
+          right = build_node sorted mid hi;
+        }
+    end
+
+  let build ?params elems =
+    ignore params;
+    let sorted = Array.copy elems in
+    Array.sort W.compare_desc sorted;
+    let root =
+      if Array.length sorted = 0 then None
+      else Some (build_node sorted 0 (Array.length sorted))
+    in
+    { root; elems = sorted; probe_count = 0 }
+
+  let size t = Array.length t.elems
+
+  let rec node_words = function
+    | Leaf _ -> 1
+    | Node { reporter; counter; left; right } ->
+        S.space_words reporter + C.space_words counter + node_words left
+        + node_words right
+
+  let space_words t =
+    Array.length t.elems
+    + match t.root with None -> 0 | Some root -> node_words root
+
+  let counting_queries t = t.probe_count
+
+  let count t node q =
+    t.probe_count <- t.probe_count + 1;
+    match node with
+    | Leaf e -> if P.matches q e then 1 else 0
+    | Node { counter; _ } -> C.count counter q
+
+  let scan_filter_top ~k q elems =
+    Stats.charge_scan (Array.length elems);
+    let matching = ref [] in
+    for i = Array.length elems - 1 downto 0 do
+      if P.matches q elems.(i) then matching := elems.(i) :: !matching
+    done;
+    W.top_k k !matching
+
+  let query t q ~k =
+    Stats.mark_query ();
+    if k <= 0 then []
+    else begin
+      match t.root with
+      | None -> []
+      | Some root ->
+          let n = Array.length t.elems in
+          if 2 * k >= n then scan_filter_top ~k q t.elems
+          else begin
+            let total = count t root q in
+            if total <= k then begin
+              (* Everything matching is wanted: one full report. *)
+              let got =
+                match root with
+                | Leaf e -> if P.matches q e then [ e ] else []
+                | Node { reporter; _ } ->
+                    S.query reporter q ~tau:Float.neg_infinity
+              in
+              Stats.charge_scan (List.length got);
+              W.top_k k got
+            end
+            else begin
+              (* Descend for the rank of the k-th heaviest match; the
+                 skipped left subtrees form the canonical prefix. *)
+              let acc = ref [] in
+              let report = function
+                | Leaf e ->
+                    if P.matches q e then begin
+                      Stats.charge_scan 1;
+                      acc := e :: !acc
+                    end
+                | Node { reporter; _ } ->
+                    List.iter
+                      (fun e -> acc := e :: !acc)
+                      (S.query reporter q ~tau:Float.neg_infinity)
+              in
+              let rec descend node remaining =
+                match node with
+                | Leaf e ->
+                    (* remaining = 1 and this element matches. *)
+                    if P.matches q e then begin
+                      Stats.charge_scan 1;
+                      acc := e :: !acc
+                    end
+                | Node { left; right; _ } ->
+                    let cl = count t left q in
+                    if cl >= remaining then descend left remaining
+                    else begin
+                      report left;
+                      descend right (remaining - cl)
+                    end
+              in
+              descend root k;
+              Stats.charge_scan (List.length !acc);
+              W.top_k k !acc
+            end
+          end
+    end
+end

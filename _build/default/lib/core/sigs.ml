@@ -1,0 +1,185 @@
+(** Interfaces of the reduction framework.
+
+    The paper abstracts a reporting problem as a pair (domain [D],
+    predicate set [Q]); an input is a set of weighted elements of the
+    domain.  A concrete problem supplies {!PROBLEM}; its indexing
+    structures supply {!PRIORITIZED} (queries [(q, tau)]), {!MAX}
+    (queries [q], i.e. top-1), and {!TOPK} (queries [(q, k)]).
+
+    Both reduction theorems consume {!PRIORITIZED} (and {!MAX}) as
+    black boxes and produce a {!TOPK}, which is the whole point: the
+    functors in {!Theorem1} and {!Theorem2} never inspect the concrete
+    problem beyond these interfaces. *)
+
+(** A reporting problem: elements, predicates, and the satisfaction
+    test.  Weights are assumed pairwise distinct (Section 1.1); [id]
+    supplies the tie-break that enforces a strict total order even if a
+    workload violates the assumption. *)
+module type PROBLEM = sig
+  type elem
+
+  type query
+
+  val weight : elem -> float
+  (** The real-valued priority [w(e)]. *)
+
+  val id : elem -> int
+  (** A key unique among the elements of one input set. *)
+
+  val matches : query -> elem -> bool
+  (** Whether [e] satisfies the predicate [q] — the oracle definition
+      of [q(D)].  Structures must agree with this function. *)
+
+  val pp_elem : Format.formatter -> elem -> unit
+
+  val pp_query : Format.formatter -> query -> unit
+end
+
+(** Outcome of a cost-monitored query (Section 3.2): either the query
+    terminated by itself and the full answer is returned, or it was cut
+    off after reporting [limit + 1] elements, which certifies that the
+    full answer has more than [limit] elements. *)
+type 'elem monitored =
+  | All of 'elem list        (** complete answer, size [<= limit] *)
+  | Truncated of 'elem list  (** a prefix of size [limit + 1] *)
+
+(** A structure for prioritized reporting: query [(q, tau)] returns all
+    elements satisfying [q] with weight [>= tau], in
+    [Q_pri(n) + O(t/B)] I/Os. *)
+module type PRIORITIZED = sig
+  module P : PROBLEM
+
+  type t
+
+  val name : string
+
+  val build : P.elem array -> t
+  (** The elements must have pairwise distinct [id]s. *)
+
+  val size : t -> int
+  (** Number of elements indexed. *)
+
+  val space_words : t -> int
+  (** Space in words; divide by [B] for blocks. *)
+
+  val query : t -> P.query -> tau:float -> P.elem list
+  (** All elements matching [q] with weight [>= tau], unordered. *)
+
+  val query_monitored :
+    t -> P.query -> tau:float -> limit:int -> P.elem monitored
+  (** Cost-monitored variant: stops as soon as [limit + 1] elements
+      have been reported, charging only the work actually done. *)
+end
+
+(** A structure for max reporting: top-k with [k] fixed to 1, in
+    [Q_max(n)] I/Os. *)
+module type MAX = sig
+  module P : PROBLEM
+
+  type t
+
+  val name : string
+
+  val build : P.elem array -> t
+
+  val size : t -> int
+
+  val space_words : t -> int
+
+  val query : t -> P.query -> P.elem option
+  (** The element of maximum weight satisfying [q], or [None] if no
+      element does. *)
+end
+
+(** A structure for top-k reporting: query [(q, k)] returns the [k]
+    heaviest elements satisfying [q] — all of them if fewer than [k]
+    match — in [Q_top(n) + O(k/B)] I/Os. *)
+module type TOPK = sig
+  module P : PROBLEM
+
+  type t
+
+  val name : string
+
+  val build : ?params:Params.t -> P.elem array -> t
+
+  val size : t -> int
+
+  val space_words : t -> int
+
+  val query : t -> P.query -> k:int -> P.elem list
+  (** Sorted by decreasing weight. *)
+end
+
+(** Prioritized reporting with insertions and deletions, for the
+    dynamic version of Theorem 2. *)
+module type DYNAMIC_PRIORITIZED = sig
+  include PRIORITIZED
+
+  val insert : t -> P.elem -> unit
+
+  val delete : t -> P.elem -> unit
+  (** Deleting an element that is not present is a no-op. *)
+end
+
+(** Max reporting with insertions and deletions. *)
+module type DYNAMIC_MAX = sig
+  include MAX
+
+  val insert : t -> P.elem -> unit
+
+  val delete : t -> P.elem -> unit
+end
+
+(** Top-k reporting with insertions and deletions. *)
+module type DYNAMIC_TOPK = sig
+  include TOPK
+
+  val insert : t -> P.elem -> unit
+
+  val delete : t -> P.elem -> unit
+end
+
+(** The strict total order on weights used everywhere: weight first,
+    [id] as tie-break. *)
+module Weight_order (P : PROBLEM) = struct
+  let compare e1 e2 =
+    match Float.compare (P.weight e1) (P.weight e2) with
+    | 0 -> Int.compare (P.id e1) (P.id e2)
+    | c -> c
+
+  let compare_desc e1 e2 = compare e2 e1
+
+  let max e1 e2 = if compare e1 e2 >= 0 then e1 else e2
+
+  let sort_desc elems =
+    let arr = Array.of_list elems in
+    Array.sort compare_desc arr;
+    Array.to_list arr
+
+  (** The [k] heaviest of [elems], sorted by decreasing weight. *)
+  let top_k k elems = Topk_util.Select.top_k ~cmp:compare k elems
+end
+
+(** A structure for (exact) counting: given a predicate, return
+    [|q(D)|] without reporting, in [Q_cnt(n)] I/Os.  Section 2 of the
+    paper reviews the Rahul–Janardan reduction that combines such a
+    structure with a plain reporting structure into a top-k structure
+    (implemented in {!Rj_counting}); the footnote there notes the
+    reduction needs exact counts. *)
+module type COUNTING = sig
+  module P : PROBLEM
+
+  type t
+
+  val name : string
+
+  val build : P.elem array -> t
+
+  val size : t -> int
+
+  val space_words : t -> int
+
+  val count : t -> P.query -> int
+  (** [|q(D)|]. *)
+end

@@ -1,0 +1,49 @@
+(** Theorem 1: the worst-case reduction from top-k to prioritized
+    reporting (Section 3 of the paper).
+
+    Given a black-box prioritized structure with geometrically
+    converging space [S_pri(n)] and query cost [Q_pri(n) + O(t/B)] with
+    [Q_pri(n) >= log_B n], on a polynomially bounded problem, the
+    functor builds a static top-k structure with
+
+    - space [S_top(n) = O(S_pri(n))]  (eq. 3), and
+    - query [Q_top(n) + O(k/B)] with
+      [Q_top = O(Q_pri . log n / (log B + log (Q_pri / log_B n)))]
+      (eq. 4) — at most an [O(log_B n)] factor over [Q_pri], and [O(Q_pri)]
+      once [Q_pri >= (n/B)^eps].
+
+    Mechanics, mirroring Section 3.2:
+    - [f = 12 lambda B Q_pri(n)] (eq. 9), raised to
+      [ceil (8 lambda ln n)] if necessary (eq. 11);
+    - a {e chain} of nested core-sets [R_0 = D, R_1, R_2, ...] (each a
+      Lemma-2 core-set of the previous with [K = f]) answers top-f
+      queries: a cost-monitored query either returns all of [q(R_j)]
+      ([<= 4f] elements) or recursion on [R_(j+1)] supplies a weight
+      threshold whose rank in [q(R_j)] is in [f, 4f];
+    - a {e ladder} of core-sets [R[1], R[2], ...] of [D] with
+      [K = 2^(i-1) f] (each carrying its own top-f chain) serves
+      queries with [k > f];
+    - queries with [k >= n/2] scan [D].
+
+    Because Lemma 2 holds only with high probability per predicate, the
+    query algorithm verifies every threshold it derives and falls back
+    to a direct scan / unmonitored query when the sample missed; the
+    [fallbacks] counter exposes how often that happened (it should be
+    0 for virtually all workloads). *)
+
+module Make (S : Sigs.PRIORITIZED) : sig
+  include Sigs.TOPK with module P = S.P
+
+  type info = {
+    f : int;             (** the top-f threshold actually used *)
+    chain_levels : int;  (** [h + 1]: length of the core-set chain on D *)
+    ladder_rungs : int;  (** number of large-k core-sets *)
+    coreset_words : int; (** words held by all core-sets and ladders *)
+  }
+
+  val info : t -> info
+
+  val fallbacks : t -> int
+  (** Queries (so far) that needed the correctness fallback because a
+      core-set missed its rank guarantee. *)
+end

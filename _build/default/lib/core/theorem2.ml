@@ -1,0 +1,148 @@
+module Stats = Topk_em.Stats
+module Rng = Topk_util.Rng
+
+module Make (S : Sigs.PRIORITIZED) (M : Sigs.MAX with module P = S.P) = struct
+  module P = S.P
+  module W = Sigs.Weight_order (P)
+
+  type rung = {
+    max_structure : M.t;  (* on the (1/K_i)-sample R_i *)
+    ki : int;             (* ceil of K_i *)
+  }
+
+  type t = {
+    elems : P.elem array;
+    pri_d : S.t;
+    ladder : rung array;
+    k1 : int;  (* B . Q_max(n), the smallest rung rank *)
+    mutable rounds_run : int;
+    mutable rounds_failed : int;
+  }
+
+  type info = {
+    rungs : int;
+    k1 : int;
+    sample_words : int;
+    pri_words : int;
+  }
+
+  let name = "theorem2(" ^ S.name ^ "+" ^ M.name ^ ")"
+
+  let build ?(params = Params.default) elems =
+    let n = Array.length elems in
+    let rng = Rng.create (params.Params.seed + 1) in
+    let b = Params.block_size () in
+    let k1_f =
+      Float.max 1.
+        (params.Params.coreset_scale *. float_of_int b
+         *. params.Params.q_max n)
+    in
+    let sigma = params.Params.sigma in
+    let elems = Array.copy elems in
+    let pri_d = S.build elems in
+    let rec rungs acc k_f =
+      if k_f > float_of_int n /. 4. then List.rev acc
+      else begin
+        let ki = max 2 (int_of_float (ceil k_f)) in
+        let sample = Rng.sample rng ~p:(1. /. k_f) elems in
+        let rung = { max_structure = M.build sample; ki } in
+        rungs (rung :: acc) (k_f *. (1. +. sigma))
+      end
+    in
+    let ladder = Array.of_list (rungs [] k1_f) in
+    {
+      elems;
+      pri_d;
+      ladder;
+      k1 = max 1 (int_of_float (ceil k1_f));
+      rounds_run = 0;
+      rounds_failed = 0;
+    }
+
+  let size t = Array.length t.elems
+
+  let sample_words t =
+    Array.fold_left
+      (fun acc r -> acc + M.space_words r.max_structure)
+      0 t.ladder
+
+  let space_words t =
+    Array.length t.elems + S.space_words t.pri_d + sample_words t
+
+  let info t =
+    {
+      rungs = Array.length t.ladder;
+      k1 = t.k1;
+      sample_words = sample_words t;
+      pri_words = S.space_words t.pri_d;
+    }
+
+  let rounds_run t = t.rounds_run
+
+  let rounds_failed t = t.rounds_failed
+
+  let select_top_k k elems =
+    Stats.charge_scan (List.length elems);
+    W.top_k k elems
+
+  let scan_filter_top ~k q elems =
+    Stats.charge_scan (Array.length elems);
+    let matching = ref [] in
+    for i = Array.length elems - 1 downto 0 do
+      if P.matches q elems.(i) then matching := elems.(i) :: !matching
+    done;
+    W.top_k k !matching
+
+  let query t q ~k =
+    Stats.mark_query ();
+    if k <= 0 then []
+    else begin
+      let h = Array.length t.ladder in
+      (* Queries below K_1 are answered as top-K_1 then k-selected. *)
+      let kk = max k t.k1 in
+      if h = 0 || kk > t.ladder.(h - 1).ki then
+        (* Past the ladder: k = Omega(n), scan D. *)
+        scan_filter_top ~k q t.elems
+      else begin
+        (* Smallest rung with K_j >= kk. *)
+        let start = ref 0 in
+        while t.ladder.(!start).ki < kk do incr start done;
+        let rec round j =
+          if j >= h then scan_filter_top ~k q t.elems
+          else begin
+            t.rounds_run <- t.rounds_run + 1;
+            let rung = t.ladder.(j) in
+            let kj = rung.ki in
+            match
+              S.query_monitored t.pri_d q ~tau:Float.neg_infinity
+                ~limit:(4 * kj)
+            with
+            | Sigs.All s ->
+                (* Step 1: |q(D)| <= 4 K_j — solved outright. *)
+                select_top_k k s
+            | Sigs.Truncated _ -> (
+                (* Step 2: threshold from the max element of q(R_j). *)
+                match M.query rung.max_structure q with
+                | None ->
+                    (* q(R_j) empty: dummy threshold, round fails. *)
+                    t.rounds_failed <- t.rounds_failed + 1;
+                    round (j + 1)
+                | Some e -> (
+                    (* Step 3: candidates above the threshold. *)
+                    match
+                      S.query_monitored t.pri_d q ~tau:(P.weight e)
+                        ~limit:(4 * kj)
+                    with
+                    | Sigs.All s when List.length s > kj ->
+                        (* Step 5: success. *)
+                        select_top_k k s
+                    | Sigs.All _ | Sigs.Truncated _ ->
+                        (* Step 4: threshold rank missed (K_j, 4 K_j]. *)
+                        t.rounds_failed <- t.rounds_failed + 1;
+                        round (j + 1)))
+          end
+        in
+        round !start
+      end
+    end
+end

@@ -1,0 +1,51 @@
+(** Theorem 2: the expected-cost reduction from top-k to prioritized
+    plus max reporting (Section 4 of the paper).
+
+    Given a prioritized structure ([S_pri], [Q_pri + O(t/B)]) and a max
+    structure ([S_max], [Q_max]) with [S_max(n) = O(n^2/B)] and
+    geometrically converging, the functor builds a top-k structure with
+    {e no performance degradation in expectation}:
+
+    - expected space [S_top = O(S_pri + S_max(6n / (B Q_max)))] (eq. 5);
+    - expected query [Q_top + O(k/B)] with
+      [Q_top = O(Q_pri + Q_max)] (eq. 6).
+
+    Mechanics, mirroring Section 4: fix [sigma = 1/20] and
+    [K_i = B . Q_max(n) . (1 + sigma)^(i-1)]; for each [i] up to the
+    largest with [K_i <= n/4], store a (1/K_i)-sample [R_i] of [D] with
+    a max structure on it.  A query with [k <= K_i] runs {e rounds}
+    from the smallest adequate rung [j]:
+
+    + a cost-monitored prioritized query with [tau = -inf] and limit
+      [4 K_j] answers outright when [|q(D)| <= 4 K_j];
+    + otherwise the max element [e] of [q(R_j)] is, by Lemma 3, a
+      weight threshold of rank in [(K_j, 4 K_j]] within [q(D)] with
+      probability >= 0.09;
+    + a cost-monitored prioritized query with [tau = w(e)] fetches the
+      candidates; the round {e succeeds} when it self-terminates with
+      more than [K_j >= k] elements, and the answer is k-selected.
+
+    A failed round escalates to [j + 1]; past the last rung the query
+    scans [D], costing [O(n/B) = O(K_h/B) = O(k/B)].  Expected round
+    count is O(1) because each fails with probability <= 0.91 and
+    [(1 + sigma) . 0.91 < 1] keeps the geometric cost sum bounded. *)
+
+module Make (S : Sigs.PRIORITIZED) (M : Sigs.MAX with module P = S.P) : sig
+  include Sigs.TOPK with module P = S.P
+
+  type info = {
+    rungs : int;           (** ladder length [h] *)
+    k1 : int;              (** [K_1 = B . Q_max(n)] *)
+    sample_words : int;    (** words across all [R_i] max structures *)
+    pri_words : int;       (** words of the prioritized structure on D *)
+  }
+
+  val info : t -> info
+
+  val rounds_run : t -> int
+  (** Total rounds executed across all queries so far. *)
+
+  val rounds_failed : t -> int
+  (** Rounds that failed (Step 4); the ratio to {!rounds_run} validates
+      the [<= 0.91] failure bound empirically. *)
+end

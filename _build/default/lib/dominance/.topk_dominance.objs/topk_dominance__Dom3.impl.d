@@ -1,0 +1,1 @@
+lib/dominance/dom3.ml: Array Float Int List Point3 Topk_core Topk_em Topk_pst Topk_util

@@ -1,0 +1,1 @@
+lib/dominance/dom3.mli: Point3

@@ -1,0 +1,1 @@
+lib/dominance/dom_max.ml: Array Minz Point3 Problem Topk_em

@@ -1,0 +1,1 @@
+lib/dominance/dom_max.mli: Problem Topk_core

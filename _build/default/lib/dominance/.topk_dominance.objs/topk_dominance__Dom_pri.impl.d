@@ -1,0 +1,1 @@
+lib/dominance/dom_pri.ml: Array Dom3 Float List Point3 Problem Topk_core Topk_em Topk_util

@@ -1,0 +1,1 @@
+lib/dominance/dom_pri.mli: Problem Topk_core

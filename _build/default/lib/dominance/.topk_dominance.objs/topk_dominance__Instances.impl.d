@@ -1,0 +1,1 @@
+lib/dominance/instances.ml: Array Dom_max Dom_pri Point3 Problem Topk_core Topk_util

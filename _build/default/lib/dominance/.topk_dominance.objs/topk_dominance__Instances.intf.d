@@ -1,0 +1,1 @@
+lib/dominance/instances.mli: Dom_max Dom_pri Point3 Problem Topk_core Topk_util

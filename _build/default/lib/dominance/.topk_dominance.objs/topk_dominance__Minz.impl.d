@@ -1,0 +1,1 @@
+lib/dominance/minz.ml: Array Float Int List Point3 Topk_core Topk_em Topk_util

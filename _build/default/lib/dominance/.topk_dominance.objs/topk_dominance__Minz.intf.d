@@ -1,0 +1,1 @@
+lib/dominance/minz.mli: Point3

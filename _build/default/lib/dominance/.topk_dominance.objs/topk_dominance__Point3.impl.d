@@ -1,0 +1,1 @@
+lib/dominance/point3.ml: Array Float Format Int Topk_util

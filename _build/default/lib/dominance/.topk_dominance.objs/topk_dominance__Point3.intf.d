@@ -1,0 +1,1 @@
+lib/dominance/point3.mli: Format Topk_util

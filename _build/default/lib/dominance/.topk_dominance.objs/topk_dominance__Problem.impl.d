@@ -1,0 +1,1 @@
+lib/dominance/problem.ml: Format Point3

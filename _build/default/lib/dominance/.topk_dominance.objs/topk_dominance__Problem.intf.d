@@ -1,0 +1,1 @@
+lib/dominance/problem.mli: Point3 Topk_core

@@ -1,0 +1,45 @@
+module Stats = Topk_em.Stats
+module Pst = Topk_pst.Pst
+module Prefix_blocks = Topk_core.Prefix_blocks
+
+type t = {
+  xs : float array;  (* x-coordinates, ascending *)
+  blocks : Point3.t Pst.t Prefix_blocks.t;
+  n : int;
+}
+
+let compare_x (a : Point3.t) (b : Point3.t) =
+  match Float.compare a.Point3.x b.Point3.x with
+  | 0 -> Int.compare a.Point3.id b.Point3.id
+  | c -> c
+
+let build pts =
+  let sorted = Array.copy pts in
+  Array.sort compare_x sorted;
+  let n = Array.length sorted in
+  let blocks =
+    Prefix_blocks.build ~n ~build:(fun o len ->
+        Pst.build
+          ~key:(fun (p : Point3.t) -> p.Point3.y)
+          ~weight:(fun (p : Point3.t) -> -.p.Point3.z)
+          (Array.sub sorted o len))
+  in
+  { xs = Array.map (fun (p : Point3.t) -> p.Point3.x) sorted; blocks; n }
+
+let size t = t.n
+
+let space_words t =
+  Array.length t.xs
+  + Prefix_blocks.fold_all t.blocks ~init:0 ~f:(fun acc pst ->
+        acc + Pst.space_words pst)
+
+let visit t (x, y, z) f =
+  (* Points with e_x <= x form a prefix of the x order. *)
+  Stats.charge_ios
+    (max 1 (int_of_float (Float.log2 (float_of_int (t.n + 2)))));
+  let m = Topk_util.Search.upper_bound ~cmp:Float.compare t.xs x in
+  let blocks = Prefix_blocks.query_prefix t.blocks m in
+  List.iter
+    (fun pst ->
+      Pst.query pst ~side:Pst.Below ~bound:y ~tau:(-.z) f)
+    blocks

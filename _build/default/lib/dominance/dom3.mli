@@ -1,0 +1,22 @@
+(** 3D dominance reporting (no weight threshold): report every point
+    with [e_x <= x, e_y <= y, e_z <= z].
+
+    Layout: dyadic prefix blocks over the x-ascending order (the
+    x-constraint selects a prefix found by binary search); each block
+    holds a priority search tree keyed on [y] with priority [-z], so
+    the remaining two constraints are one 3-sided PST query.  Query
+    [O(log^2 n + t)], space [O(n log n)].
+
+    Substitutes for the pointer-machine structure of Afshani et
+    al. [2] used in Section 5.3. *)
+
+type t
+
+val build : Point3.t array -> t
+
+val size : t -> int
+
+val space_words : t -> int
+
+val visit : t -> float * float * float -> (Point3.t -> unit) -> unit
+(** The callback may raise to stop early. *)

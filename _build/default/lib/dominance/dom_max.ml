@@ -1,0 +1,62 @@
+module Stats = Topk_em.Stats
+module P = Problem
+
+type node =
+  | Leaf of Point3.t
+  | Node of {
+      empt : Minz.t;  (* over the node's whole weight range *)
+      left : node;
+      right : node;
+    }
+
+type t = {
+  root : node option;
+  n : int;
+  words : int;
+}
+
+let name = "dom3-tournament"
+
+let rec build_node sorted lo hi =
+  if hi - lo = 1 then (Leaf sorted.(lo), 1)
+  else begin
+    let mid = (lo + hi) / 2 in
+    let left, wl = build_node sorted lo mid in
+    let right, wr = build_node sorted mid hi in
+    let empt = Minz.build (Array.sub sorted lo (hi - lo)) in
+    (Node { empt; left; right }, wl + wr + Minz.space_words empt)
+  end
+
+let build pts =
+  let sorted = Array.copy pts in
+  Array.sort (fun a b -> Point3.compare_weight b a) sorted;
+  let n = Array.length sorted in
+  if n = 0 then { root = None; n; words = 0 }
+  else begin
+    let root, words = build_node sorted 0 n in
+    { root = Some root; n; words }
+  end
+
+let size t = t.n
+
+let space_words t = t.words
+
+(* Does the range under this node contain a point dominated by q? *)
+let hits (x, y, z) = function
+  | Leaf p -> Point3.dominated_by p (x, y, z)
+  | Node { empt; _ } -> Minz.query empt ~x ~y <= z
+
+let query t q =
+  match t.root with
+  | None -> None
+  | Some root ->
+      if not (hits q root) then None
+      else begin
+        let rec descend = function
+          | Leaf p -> Some p
+          | Node { left; right; _ } ->
+              Stats.charge_ios 1;
+              if hits q left then descend left else descend right
+        in
+        descend root
+      end

@@ -1,0 +1,14 @@
+(** Max 3D dominance.
+
+    Section 5.3 answers this by point location among the cuboids of a
+    vertical decomposition of weight-dominant regions (Rahul [27],
+    [O(n)] space, [O(log^1.5 n)] query).  We substitute an
+    interface-equivalent structure: a tournament tree over the
+    weight-descending order whose every node carries a {!Minz}
+    emptiness structure; descending left whenever the left range
+    contains a dominated point finds the heaviest dominated point in
+    [O(log^3 n)].  Space [O(n log^2 n)] — fat, but Theorem 2 only ever
+    builds max structures on its small samples [R_i], which is exactly
+    the "bootstrapping power" remark of Section 1.4. *)
+
+include Topk_core.Sigs.MAX with module P = Problem

@@ -1,0 +1,10 @@
+(** Prioritized 3D dominance — the "4D dominance reporting" black box
+    of Section 5.3: the weight threshold adds a fourth one-sided
+    constraint, handled by dyadic prefix blocks over the
+    weight-descending order, each holding a {!Dom3} structure.
+    Query [O(log^3 n + t)], space [O(n log^2 n)].
+
+    Substitutes for Afshani–Arge–Larsen [2]
+    ([O(n log n / log log n)] space, [O(log^1.5 n + t)] query). *)
+
+include Topk_core.Sigs.PRIORITIZED with module P = Problem

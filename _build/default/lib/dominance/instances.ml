@@ -1,0 +1,29 @@
+module Rng = Topk_util.Rng
+module Oracle = Topk_core.Oracle.Make (Problem)
+module Topk_t1 = Topk_core.Theorem1.Make (Dom_pri)
+module Topk_t2 = Topk_core.Theorem2.Make (Dom_pri) (Dom_max)
+module Topk_rj = Topk_core.Baseline_rj.Make (Dom_pri)
+module Topk_naive = Topk_core.Naive.Make (Problem)
+
+let params () =
+  let polylog3 n =
+    let l = Topk_core.Params.log2 n in
+    l *. l *. l
+  in
+  {
+    Topk_core.Params.default with
+    Topk_core.Params.lambda = 3.;
+    q_pri = polylog3;
+    q_max = polylog3;
+  }
+
+let hotels rng ~n =
+  let ratings = Topk_util.Gen.distinct_weights rng n in
+  Array.init n (fun i ->
+      let price = 40. +. Rng.float rng 460. in
+      let distance = Rng.float rng 25. in
+      (* Security rating in [1, 5]; the dominance constraint is
+         "security >= z", flipped into "(-security) <= -z". *)
+      let security = 1. +. Rng.float rng 4. in
+      Point3.make ~id:(i + 1) ~x:price ~y:distance ~z:(-.security)
+        ~weight:ratings.(i) ())

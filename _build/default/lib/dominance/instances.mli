@@ -1,0 +1,26 @@
+(** Ready-made top-k 3D dominance structures (Theorem 6). *)
+
+module Oracle : module type of Topk_core.Oracle.Make (Problem)
+
+module Topk_t1 : module type of Topk_core.Theorem1.Make (Dom_pri)
+
+module Topk_t2 : module type of Topk_core.Theorem2.Make (Dom_pri) (Dom_max)
+
+module Topk_rj : Topk_core.Sigs.TOPK
+  with type P.elem = Point3.t
+   and type P.query = float * float * float
+
+module Topk_naive : Topk_core.Sigs.TOPK
+  with type P.elem = Point3.t
+   and type P.query = float * float * float
+
+val params : unit -> Topk_core.Params.t
+(** [lambda = 3] ([O(n^3)] distinct dominance outcomes over the rank
+    grid), [Q_pri = log2^3 n], [Q_max = log2^3 n]. *)
+
+val hotels :
+  Topk_util.Rng.t -> n:int -> Point3.t array
+(** The paper's motivating workload: hotels with (price, distance from
+    center, inverted security rating) as coordinates and guest rating
+    as weight — "the 10 best-rated hotels cheaper than x, closer than
+    y, rated at least z". *)

@@ -1,0 +1,66 @@
+module Stats = Topk_em.Stats
+module Prefix_blocks = Topk_core.Prefix_blocks
+module Search = Topk_util.Search
+
+type block = {
+  ys : float array;       (* ascending *)
+  prefix_min_z : float array;  (* prefix_min_z.(i) = min z over ys.(0..i) *)
+}
+
+type t = {
+  xs : float array;  (* ascending *)
+  blocks : block Prefix_blocks.t;
+  n : int;
+}
+
+let compare_x (a : Point3.t) (b : Point3.t) =
+  match Float.compare a.Point3.x b.Point3.x with
+  | 0 -> Int.compare a.Point3.id b.Point3.id
+  | c -> c
+
+let compare_y (a : Point3.t) (b : Point3.t) =
+  match Float.compare a.Point3.y b.Point3.y with
+  | 0 -> Int.compare a.Point3.id b.Point3.id
+  | c -> c
+
+let build pts =
+  let sorted = Array.copy pts in
+  Array.sort compare_x sorted;
+  let n = Array.length sorted in
+  let make_block o len =
+    let part = Array.sub sorted o len in
+    Array.sort compare_y part;
+    let ys = Array.map (fun (p : Point3.t) -> p.Point3.y) part in
+    let prefix_min_z = Array.make len Float.infinity in
+    let running = ref Float.infinity in
+    Array.iteri
+      (fun i (p : Point3.t) ->
+        running := Float.min !running p.Point3.z;
+        prefix_min_z.(i) <- !running)
+      part;
+    { ys; prefix_min_z }
+  in
+  {
+    xs = Array.map (fun (p : Point3.t) -> p.Point3.x) sorted;
+    blocks = Prefix_blocks.build ~n ~build:make_block;
+    n;
+  }
+
+let size t = t.n
+
+let space_words t =
+  Array.length t.xs
+  + Prefix_blocks.fold_all t.blocks ~init:0 ~f:(fun acc b ->
+        acc + Array.length b.ys + Array.length b.prefix_min_z)
+
+let query t ~x ~y =
+  Stats.charge_ios
+    (max 1 (int_of_float (Float.log2 (float_of_int (t.n + 2)))));
+  let m = Search.upper_bound ~cmp:Float.compare t.xs x in
+  List.fold_left
+    (fun acc b ->
+      Stats.charge_ios 1;
+      let j = Search.upper_bound ~cmp:Float.compare b.ys y in
+      if j = 0 then acc else Float.min acc b.prefix_min_z.(j - 1))
+    Float.infinity
+    (Prefix_blocks.query_prefix t.blocks m)

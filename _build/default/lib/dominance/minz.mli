@@ -1,0 +1,18 @@
+(** 2D dominance minimum: [min { e_z : e_x <= x, e_y <= y }].
+
+    Dyadic prefix blocks over the x order; each block keeps its points
+    sorted by [y] with prefix minima of [z], so one query is a binary
+    search per block: [O(log^2 n)] time, [O(n log n)] space.  This is
+    the emptiness test inside {!Dom_max}: the dominance region of
+    [(x, y, z)] is non-empty iff the minimum is [<= z]. *)
+
+type t
+
+val build : Point3.t array -> t
+
+val size : t -> int
+
+val space_words : t -> int
+
+val query : t -> x:float -> y:float -> float
+(** [+infinity] when no point satisfies the two constraints. *)

@@ -1,0 +1,14 @@
+type elem = Point3.t
+
+type query = float * float * float
+
+let weight (e : elem) = e.Point3.weight
+
+let id (e : elem) = e.Point3.id
+
+let matches q e = Point3.dominated_by e q
+
+let pp_elem = Point3.pp
+
+let pp_query ppf (x, y, z) =
+  Format.fprintf ppf "dominance(%g, %g, %g)" x y z

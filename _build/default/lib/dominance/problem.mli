@@ -1,0 +1,6 @@
+(** 3D dominance as a framework problem. *)
+
+include
+  Topk_core.Sigs.PROBLEM
+    with type elem = Point3.t
+     and type query = float * float * float

@@ -1,0 +1,1 @@
+lib/em/config.ml: Format Fun

@@ -1,0 +1,1 @@
+lib/em/io_array.ml: Array Config Lru_cache

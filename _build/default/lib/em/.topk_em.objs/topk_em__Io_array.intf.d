@@ -1,0 +1,1 @@
+lib/em/io_array.mli: Lru_cache

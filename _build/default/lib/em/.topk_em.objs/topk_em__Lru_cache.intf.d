@@ -1,0 +1,1 @@
+lib/em/lru_cache.mli:

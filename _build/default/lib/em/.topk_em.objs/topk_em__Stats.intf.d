@@ -1,0 +1,1 @@
+lib/em/stats.mli: Format

@@ -1,0 +1,42 @@
+(** Parameters of the external-memory (EM) model of Aggarwal and Vitter,
+    as fixed in Section 1.1 of the paper: a machine with [m] words of
+    memory and a disk formatted into blocks of [b] words each, with
+    [m >= 2 * b].  Setting [b] to a small constant recovers the RAM
+    model, in which every structure of this library also works. *)
+
+type mode =
+  | Ram  (** RAM model: [b] is a small constant, I/Os are word probes. *)
+  | Em   (** External memory: costs are counted in blocks of [b] words. *)
+
+type t = private {
+  mode : mode;
+  b : int;  (** block size in words; the paper assumes [b >= 64] in EM *)
+  m : int;  (** memory size in words; [m >= 2 * b] *)
+}
+
+val ram : t
+(** The RAM model: [b = 1], [m = 2]. *)
+
+val em : ?m:int -> b:int -> unit -> t
+(** [em ~b ()] is the EM model with block size [b] (must be [>= 2]) and
+    memory [m] (defaults to [32 * b]).  Raises [Invalid_argument] if
+    [b < 2] or [m < 2 * b]. *)
+
+val default : t
+(** EM with [b = 64], the paper's minimum block size. *)
+
+val current : unit -> t
+(** The model used by cost accounting right now (initially [default]). *)
+
+val set : t -> unit
+(** Install a model globally.  Affects subsequent {!Stats} charging. *)
+
+val with_model : t -> (unit -> 'a) -> 'a
+(** [with_model c f] runs [f] under model [c], restoring the previous
+    model afterwards, also on exceptions. *)
+
+val blocks_of_words : t -> int -> int
+(** [blocks_of_words c w] is the number of blocks occupied by [w] words,
+    i.e. [ceil (w / b)], and [0] for [w <= 0]. *)
+
+val pp : Format.formatter -> t -> unit

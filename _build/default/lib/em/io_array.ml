@@ -1,0 +1,38 @@
+type 'a t = {
+  data : 'a array;
+  cache : Lru_cache.t;
+  base : int;  (* distinct block-id space per array *)
+}
+
+let fresh_base =
+  let next = ref 0 in
+  fun len ->
+    let b = !next in
+    (* Reserve enough block ids for this array under any B >= 1. *)
+    next := b + len + 1;
+    b
+
+let of_array ?cache data =
+  let cache = match cache with Some c -> c | None -> Lru_cache.create () in
+  { data; cache; base = fresh_base (Array.length data) }
+
+let length t = Array.length t.data
+
+let block_of t i =
+  let c = Config.current () in
+  t.base + (i / c.Config.b)
+
+let get t i =
+  ignore (Lru_cache.access t.cache (block_of t i));
+  t.data.(i)
+
+let unsafe_payload t = t.data
+
+let iter_range t ~lo ~hi f =
+  let lo = max 0 lo and hi = min hi (Array.length t.data) in
+  for i = lo to hi - 1 do
+    ignore (Lru_cache.access t.cache (block_of t i));
+    f t.data.(i)
+  done
+
+let space_words t = Array.length t.data

@@ -1,0 +1,29 @@
+(** An array whose accesses are charged to the EM cost model.
+
+    Each element occupies [O(1)] words (one, by convention).  Random
+    probes go through an {!Lru_cache}, so sequential scans cost
+    [ceil (t / B)] I/Os while scattered probes cost up to one I/O
+    each — exactly the asymmetry the paper's reductions exploit. *)
+
+type 'a t
+
+val of_array : ?cache:Lru_cache.t -> 'a array -> 'a t
+(** Wrap an array.  The array is not copied.  A fresh private cache is
+    created unless [~cache] shares one. *)
+
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** Charged access. *)
+
+val unsafe_payload : 'a t -> 'a array
+(** The underlying array, for cost-free bookkeeping (e.g. rebuilds).
+    Accesses through it are not charged. *)
+
+val iter_range : 'a t -> lo:int -> hi:int -> ('a -> unit) -> unit
+(** [iter_range t ~lo ~hi f] applies [f] to elements [lo..hi-1] as one
+    sequential scan (charged via block accesses, benefiting from the
+    cache like any other access). *)
+
+val space_words : 'a t -> int
+(** Words occupied: one per element. *)

@@ -1,0 +1,81 @@
+(* Doubly linked LRU list over a hash table of resident blocks. *)
+
+type node = {
+  block : int;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  cap : int;
+  table : (int, node) Hashtbl.t;
+  mutable head : node option;  (* most recently used *)
+  mutable tail : node option;  (* least recently used *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?capacity () =
+  let cap =
+    match capacity with
+    | Some c ->
+        if c < 1 then invalid_arg "Lru_cache.create: capacity must be >= 1";
+        c
+    | None ->
+        let c = Config.current () in
+        max 1 (c.Config.m / c.Config.b)
+  in
+  { cap; table = Hashtbl.create 64; head = None; tail = None;
+    hits = 0; misses = 0 }
+
+let capacity t = t.cap
+
+let unlink t node =
+  (match node.prev with
+   | Some p -> p.next <- node.next
+   | None -> t.head <- node.next);
+  (match node.next with
+   | Some s -> s.prev <- node.prev
+   | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with
+   | Some h -> h.prev <- Some node
+   | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some lru ->
+      unlink t lru;
+      Hashtbl.remove t.table lru.block
+
+let access t block =
+  match Hashtbl.find_opt t.table block with
+  | Some node ->
+      t.hits <- t.hits + 1;
+      unlink t node;
+      push_front t node;
+      true
+  | None ->
+      t.misses <- t.misses + 1;
+      Stats.charge_ios 1;
+      if Hashtbl.length t.table >= t.cap then evict_lru t;
+      let node = { block; prev = None; next = None } in
+      Hashtbl.replace t.table block node;
+      push_front t node;
+      false
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
+
+let hits t = t.hits
+
+let misses t = t.misses

@@ -1,0 +1,24 @@
+(** LRU cache of disk blocks.
+
+    Simulates the [M]-word memory of the EM model holding at most
+    [M / B] blocks.  {!access} reports whether touching a block id is a
+    hit (free) or a miss (one I/O, charged to {!Stats}). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [create ()] sizes the cache to [M / B] blocks of the current
+    {!Config}; [~capacity] overrides (must be [>= 1]). *)
+
+val capacity : t -> int
+
+val access : t -> int -> bool
+(** [access t blk] touches block [blk]; returns [true] on a hit.  On a
+    miss, one I/O is charged to {!Stats} and the least recently used
+    block is evicted if the cache is full. *)
+
+val clear : t -> unit
+
+val hits : t -> int
+
+val misses : t -> int

@@ -1,0 +1,65 @@
+type snapshot = {
+  ios : int;
+  scanned : int;
+  queries : int;
+}
+
+type state = {
+  mutable s_ios : int;
+  mutable s_scanned : int;
+  mutable s_queries : int;
+  mutable s_carry : int;  (* scanned elements not yet filling a block *)
+}
+
+let zero () = { s_ios = 0; s_scanned = 0; s_queries = 0; s_carry = 0 }
+
+let state = zero ()
+
+let reset () =
+  state.s_ios <- 0;
+  state.s_scanned <- 0;
+  state.s_queries <- 0;
+  state.s_carry <- 0
+
+let snapshot () =
+  { ios = state.s_ios; scanned = state.s_scanned; queries = state.s_queries }
+
+let ios () = state.s_ios
+
+let charge_ios n =
+  if n < 0 then invalid_arg "Stats.charge_ios: negative";
+  state.s_ios <- state.s_ios + n
+
+let charge_scan t =
+  if t < 0 then invalid_arg "Stats.charge_scan: negative";
+  if t > 0 then begin
+    let b = (Config.current ()).Config.b in
+    let total = state.s_carry + t in
+    state.s_ios <- state.s_ios + (total / b);
+    state.s_carry <- total mod b;
+    state.s_scanned <- state.s_scanned + t
+  end
+
+let mark_query () = state.s_queries <- state.s_queries + 1
+
+let measure f =
+  let saved = snapshot () in
+  let saved_carry = state.s_carry in
+  reset ();
+  let restore () =
+    state.s_ios <- saved.ios;
+    state.s_scanned <- saved.scanned;
+    state.s_queries <- saved.queries;
+    state.s_carry <- saved_carry
+  in
+  match f () with
+  | x ->
+      let s = snapshot () in
+      restore ();
+      (x, s)
+  | exception e ->
+      restore ();
+      raise e
+
+let pp ppf s =
+  Format.fprintf ppf "ios=%d scanned=%d queries=%d" s.ios s.scanned s.queries

@@ -1,0 +1,45 @@
+(** I/O accounting.
+
+    Every data structure in this library charges its work here, at the
+    granularity of the EM model (Section 1.1 of the paper): the {e time}
+    of an algorithm is the number of I/Os it performs.  Structures
+    charge either whole I/Os (one per tree node visited, one per block
+    fetched) or element scans, which are converted to [ceil (t / B)]
+    I/Os under the current {!Config}.
+
+    The counter is global and single-threaded, like the model. *)
+
+type snapshot = {
+  ios : int;       (** block I/Os charged (node visits + scan blocks) *)
+  scanned : int;   (** raw elements touched by sequential scans *)
+  queries : int;   (** number of [query] marks *)
+}
+
+val reset : unit -> unit
+(** Zero all counters. *)
+
+val snapshot : unit -> snapshot
+
+val ios : unit -> int
+(** Total I/Os since the last {!reset}. *)
+
+val charge_ios : int -> unit
+(** Charge [n] whole I/Os ([n >= 0]). *)
+
+val charge_scan : int -> unit
+(** Charge a sequential scan / reporting of [t] elements.  Scanned
+    elements accumulate across calls and convert to one I/O per [B] of
+    them (a carry keeps the remainder), so a query reporting [t]
+    elements one at a time is charged [~ t/B] I/Os in total — the
+    [O(t/B)] output term of the EM model.  A scan of [0] elements
+    costs nothing. *)
+
+val mark_query : unit -> unit
+(** Record that one query was answered (for averaging). *)
+
+val measure : (unit -> 'a) -> 'a * snapshot
+(** [measure f] runs [f] with fresh counters and returns its result
+    together with the I/Os it consumed; previous counters are restored
+    (and {e not} incremented) afterwards. *)
+
+val pp : Format.formatter -> snapshot -> unit

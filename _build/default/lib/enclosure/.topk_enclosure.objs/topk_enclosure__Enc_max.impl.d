@@ -1,0 +1,1 @@
+lib/enclosure/enc_max.ml: Array Hashtbl Problem Rect Topk_interval Xtree

@@ -1,0 +1,1 @@
+lib/enclosure/enc_max.mli: Problem Topk_core

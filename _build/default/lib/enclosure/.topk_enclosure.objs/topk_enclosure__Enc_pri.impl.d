@@ -1,0 +1,1 @@
+lib/enclosure/enc_pri.ml: Array Hashtbl Problem Rect Topk_core Topk_interval Xtree

@@ -1,0 +1,1 @@
+lib/enclosure/enc_pri.mli: Problem Topk_core

@@ -1,0 +1,1 @@
+lib/enclosure/instances.ml: Enc_max Enc_pri Problem Topk_core

@@ -1,0 +1,1 @@
+lib/enclosure/instances.mli: Enc_max Enc_pri Problem Rect Topk_core

@@ -1,0 +1,1 @@
+lib/enclosure/problem.ml: Format Rect

@@ -1,0 +1,1 @@
+lib/enclosure/problem.mli: Rect Topk_core

@@ -1,0 +1,1 @@
+lib/enclosure/rect.ml: Array Float Format Int Topk_interval Topk_util

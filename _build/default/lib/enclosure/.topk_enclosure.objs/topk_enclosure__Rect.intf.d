@@ -1,0 +1,1 @@
+lib/enclosure/rect.mli: Format Topk_interval Topk_util

@@ -1,0 +1,1 @@
+lib/enclosure/xtree.ml: Array Rect Topk_em Topk_interval

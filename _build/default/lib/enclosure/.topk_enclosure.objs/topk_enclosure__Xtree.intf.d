@@ -1,0 +1,1 @@
+lib/enclosure/xtree.mli: Rect

@@ -1,0 +1,39 @@
+module Max1 = Topk_interval.Slab_max
+module P = Problem
+
+type node = {
+  ymax : Max1.t;
+  by_id : (int, Rect.t) Hashtbl.t;
+}
+
+type t = {
+  tree : node Xtree.t;
+  n : int;
+}
+
+let name = "enc-stabmax2"
+
+let make_node rects =
+  let by_id = Hashtbl.create (Array.length rects) in
+  Array.iter (fun (r : Rect.t) -> Hashtbl.replace by_id r.Rect.id r) rects;
+  { ymax = Max1.build (Array.map Rect.y_interval rects); by_id }
+
+let build rects = { tree = Xtree.build ~make_node rects; n = Array.length rects }
+
+let size t = t.n
+
+let space_words t =
+  Xtree.space_words t.tree ~words:(fun node ->
+      Max1.space_words node.ymax + Hashtbl.length node.by_id)
+
+let query t (x, y) =
+  let best = ref None in
+  Xtree.visit_path t.tree x (fun node ->
+      match Max1.query node.ymax y with
+      | None -> ()
+      | Some itv ->
+          let r = Hashtbl.find node.by_id itv.Topk_interval.Interval.id in
+          (match !best with
+           | None -> best := Some r
+           | Some b -> if Rect.compare_weight r b > 0 then best := Some r));
+  !best

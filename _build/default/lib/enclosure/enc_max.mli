@@ -1,0 +1,8 @@
+(** 2D stabbing-max (point-enclosure max) — the structure of
+    Section 5.2, verbatim minus fractional cascading: a segment tree
+    on the x-projections with the folklore 1D stabbing-max slab
+    structure ({!Topk_interval.Slab_max}) on each canonical node.  The
+    answer is the heaviest of the [O(log n)] per-node maxima:
+    [O(log^2 n)] query, [O(n log n)] space. *)
+
+include Topk_core.Sigs.MAX with module P = Problem

@@ -1,0 +1,50 @@
+module Seg = Topk_interval.Seg_stab
+module P = Problem
+
+type node = {
+  ystab : Seg.t;
+  by_id : (int, Rect.t) Hashtbl.t;
+}
+
+type t = {
+  tree : node Xtree.t;
+  n : int;
+}
+
+let name = "enc-segtree2"
+
+let make_node rects =
+  let by_id = Hashtbl.create (Array.length rects) in
+  Array.iter (fun (r : Rect.t) -> Hashtbl.replace by_id r.Rect.id r) rects;
+  { ystab = Seg.build (Array.map Rect.y_interval rects); by_id }
+
+let build rects = { tree = Xtree.build ~make_node rects; n = Array.length rects }
+
+let size t = t.n
+
+let space_words t =
+  Xtree.space_words t.tree ~words:(fun node ->
+      Seg.space_words node.ystab + Hashtbl.length node.by_id)
+
+let visit t (x, y) ~tau f =
+  Xtree.visit_path t.tree x (fun node ->
+      Seg.visit node.ystab y ~tau (fun itv ->
+          f (Hashtbl.find node.by_id itv.Topk_interval.Interval.id)))
+
+let query t q ~tau =
+  let acc = ref [] in
+  visit t q ~tau (fun r -> acc := r :: !acc);
+  !acc
+
+exception Enough
+
+let query_monitored t q ~tau ~limit =
+  let acc = ref [] and count = ref 0 in
+  match
+    visit t q ~tau (fun r ->
+        acc := r :: !acc;
+        incr count;
+        if !count > limit then raise Enough)
+  with
+  | () -> Topk_core.Sigs.All !acc
+  | exception Enough -> Topk_core.Sigs.Truncated !acc

@@ -1,0 +1,10 @@
+(** Prioritized 2D point enclosure: segment tree on x-projections with
+    a prioritized 1D stabbing structure ({!Topk_interval.Seg_stab}) on
+    the y-projections of each canonical node.  Query [(x, y, tau)]
+    walks the x-path and stabs each node's y-structure:
+    [O(log^2 n + t)] time, [O(n log^2 n)] space.
+
+    Substitutes for Rahul's [O(n log* n)]-space structure [27]
+    (interface-identical, different polylog). *)
+
+include Topk_core.Sigs.PRIORITIZED with module P = Problem

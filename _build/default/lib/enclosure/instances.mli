@@ -1,0 +1,22 @@
+(** Ready-made top-k point-enclosure structures (Theorem 5). *)
+
+module Oracle : module type of Topk_core.Oracle.Make (Problem)
+
+(** Theorem 1 over {!Enc_pri}: the worst-case bullet of Theorem 5. *)
+module Topk_t1 : module type of Topk_core.Theorem1.Make (Enc_pri)
+
+(** Theorem 2 over {!Enc_pri} + {!Enc_max}: the expected bullet of
+    Theorem 5 (and the "bootstrapping power" demonstration — the max
+    structure is fatter than the final top-k structure's sample
+    copies). *)
+module Topk_t2 : module type of Topk_core.Theorem2.Make (Enc_pri) (Enc_max)
+
+module Topk_rj : Topk_core.Sigs.TOPK with type P.elem = Rect.t
+                                      and type P.query = float * float
+
+module Topk_naive : Topk_core.Sigs.TOPK with type P.elem = Rect.t
+                                         and type P.query = float * float
+
+val params : unit -> Topk_core.Params.t
+(** [lambda = 2] ([O(n^2)] distinct outcomes over the endpoint grid),
+    [Q_pri = Q_max = log2^2 n]. *)

@@ -1,0 +1,13 @@
+type elem = Rect.t
+
+type query = float * float
+
+let weight (e : elem) = e.Rect.weight
+
+let id (e : elem) = e.Rect.id
+
+let matches q e = Rect.contains e q
+
+let pp_elem = Rect.pp
+
+let pp_query ppf (x, y) = Format.fprintf ppf "enclose(%g, %g)" x y

@@ -1,0 +1,7 @@
+(** 2D point enclosure as a framework problem: elements are weighted
+    rectangles, a predicate is the query point they must contain. *)
+
+include
+  Topk_core.Sigs.PROBLEM
+    with type elem = Rect.t
+     and type query = float * float

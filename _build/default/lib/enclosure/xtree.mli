@@ -1,0 +1,20 @@
+(** The outer level of Section 5.2's two-level structure: a segment
+    tree on the x-projections.  Each rectangle is assigned to
+    [O(log n)] canonical nodes; the per-node payload (a 1D stabbing
+    structure on the y-projections) is supplied by the caller. *)
+
+type 'node t
+
+val build : make_node:(Rect.t array -> 'node) -> Rect.t array -> 'node t
+(** [make_node] receives the rectangles assigned to one canonical
+    node (possibly empty nodes are skipped). *)
+
+val visit_path : 'node t -> float -> ('node -> unit) -> unit
+(** Apply the callback to the payloads on the root-to-leaf path of the
+    x-coordinate's slab, one I/O per node.  The callback may raise. *)
+
+val fold : 'node t -> init:'acc -> f:('acc -> 'node -> 'acc) -> 'acc
+
+val space_words : 'node t -> words:('node -> int) -> int
+
+val size : 'node t -> int

@@ -1,0 +1,1 @@
+lib/geom/chull.ml: Array Float Halfplane List Point2 Topk_em Topk_util

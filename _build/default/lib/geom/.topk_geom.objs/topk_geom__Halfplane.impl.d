@@ -1,0 +1,1 @@
+lib/geom/halfplane.ml: Float Format Point2

@@ -1,0 +1,1 @@
+lib/geom/halfplane.mli: Format Point2

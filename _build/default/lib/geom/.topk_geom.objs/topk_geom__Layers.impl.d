@@ -1,0 +1,1 @@
+lib/geom/layers.ml: Array Chull Float Hashtbl List Point2

@@ -1,0 +1,1 @@
+lib/geom/layers.mli: Chull Halfplane Point2

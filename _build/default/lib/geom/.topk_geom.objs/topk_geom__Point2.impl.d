@@ -1,0 +1,1 @@
+lib/geom/point2.ml: Array Float Format Int Topk_util

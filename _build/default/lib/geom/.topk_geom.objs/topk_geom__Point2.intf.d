@@ -1,0 +1,1 @@
+lib/geom/point2.mli: Format Topk_util

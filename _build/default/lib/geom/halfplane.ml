@@ -1,0 +1,22 @@
+type t = {
+  a : float;
+  b : float;
+  c : float;
+}
+
+let make ~a ~b ~c =
+  if Float.is_nan a || Float.is_nan b || Float.is_nan c then
+    invalid_arg "Halfplane.make: NaN coefficient";
+  if a = 0. && b = 0. then invalid_arg "Halfplane.make: zero normal";
+  { a; b; c }
+
+let of_triple (a, b, c) = make ~a ~b ~c
+
+let value t (p : Point2.t) =
+  (t.a *. p.Point2.x) +. (t.b *. p.Point2.y) -. t.c
+
+let contains t p = value t p >= 0.
+
+let direction t = (t.a, t.b)
+
+let pp ppf t = Format.fprintf ppf "%gx + %gy >= %g" t.a t.b t.c

@@ -1,0 +1,26 @@
+(** Closed halfplanes [a x + b y >= c] — the predicates of 2D halfspace
+    reporting. *)
+
+type t = private {
+  a : float;
+  b : float;
+  c : float;
+}
+
+val make : a:float -> b:float -> c:float -> t
+(** @raise Invalid_argument if [(a, b)] is the zero vector or any
+    coefficient is NaN. *)
+
+val of_triple : float * float * float -> t
+(** For {!Topk_util.Gen.halfplanes} output. *)
+
+val contains : t -> Point2.t -> bool
+
+val value : t -> Point2.t -> float
+(** [a x + b y - c]: nonnegative inside. *)
+
+val direction : t -> float * float
+(** The inward normal [(a, b)] — the direction in which the halfplane
+    is unbounded. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+type t = {
+  hulls : Chull.t array;  (* outermost first *)
+  size : int;
+}
+
+let compare_xy (p : Point2.t) (q : Point2.t) =
+  match Float.compare p.Point2.x q.Point2.x with
+  | 0 -> Float.compare p.Point2.y q.Point2.y
+  | c -> c
+
+let build pts =
+  (* Sort once; every peel is then linear in the surviving points. *)
+  let sorted = Array.copy pts in
+  Array.sort compare_xy sorted;
+  let rec peel acc remaining =
+    if Array.length remaining = 0 then List.rev acc
+    else begin
+      let hull = Chull.of_sorted_points remaining in
+      let on_hull = Hashtbl.create 16 in
+      Array.iter
+        (fun (p : Point2.t) -> Hashtbl.replace on_hull p.Point2.id ())
+        (Chull.ring hull);
+      let rest =
+        Array.of_list
+          (List.filter
+             (fun (p : Point2.t) -> not (Hashtbl.mem on_hull p.Point2.id))
+             (Array.to_list remaining))
+      in
+      peel (hull :: acc) rest
+    end
+  in
+  { hulls = Array.of_list (peel [] sorted); size = Array.length pts }
+
+let layer_count t = Array.length t.hulls
+
+let layer t i = t.hulls.(i)
+
+let size t = t.size
+
+let space_words t =
+  Array.fold_left (fun acc h -> acc + Chull.space_words h) 0 t.hulls
+
+let report_halfplane t h f =
+  let total = ref 0 in
+  let continue = ref true in
+  let i = ref 0 in
+  while !continue && !i < Array.length t.hulls do
+    let c = Chull.report_halfplane t.hulls.(!i) h f in
+    total := !total + c;
+    (* An empty layer certifies that all deeper layers are empty. *)
+    if c = 0 then continue := false;
+    incr i
+  done;
+  !total
+
+let max_halfplane t h =
+  let best = ref None in
+  let consider (p : Point2.t) =
+    match !best with
+    | None -> best := Some p
+    | Some b -> if Point2.compare_weight p b > 0 then best := Some p
+  in
+  ignore (report_halfplane t h consider);
+  !best

@@ -1,0 +1,34 @@
+(** Onion layers: repeatedly peel the convex hull vertices.
+
+    The halfplane-reporting structure of Chazelle–Guibas–Lee [15] on
+    which Section 5.4 builds: a halfplane that misses layer [i] misses
+    every deeper layer (deeper points lie inside layer [i]'s hull), so
+    a query walks outer layers until the first empty one and touches
+    [O(1 + t)] layers, each at [O(log n)] — an [O((1 + t) log n)]
+    query.  (The original achieves [O(log n + t)] by threading the
+    layers together; the extra [log] per layer is a documented
+    substitution.)  Space is [O(n)]: every input point lives in exactly
+    one layer. *)
+
+type t
+
+val build : Point2.t array -> t
+(** O(n . layers . log n) peeling; fine for the sizes benched here. *)
+
+val layer_count : t -> int
+
+val layer : t -> int -> Chull.t
+
+val size : t -> int
+
+val space_words : t -> int
+
+val report_halfplane : t -> Halfplane.t -> (Point2.t -> unit) -> int
+(** Report every point inside the halfplane; returns the count.  The
+    callback may raise to stop early. *)
+
+val max_halfplane : t -> Halfplane.t -> Point2.t option
+(** The maximum-{e dot-product} point is on the outer layer; this
+    returns the maximum-{e weight} point inside the halfplane by
+    scanning reported points — an O(t) helper for tests, not the max
+    structure (see [Topk_halfspace.Hp_max]). *)

@@ -1,0 +1,1 @@
+lib/halfspace/hp_max.ml: Array Hp_problem Topk_em Topk_geom

@@ -1,0 +1,1 @@
+lib/halfspace/hp_pri.ml: Array Float Hp_problem List Topk_core Topk_em Topk_geom Topk_util

@@ -1,0 +1,1 @@
+lib/halfspace/hp_pri.mli: Hp_problem Topk_core

@@ -1,0 +1,1 @@
+lib/halfspace/hp_problem.ml: Topk_geom

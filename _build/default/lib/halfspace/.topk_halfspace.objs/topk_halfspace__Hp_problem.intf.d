@@ -1,0 +1,1 @@
+lib/halfspace/hp_problem.mli: Topk_core Topk_geom

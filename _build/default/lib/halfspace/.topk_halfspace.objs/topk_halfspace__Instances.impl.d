@@ -1,0 +1,1 @@
+lib/halfspace/instances.ml: Float Hp_max Hp_pri Hp_problem Kd_structures Pointd Predicates Topk_core

@@ -1,0 +1,1 @@
+lib/halfspace/instances.mli: Hp_max Hp_pri Hp_problem Pointd Predicates Topk_core Topk_geom

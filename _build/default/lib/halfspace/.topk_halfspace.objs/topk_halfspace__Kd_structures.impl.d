@@ -1,0 +1,1 @@
+lib/halfspace/kd_structures.ml: Kd_tree Pointd Predicates Topk_core

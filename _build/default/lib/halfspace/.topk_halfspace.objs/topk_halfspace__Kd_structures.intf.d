@@ -1,0 +1,1 @@
+lib/halfspace/kd_structures.mli: Pointd Predicates Topk_core

@@ -1,0 +1,1 @@
+lib/halfspace/kd_tree.ml: Array Float Int Pointd Topk_em Topk_util

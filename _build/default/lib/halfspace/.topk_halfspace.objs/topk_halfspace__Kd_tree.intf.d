@@ -1,0 +1,1 @@
+lib/halfspace/kd_tree.mli: Pointd

@@ -1,0 +1,1 @@
+lib/halfspace/lifting.ml: Array Pointd Predicates

@@ -1,0 +1,1 @@
+lib/halfspace/lifting.mli: Pointd Predicates

@@ -1,0 +1,1 @@
+lib/halfspace/pointd.ml: Array Float Format Int Printf String Topk_geom Topk_util

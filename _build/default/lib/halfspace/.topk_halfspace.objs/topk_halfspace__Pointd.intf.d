@@ -1,0 +1,1 @@
+lib/halfspace/pointd.mli: Format Topk_geom Topk_util

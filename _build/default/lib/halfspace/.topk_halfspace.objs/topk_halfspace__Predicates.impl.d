@@ -1,0 +1,1 @@
+lib/halfspace/predicates.ml: Array Float Format List Pointd Printf String

@@ -1,0 +1,1 @@
+lib/halfspace/predicates.mli: Format Pointd

@@ -1,0 +1,71 @@
+module Stats = Topk_em.Stats
+module P2 = Topk_geom.Point2
+module Hp = Topk_geom.Halfplane
+module Chull = Topk_geom.Chull
+module P = Hp_problem
+
+type node =
+  | Leaf of P2.t
+  | Node of {
+      hull : Chull.t;  (* of the whole weight range under this node *)
+      left : node;
+      right : node;
+    }
+
+type t = {
+  root : node option;
+  n : int;
+  words : int;
+}
+
+let name = "hp-hull-tournament"
+
+let rec build_node sorted lo hi =
+  if hi - lo = 1 then (Leaf sorted.(lo), 1)
+  else begin
+    let mid = (lo + hi) / 2 in
+    let left, wl = build_node sorted lo mid in
+    let right, wr = build_node sorted mid hi in
+    let hull = Chull.of_points (Array.sub sorted lo (hi - lo)) in
+    (Node { hull; left; right }, wl + wr + Chull.space_words hull)
+  end
+
+let build elems =
+  let sorted = Array.copy elems in
+  Array.sort (fun a b -> P2.compare_weight b a) sorted;
+  let n = Array.length sorted in
+  if n = 0 then { root = None; n; words = 0 }
+  else begin
+    let root, words = build_node sorted 0 n in
+    { root = Some root; n; words }
+  end
+
+let size t = t.n
+
+let space_words t = t.words
+
+(* Does the point set under this node intersect the halfplane?  The
+   extreme vertex towards the halfplane's inward normal decides. *)
+let hits h = function
+  | Leaf p -> Hp.contains h p
+  | Node { hull; _ } -> (
+      match Chull.extreme hull ~dir:(Hp.direction h) with
+      | None -> false
+      | Some (_, p) -> Hp.contains h p)
+
+let query t q =
+  match t.root with
+  | None -> None
+  | Some root ->
+      if not (hits q root) then None
+      else begin
+        (* Invariant: the subtree contains a point inside [q]; its
+           leftmost (heaviest) such point is the answer. *)
+        let rec descend = function
+          | Leaf p -> Some p
+          | Node { left; right; _ } ->
+              Stats.charge_ios 1;
+              if hits q left then descend left else descend right
+        in
+        descend root
+      end

@@ -1,0 +1,12 @@
+(** Max 2D halfplane reporting.
+
+    Section 5.4 solves this by point location in the planar subdivision
+    induced by weight-dominant regions (Sarnak–Tarjan persistence).
+    We substitute an interface-equivalent structure: a tournament tree
+    over the weight-descending order whose every node stores the convex
+    hull of its range.  The heaviest point inside a halfplane is found
+    by descending — go left whenever the left subtree's hull meets the
+    halfplane (an [O(log n)] extreme-vertex test).  Query
+    [O(log^2 n)], space [O(n log n)]. *)
+
+include Topk_core.Sigs.MAX with module P = Hp_problem

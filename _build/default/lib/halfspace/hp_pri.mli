@@ -1,0 +1,14 @@
+(** Prioritized 2D halfplane reporting — Section 5.4's construction:
+    a balanced tree on weights whose canonical subsets each carry a
+    halfplane-reporting structure.
+
+    Here the weight tree is flattened into dyadic prefix blocks
+    ({!Topk_core.Prefix_blocks}) over the weight-descending order, and
+    each block carries an onion-layer structure
+    ({!Topk_geom.Layers}).  A query [(q, tau)] turns the threshold
+    into a prefix via binary search and reports from the [O(log n)]
+    covering blocks: [O(log^2 n + t log n)] time, [O(n log n)] space
+    (the paper reaches [O(log n + t)] with fractional cascading — a
+    documented substitution). *)
+
+include Topk_core.Sigs.PRIORITIZED with module P = Hp_problem

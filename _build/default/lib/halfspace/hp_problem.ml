@@ -1,0 +1,16 @@
+module P2 = Topk_geom.Point2
+module Hp = Topk_geom.Halfplane
+
+type elem = P2.t
+
+type query = Hp.t
+
+let weight (e : elem) = e.P2.weight
+
+let id (e : elem) = e.P2.id
+
+let matches q e = Hp.contains q e
+
+let pp_elem = P2.pp
+
+let pp_query = Hp.pp

@@ -1,0 +1,8 @@
+(** 2D halfspace reporting as a framework problem: elements are
+    weighted planar points, a predicate is a closed halfplane
+    (Section 5.4). *)
+
+include
+  Topk_core.Sigs.PROBLEM
+    with type elem = Topk_geom.Point2.t
+     and type query = Topk_geom.Halfplane.t

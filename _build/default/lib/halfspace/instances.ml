@@ -1,0 +1,71 @@
+module Oracle2 = Topk_core.Oracle.Make (Hp_problem)
+module Topk2_t1 = Topk_core.Theorem1.Make (Hp_pri)
+module Topk2_t2 = Topk_core.Theorem2.Make (Hp_pri) (Hp_max)
+module Topk2_rj = Topk_core.Baseline_rj.Make (Hp_pri)
+module Topk2_naive = Topk_core.Naive.Make (Hp_problem)
+
+let params2 () =
+  let polylog2 n = Topk_core.Params.log2 n *. Topk_core.Params.log2 n in
+  {
+    Topk_core.Params.default with
+    Topk_core.Params.lambda = 2.;
+    q_pri = polylog2;
+    q_max = polylog2;
+  }
+
+module Hs_problem = struct
+  type elem = Pointd.t
+
+  type query = Predicates.Halfspace.t
+
+  let weight (e : elem) = e.Pointd.weight
+
+  let id (e : elem) = e.Pointd.id
+
+  let matches = Predicates.Halfspace.matches
+
+  let pp_elem = Pointd.pp
+
+  let pp_query = Predicates.Halfspace.pp_query
+end
+
+module Kd_hs_pri = Kd_structures.Pri (Predicates.Halfspace) (Hs_problem)
+module Kd_hs_max = Kd_structures.Max (Predicates.Halfspace) (Hs_problem)
+module Topkd_t1 = Topk_core.Theorem1.Make (Kd_hs_pri)
+module Topkd_t2 = Topk_core.Theorem2.Make (Kd_hs_pri) (Kd_hs_max)
+module Topkd_naive = Topk_core.Naive.Make (Hs_problem)
+module Oracled = Topk_core.Oracle.Make (Hs_problem)
+
+let paramsd ~d =
+  let poly n =
+    Float.max 1.
+      (Float.of_int n ** (1. -. (1. /. float_of_int (max 2 d))))
+  in
+  {
+    Topk_core.Params.default with
+    Topk_core.Params.lambda = float_of_int (max 2 d);
+    q_pri = poly;
+    q_max = poly;
+  }
+
+module Ball_problem = struct
+  type elem = Pointd.t
+
+  type query = Predicates.Ball.t
+
+  let weight (e : elem) = e.Pointd.weight
+
+  let id (e : elem) = e.Pointd.id
+
+  let matches = Predicates.Ball.matches
+
+  let pp_elem = Pointd.pp
+
+  let pp_query = Predicates.Ball.pp_query
+end
+
+module Kd_ball_pri = Kd_structures.Pri (Predicates.Ball) (Ball_problem)
+module Kd_ball_max = Kd_structures.Max (Predicates.Ball) (Ball_problem)
+module Topk_ball_t1 = Topk_core.Theorem1.Make (Kd_ball_pri)
+module Topk_ball_t2 = Topk_core.Theorem2.Make (Kd_ball_pri) (Kd_ball_max)
+module Oracle_ball = Topk_core.Oracle.Make (Ball_problem)

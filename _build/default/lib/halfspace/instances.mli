@@ -1,0 +1,73 @@
+(** Ready-made top-k structures for halfspace and circular reporting
+    (Theorem 3 and Corollary 1). *)
+
+(** {1 The plane (Theorem 3, first bullet)} *)
+
+module Oracle2 : module type of Topk_core.Oracle.Make (Hp_problem)
+
+(** Theorem 1 over the onion-layer prioritized structure. *)
+module Topk2_t1 : module type of Topk_core.Theorem1.Make (Hp_pri)
+
+(** Theorem 2 over onion layers + hull tournament: the expected
+    no-degradation structure of Theorem 3's first bullet. *)
+module Topk2_t2 : module type of Topk_core.Theorem2.Make (Hp_pri) (Hp_max)
+
+module Topk2_rj : Topk_core.Sigs.TOPK
+  with type P.elem = Topk_geom.Point2.t
+   and type P.query = Topk_geom.Halfplane.t
+
+module Topk2_naive : Topk_core.Sigs.TOPK
+  with type P.elem = Topk_geom.Point2.t
+   and type P.query = Topk_geom.Halfplane.t
+
+val params2 : unit -> Topk_core.Params.t
+(** [lambda = 2] ([O(n^2)] halfplane outcomes),
+    [Q_pri = Q_max = log2^2 n]. *)
+
+(** {1 Dimension d >= 3 via kd-trees (Theorem 3, bullets 2-3)} *)
+
+(** The d-dimensional halfspace problem. *)
+module Hs_problem : Topk_core.Sigs.PROBLEM
+  with type elem = Pointd.t
+   and type query = Predicates.Halfspace.t
+
+module Kd_hs_pri : Topk_core.Sigs.PRIORITIZED with module P = Hs_problem
+
+module Kd_hs_max : Topk_core.Sigs.MAX with module P = Hs_problem
+
+module Topkd_t1 : module type of Topk_core.Theorem1.Make (Kd_hs_pri)
+
+module Topkd_t2 : module type of Topk_core.Theorem2.Make (Kd_hs_pri) (Kd_hs_max)
+
+module Topkd_naive : Topk_core.Sigs.TOPK
+  with type P.elem = Pointd.t
+   and type P.query = Predicates.Halfspace.t
+
+module Oracled : module type of Topk_core.Oracle.Make (Hs_problem)
+
+val paramsd : d:int -> Topk_core.Params.t
+(** Polynomial costs: [Q_pri(n) = n^(1 - 1/d)] — the "hard query"
+    regime where Theorem 1 promises [Q_top = O(Q_pri)]. *)
+
+(** {1 Circular reporting (Corollary 1)} *)
+
+(** The d-dimensional ball problem (queried directly on a kd-tree; the
+    lifting route is exercised via {!Lifting} + the halfspace
+    instances). *)
+module Ball_problem : Topk_core.Sigs.PROBLEM
+  with type elem = Pointd.t
+   and type query = Predicates.Ball.t
+
+module Kd_ball_pri : Topk_core.Sigs.PRIORITIZED with module P = Ball_problem
+
+module Kd_ball_max : Topk_core.Sigs.MAX with module P = Ball_problem
+
+module Topk_ball_t1 : Topk_core.Sigs.TOPK
+  with type P.elem = Pointd.t
+   and type P.query = Predicates.Ball.t
+
+module Topk_ball_t2 : Topk_core.Sigs.TOPK
+  with type P.elem = Pointd.t
+   and type P.query = Predicates.Ball.t
+
+module Oracle_ball : module type of Topk_core.Oracle.Make (Ball_problem)

@@ -1,0 +1,67 @@
+module Pri
+    (Q : Predicates.QUERY_SPEC)
+    (P : Topk_core.Sigs.PROBLEM
+           with type elem = Pointd.t
+            and type query = Q.query) =
+struct
+  module P = P
+
+  type t = Kd_tree.t
+
+  let name = "kd-" ^ Q.name
+
+  let build = Kd_tree.build
+
+  let size = Kd_tree.size
+
+  let space_words = Kd_tree.space_words
+
+  let visit t q ~tau f =
+    Kd_tree.visit t ~tau
+      ~cell_possible:(fun ~mins ~maxs -> Q.cell_possible q ~mins ~maxs)
+      ~cell_certain:(fun ~mins ~maxs -> Q.cell_certain q ~mins ~maxs)
+      ~matches:(fun p -> Q.matches q p)
+      f
+
+  let query t q ~tau =
+    let acc = ref [] in
+    visit t q ~tau (fun p -> acc := p :: !acc);
+    !acc
+
+  exception Enough
+
+  let query_monitored t q ~tau ~limit =
+    let acc = ref [] and count = ref 0 in
+    match
+      visit t q ~tau (fun p ->
+          acc := p :: !acc;
+          incr count;
+          if !count > limit then raise Enough)
+    with
+    | () -> Topk_core.Sigs.All !acc
+    | exception Enough -> Topk_core.Sigs.Truncated !acc
+end
+
+module Max
+    (Q : Predicates.QUERY_SPEC)
+    (P : Topk_core.Sigs.PROBLEM
+           with type elem = Pointd.t
+            and type query = Q.query) =
+struct
+  module P = P
+
+  type t = Kd_tree.t
+
+  let name = "kd-max-" ^ Q.name
+
+  let build = Kd_tree.build
+
+  let size = Kd_tree.size
+
+  let space_words = Kd_tree.space_words
+
+  let query t q =
+    Kd_tree.max_query t
+      ~cell_possible:(fun ~mins ~maxs -> Q.cell_possible q ~mins ~maxs)
+      ~matches:(fun p -> Q.matches q p)
+end

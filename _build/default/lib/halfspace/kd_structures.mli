@@ -1,0 +1,18 @@
+(** Kd-tree-backed prioritized and max structures for any
+    {!Predicates.QUERY_SPEC} predicate family (halfspaces, balls), as
+    consumed by the reduction theorems in the polynomial-query regime
+    of Section 5.5. *)
+
+module Pri
+    (Q : Predicates.QUERY_SPEC)
+    (P : Topk_core.Sigs.PROBLEM
+           with type elem = Pointd.t
+            and type query = Q.query) :
+  Topk_core.Sigs.PRIORITIZED with module P = P
+
+module Max
+    (Q : Predicates.QUERY_SPEC)
+    (P : Topk_core.Sigs.PROBLEM
+           with type elem = Pointd.t
+            and type query = Q.query) :
+  Topk_core.Sigs.MAX with module P = P

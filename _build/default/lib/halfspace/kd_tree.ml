@@ -1,0 +1,141 @@
+module Stats = Topk_em.Stats
+module Select = Topk_util.Select
+
+type node =
+  | Leaf
+  | Node of {
+      point : Pointd.t;
+      max_w : float;        (* over the whole subtree *)
+      mins : float array;   (* subtree bounding box *)
+      maxs : float array;
+      left : node;
+      right : node;
+    }
+
+type t = {
+  root : node;
+  n : int;
+  d : int;
+}
+
+let bbox d arr lo hi =
+  let mins = Array.make d Float.infinity in
+  let maxs = Array.make d Float.neg_infinity in
+  for i = lo to hi - 1 do
+    let c = (arr.(i) : Pointd.t).Pointd.coords in
+    for j = 0 to d - 1 do
+      if c.(j) < mins.(j) then mins.(j) <- c.(j);
+      if c.(j) > maxs.(j) then maxs.(j) <- c.(j)
+    done
+  done;
+  (mins, maxs)
+
+let rec build_node d arr lo hi depth =
+  if hi <= lo then (Leaf, Float.neg_infinity)
+  else begin
+    let axis = depth mod d in
+    let cmp (a : Pointd.t) (b : Pointd.t) =
+      match Float.compare a.Pointd.coords.(axis) b.Pointd.coords.(axis) with
+      | 0 -> Int.compare a.Pointd.id b.Pointd.id
+      | c -> c
+    in
+    let mid = (lo + hi) / 2 in
+    (* Median split within the slice. *)
+    let slice = Array.sub arr lo (hi - lo) in
+    let _ = Select.quickselect ~cmp slice (mid - lo) in
+    Array.blit slice 0 arr lo (hi - lo);
+    let point = arr.(mid) in
+    let left, wl = build_node d arr lo mid (depth + 1) in
+    let right, wr = build_node d arr (mid + 1) hi (depth + 1) in
+    let mins, maxs = bbox d arr lo hi in
+    let max_w = Float.max point.Pointd.weight (Float.max wl wr) in
+    (Node { point; max_w; mins; maxs; left; right }, max_w)
+  end
+
+let build points =
+  let n = Array.length points in
+  if n = 0 then { root = Leaf; n = 0; d = 1 }
+  else begin
+    let d = Pointd.dim points.(0) in
+    Array.iter
+      (fun p ->
+        if Pointd.dim p <> d then
+          invalid_arg "Kd_tree.build: mixed dimensions")
+      points;
+    let arr = Array.copy points in
+    let root, _ = build_node d arr 0 n 0 in
+    { root; n; d }
+  end
+
+let size t = t.n
+
+let dim t = t.d
+
+let space_words t = t.n * ((2 * t.d) + 3)
+
+let visit t ~tau ~cell_possible ?cell_certain ~matches f =
+  let certain =
+    match cell_certain with
+    | Some g -> g
+    | None -> fun ~mins:_ ~maxs:_ -> false
+  in
+  (* A subtree whose box is entirely inside the range corresponds to a
+     contiguous run in the EM layout: report it as a scan. *)
+  let rec scan = function
+    | Leaf -> ()
+    | Node n ->
+        if n.max_w >= tau then begin
+          Stats.charge_scan 1;
+          if n.point.Pointd.weight >= tau then f n.point;
+          scan n.left;
+          scan n.right
+        end
+  in
+  let rec go = function
+    | Leaf -> ()
+    | Node n ->
+        Stats.charge_ios 1;
+        if n.max_w >= tau && cell_possible ~mins:n.mins ~maxs:n.maxs then begin
+          if certain ~mins:n.mins ~maxs:n.maxs then scan (Node n)
+          else begin
+            if n.point.Pointd.weight >= tau && matches n.point then begin
+              Stats.charge_scan 1;
+              f n.point
+            end;
+            go n.left;
+            go n.right
+          end
+        end
+  in
+  go t.root
+
+let max_query t ~cell_possible ~matches =
+  let best = ref None in
+  let best_w () =
+    match !best with
+    | None -> Float.neg_infinity
+    | Some p -> (p : Pointd.t).Pointd.weight
+  in
+  let rec go = function
+    | Leaf -> ()
+    | Node n ->
+        Stats.charge_ios 1;
+        if n.max_w > best_w () && cell_possible ~mins:n.mins ~maxs:n.maxs
+        then begin
+          if n.point.Pointd.weight > best_w () && matches n.point then
+            best := Some n.point;
+          (* Heavier subtree first tightens the bound sooner. *)
+          let wl = match n.left with Leaf -> Float.neg_infinity | Node m -> m.max_w in
+          let wr = match n.right with Leaf -> Float.neg_infinity | Node m -> m.max_w in
+          if wl >= wr then begin
+            go n.left;
+            go n.right
+          end
+          else begin
+            go n.right;
+            go n.left
+          end
+        end
+  in
+  go t.root;
+  !best

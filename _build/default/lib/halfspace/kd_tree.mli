@@ -1,0 +1,47 @@
+(** A kd-tree over weighted d-dimensional points, with subtree
+    bounding boxes and maximum weights for pruning.
+
+    This is the simulation substrate for the partition-tree black
+    boxes of Section 5.5 (Afshani–Chan [4] in RAM, Agarwal et al. [6]
+    in EM): for any query range with a constant-complexity boundary, a
+    kd-tree visits [O(n^(1 - 1/d))] nodes that straddle the boundary
+    plus the output — a polynomial [Q_pri], which is exactly the
+    "hard query" regime in which Theorem 1 loses nothing.
+
+    The traversal is generic in the predicate via
+    {!Predicates.QUERY_SPEC}'s point and box tests. *)
+
+type t
+
+val build : Pointd.t array -> t
+(** Median splits on cycling coordinates; O(n log n) expected.
+    All points must share one dimension.
+    @raise Invalid_argument on mixed dimensions. *)
+
+val size : t -> int
+
+val dim : t -> int
+
+val space_words : t -> int
+
+val visit :
+  t ->
+  tau:float ->
+  cell_possible:(mins:float array -> maxs:float array -> bool) ->
+  ?cell_certain:(mins:float array -> maxs:float array -> bool) ->
+  matches:(Pointd.t -> bool) ->
+  (Pointd.t -> unit) ->
+  unit
+(** Apply the callback to every point with weight [>= tau] satisfying
+    [matches], pruning subtrees by bounding box and maximum weight.
+    Subtrees whose box is [cell_certain] are reported as sequential
+    scans (the EM contiguous-layout assumption) instead of per-node
+    probes.  The callback may raise to stop early. *)
+
+val max_query :
+  t ->
+  cell_possible:(mins:float array -> maxs:float array -> bool) ->
+  matches:(Pointd.t -> bool) ->
+  Pointd.t option
+(** Branch-and-bound maximum weight: descend children in decreasing
+    subtree-max order, pruning against the best found so far. *)

@@ -1,0 +1,23 @@
+let lift_point (p : Pointd.t) =
+  let d = Pointd.dim p in
+  let coords = Array.make (d + 1) 0. in
+  Array.blit p.Pointd.coords 0 coords 0 d;
+  let norm2 = ref 0. in
+  Array.iter (fun x -> norm2 := !norm2 +. (x *. x)) p.Pointd.coords;
+  coords.(d) <- !norm2;
+  Pointd.make ~id:p.Pointd.id ~coords ~weight:p.Pointd.weight ()
+
+let lift_points = Array.map lift_point
+
+let lift_ball (b : Predicates.Ball.t) =
+  let center = b.Predicates.Ball.center in
+  let r = b.Predicates.Ball.radius in
+  let d = Array.length center in
+  let normal = Array.make (d + 1) 0. in
+  let norm2 = ref 0. in
+  for i = 0 to d - 1 do
+    normal.(i) <- 2. *. center.(i);
+    norm2 := !norm2 +. (center.(i) *. center.(i))
+  done;
+  normal.(d) <- -1.;
+  Predicates.Halfspace.make ~normal ~c:(!norm2 -. (r *. r))

@@ -1,0 +1,14 @@
+(** The standard lifting trick [17] behind Corollary 1: map each point
+    [x in R^d] onto the paraboloid point [(x, |x|^2) in R^(d+1)]; a
+    ball query in [R^d] becomes a halfspace query in [R^(d+1)]:
+
+    [dist(x, q) <= r  <=>  2 q . x - |x|^2 >= |q|^2 - r^2]. *)
+
+val lift_point : Pointd.t -> Pointd.t
+(** Same weight and id, one extra coordinate [|x|^2]. *)
+
+val lift_points : Pointd.t array -> Pointd.t array
+
+val lift_ball : Predicates.Ball.t -> Predicates.Halfspace.t
+(** The halfspace in [R^(d+1)] equivalent to the ball under
+    {!lift_point}. *)

@@ -1,0 +1,109 @@
+module type QUERY_SPEC = sig
+  type query
+
+  val name : string
+
+  val matches : query -> Pointd.t -> bool
+
+  val cell_possible : query -> mins:float array -> maxs:float array -> bool
+
+  val cell_certain : query -> mins:float array -> maxs:float array -> bool
+
+  val pp_query : Format.formatter -> query -> unit
+end
+
+module Halfspace = struct
+  type t = {
+    normal : float array;
+    c : float;
+  }
+
+  type query = t
+
+  let name = "halfspace"
+
+  let make ~normal ~c =
+    if Array.length normal = 0 then invalid_arg "Halfspace.make: empty normal";
+    if Array.exists Float.is_nan normal || Float.is_nan c then
+      invalid_arg "Halfspace.make: NaN coefficient";
+    if Array.for_all (fun a -> a = 0.) normal then
+      invalid_arg "Halfspace.make: zero normal";
+    { normal = Array.copy normal; c }
+
+  let matches q p = Pointd.dot p q.normal >= q.c
+
+  let cell_possible q ~mins ~maxs =
+    (* Maximum of the linear form over the box. *)
+    let acc = ref 0. in
+    for i = 0 to Array.length q.normal - 1 do
+      let a = q.normal.(i) in
+      acc := !acc +. (a *. (if a >= 0. then maxs.(i) else mins.(i)))
+    done;
+    !acc >= q.c
+
+  let cell_certain q ~mins ~maxs =
+    (* Minimum of the linear form over the box. *)
+    let acc = ref 0. in
+    for i = 0 to Array.length q.normal - 1 do
+      let a = q.normal.(i) in
+      acc := !acc +. (a *. (if a >= 0. then mins.(i) else maxs.(i)))
+    done;
+    !acc >= q.c
+
+  let pp_query ppf q =
+    Format.fprintf ppf "halfspace(%s >= %g)"
+      (String.concat " + "
+         (List.mapi
+            (fun i a -> Printf.sprintf "%gx%d" a i)
+            (Array.to_list q.normal)))
+      q.c
+end
+
+module Ball = struct
+  type t = {
+    center : float array;
+    radius : float;
+  }
+
+  type query = t
+
+  let name = "ball"
+
+  let make ~center ~radius =
+    if radius < 0. then invalid_arg "Ball.make: negative radius";
+    if Array.exists Float.is_nan center || Float.is_nan radius then
+      invalid_arg "Ball.make: NaN input";
+    { center = Array.copy center; radius }
+
+  let matches q p = Pointd.dist2 p q.center <= q.radius *. q.radius
+
+  let cell_possible q ~mins ~maxs =
+    (* Squared distance from the center to the box. *)
+    let acc = ref 0. in
+    for i = 0 to Array.length q.center - 1 do
+      let c = q.center.(i) in
+      let delta =
+        if c < mins.(i) then mins.(i) -. c
+        else if c > maxs.(i) then c -. maxs.(i)
+        else 0.
+      in
+      acc := !acc +. (delta *. delta)
+    done;
+    !acc <= q.radius *. q.radius
+
+  let cell_certain q ~mins ~maxs =
+    (* Squared distance from the center to the farthest box corner. *)
+    let acc = ref 0. in
+    for i = 0 to Array.length q.center - 1 do
+      let c = q.center.(i) in
+      let delta = Float.max (Float.abs (c -. mins.(i))) (Float.abs (maxs.(i) -. c)) in
+      acc := !acc +. (delta *. delta)
+    done;
+    !acc <= q.radius *. q.radius
+
+  let pp_query ppf q =
+    Format.fprintf ppf "ball(center=(%s), r=%g)"
+      (String.concat ", "
+         (Array.to_list (Array.map (Printf.sprintf "%g") q.center)))
+      q.radius
+end

@@ -1,0 +1,50 @@
+(** The two d-dimensional predicate families of Section 5.5 and
+    Corollary 1: halfspaces [x . q >= c] and Euclidean balls
+    [dist(x, q) <= r], each with the box-intersection test the kd-tree
+    needs for pruning. *)
+
+module type QUERY_SPEC = sig
+  type query
+
+  val name : string
+
+  val matches : query -> Pointd.t -> bool
+
+  val cell_possible : query -> mins:float array -> maxs:float array -> bool
+  (** May the axis-parallel box [[mins, maxs]] contain a matching
+      point?  Must never answer [false] when a matching point is
+      inside (one-sided: [true] on a disjoint box merely costs time). *)
+
+  val cell_certain : query -> mins:float array -> maxs:float array -> bool
+  (** Is every point of the box certainly matching?  Must never answer
+      [true] unless the whole box matches.  A subtree whose box is
+      certain is reported by a sequential scan ([t/B] I/Os) instead of
+      per-node probes — the EM layout assumption behind the
+      [O(n^(1-1/d) + t/B)] bound. *)
+
+  val pp_query : Format.formatter -> query -> unit
+end
+
+module Halfspace : sig
+  type t = private {
+    normal : float array;
+    c : float;
+  }
+
+  val make : normal:float array -> c:float -> t
+  (** @raise Invalid_argument on a zero or NaN normal. *)
+
+  include QUERY_SPEC with type query = t
+end
+
+module Ball : sig
+  type t = private {
+    center : float array;
+    radius : float;
+  }
+
+  val make : center:float array -> radius:float -> t
+  (** @raise Invalid_argument on a negative radius or NaN input. *)
+
+  include QUERY_SPEC with type query = t
+end

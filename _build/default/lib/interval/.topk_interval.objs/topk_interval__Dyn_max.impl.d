@@ -1,0 +1,1 @@
+lib/interval/dyn_max.ml: Array Hashtbl Interval Problem Slabs Topk_em

@@ -1,0 +1,1 @@
+lib/interval/dyn_max.mli: Problem Topk_core

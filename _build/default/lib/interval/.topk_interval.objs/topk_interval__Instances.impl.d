@@ -1,0 +1,1 @@
+lib/interval/instances.ml: Dyn_max Itree_pri Problem Seg_stab Slab_max Stab_count Topk_core

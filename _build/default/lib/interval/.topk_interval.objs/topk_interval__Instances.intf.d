@@ -1,0 +1,1 @@
+lib/interval/instances.mli: Interval Itree_pri Problem Seg_stab Slab_max Stab_count Topk_core

@@ -1,0 +1,1 @@
+lib/interval/interval.ml: Array Float Format Int Topk_util

@@ -1,0 +1,1 @@
+lib/interval/itree_pri.ml: Array Float Interval Problem Topk_core Topk_em Topk_pst Topk_util

@@ -1,0 +1,1 @@
+lib/interval/itree_pri.mli: Problem Topk_core

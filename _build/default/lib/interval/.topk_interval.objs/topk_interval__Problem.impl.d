@@ -1,0 +1,1 @@
+lib/interval/problem.ml: Format Interval

@@ -1,0 +1,1 @@
+lib/interval/problem.mli: Interval Topk_core

@@ -1,0 +1,1 @@
+lib/interval/seg_stab.ml: Array Interval Problem Slabs Topk_core Topk_em

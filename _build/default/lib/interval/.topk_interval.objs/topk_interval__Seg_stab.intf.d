@@ -1,0 +1,1 @@
+lib/interval/seg_stab.mli: Interval Problem Topk_core

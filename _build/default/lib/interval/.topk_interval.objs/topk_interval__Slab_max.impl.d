@@ -1,0 +1,1 @@
+lib/interval/slab_max.ml: Array Int Interval Problem Slabs Topk_em Topk_util

@@ -1,0 +1,1 @@
+lib/interval/slab_max.mli: Problem Topk_core

@@ -1,0 +1,1 @@
+lib/interval/slabs.ml: Array Float Topk_em Topk_util

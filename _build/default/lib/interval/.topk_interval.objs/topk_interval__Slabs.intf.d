@@ -1,0 +1,1 @@
+lib/interval/slabs.mli:

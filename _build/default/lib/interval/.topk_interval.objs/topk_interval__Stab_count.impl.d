@@ -1,0 +1,1 @@
+lib/interval/stab_count.ml: Array Interval Problem Slabs Topk_em

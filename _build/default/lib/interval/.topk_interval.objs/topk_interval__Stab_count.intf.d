@@ -1,0 +1,1 @@
+lib/interval/stab_count.mli: Problem Topk_core

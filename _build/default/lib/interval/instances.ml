@@ -1,0 +1,21 @@
+module Oracle = Topk_core.Oracle.Make (Problem)
+module Topk_t1 = Topk_core.Theorem1.Make (Seg_stab)
+module Topk_t2 = Topk_core.Theorem2.Make (Seg_stab) (Slab_max)
+module Topk_rj = Topk_core.Baseline_rj.Make (Seg_stab)
+module Topk_naive = Topk_core.Naive.Make (Problem)
+
+let params () =
+  {
+    Topk_core.Params.default with
+    Topk_core.Params.lambda = 1.;
+    q_pri = Topk_core.Params.log2;
+    q_max = Topk_core.Params.log2;
+  }
+
+module Dyn_pri = Topk_core.Bentley_saxe.Make (Seg_stab)
+module Dyn_topk = Topk_core.Theorem2_dynamic.Make (Dyn_pri) (Dyn_max)
+
+module Topk_rj_counting = Topk_core.Rj_counting.Make (Seg_stab) (Stab_count)
+
+module Topk_t2_itree = Topk_core.Theorem2.Make (Itree_pri) (Slab_max)
+module Topk_t1_itree = Topk_core.Theorem1.Make (Itree_pri)

@@ -1,0 +1,22 @@
+(** Prioritized interval stabbing in {e linear} space: a classic
+    interval tree (centerpoint tree) whose every node stores its
+    intervals in two priority search trees, keyed on the left and
+    right endpoints.
+
+    An interval lives in exactly one node (the highest whose center it
+    contains), so space is [O(n)] — matching the space of Tao's
+    structure [34] that Section 5.1 plugs into the reductions, where
+    the segment-tree alternative ({!Seg_stab}) pays [O(n log n)].  A
+    stabbing query descends the center path ([O(log n)] nodes); at
+    each node the matching intervals with weight [>= tau] form one
+    3-sided PST query ([q] left of the center: [lo <= q]; right:
+    [hi >= q]), so the query costs [O(log^2 n + t)].
+
+    Swapping this black box for {!Seg_stab} inside the reductions is
+    experiment E15's black-box ablation: same answers, linear space,
+    one extra log in [Q_pri]. *)
+
+include Topk_core.Sigs.PRIORITIZED with module P = Problem
+
+val depth : t -> int
+(** Height of the center tree (O(log n) by median splitting). *)

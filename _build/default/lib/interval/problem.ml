@@ -1,0 +1,13 @@
+type elem = Interval.t
+
+type query = float
+
+let weight (e : elem) = e.Interval.weight
+
+let id (e : elem) = e.Interval.id
+
+let matches q e = Interval.contains e q
+
+let pp_elem = Interval.pp
+
+let pp_query ppf q = Format.fprintf ppf "stab(%g)" q

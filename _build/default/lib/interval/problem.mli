@@ -1,0 +1,7 @@
+(** The interval-stabbing problem packaged for the reduction framework:
+    elements are weighted intervals, a predicate is a stabbing point. *)
+
+include
+  Topk_core.Sigs.PROBLEM
+    with type elem = Interval.t
+     and type query = float

@@ -1,0 +1,69 @@
+module Stats = Topk_em.Stats
+module Heap = Topk_util.Heap
+module P = Problem
+
+type t = {
+  slabs : Slabs.t;
+  best : Interval.t option array;  (* per slab: heaviest spanning interval *)
+  n : int;
+}
+
+let name = "slab-max"
+
+let build elems =
+  let n = Array.length elems in
+  let endpoints = Array.make (2 * n) 0. in
+  Array.iteri
+    (fun i (itv : Interval.t) ->
+      endpoints.(2 * i) <- itv.Interval.lo;
+      endpoints.((2 * i) + 1) <- itv.Interval.hi)
+    elems;
+  let slabs = Slabs.of_endpoints endpoints in
+  let count = Slabs.slab_count slabs in
+  (* Sweep the slabs left to right with a lazy-deletion max-heap of the
+     active intervals, keyed by (start, end) slab indices. *)
+  let with_range =
+    Array.map
+      (fun (itv : Interval.t) ->
+        ( Slabs.slab_of_coord slabs itv.Interval.lo,
+          Slabs.slab_of_coord slabs itv.Interval.hi,
+          itv ))
+      elems
+  in
+  Array.sort (fun (l1, _, _) (l2, _, _) -> Int.compare l1 l2) with_range;
+  let heap =
+    Heap.create
+      ~cmp:(fun (_, _, (a : Interval.t)) (_, _, b) ->
+        Interval.compare_weight b a)
+      ()
+  in
+  let best = Array.make count None in
+  let next = ref 0 in
+  for s = 0 to count - 1 do
+    while
+      !next < n
+      && (let l, _, _ = with_range.(!next) in l <= s)
+    do
+      Heap.push heap with_range.(!next);
+      incr next
+    done;
+    let rec top () =
+      match Heap.peek heap with
+      | Some (_, r, _) when r < s ->
+          ignore (Heap.pop heap);
+          top ()
+      | Some (_, _, itv) -> Some itv
+      | None -> None
+    in
+    best.(s) <- top ()
+  done;
+  { slabs; best; n }
+
+let size t = t.n
+
+let space_words t = Slabs.space_words t.slabs + Array.length t.best
+
+let query t q =
+  let s = Slabs.slab_of_point t.slabs q in
+  Stats.charge_ios 1;
+  t.best.(s)

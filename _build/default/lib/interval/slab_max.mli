@@ -1,0 +1,11 @@
+(** Static stabbing-max — the folklore structure of Section 5.2,
+    implemented verbatim.
+
+    The [2n] endpoints split the line into at most [2n + 1] elementary
+    slabs; each slab stores the maximum-weight interval spanning it.  A
+    query is a predecessor search for the slab plus one lookup:
+    [O(log n)] time, [O(n)] space — the [Q_max] black box that
+    Theorem 2 combines with {!Seg_stab} to prove Theorem 4's first
+    bullet. *)
+
+include Topk_core.Sigs.MAX with module P = Problem

@@ -1,0 +1,39 @@
+module Stats = Topk_em.Stats
+module Search = Topk_util.Search
+
+type t = { coords : float array }
+
+let of_endpoints raw =
+  let sorted = Array.copy raw in
+  Array.sort Float.compare sorted;
+  let m = Array.length sorted in
+  if m = 0 then { coords = [||] }
+  else begin
+    let distinct = ref 1 in
+    for i = 1 to m - 1 do
+      if sorted.(i) <> sorted.(!distinct - 1) then begin
+        sorted.(!distinct) <- sorted.(i);
+        incr distinct
+      end
+    done;
+    { coords = Array.sub sorted 0 !distinct }
+  end
+
+let slab_count t = (2 * Array.length t.coords) + 1
+
+let coord_count t = Array.length t.coords
+
+let slab_of_point t q =
+  let m = Array.length t.coords in
+  (* One I/O per probed node of the (implicit) search tree. *)
+  Stats.charge_ios (max 1 (int_of_float (Float.log2 (float_of_int (m + 2)))));
+  let i = Search.lower_bound ~cmp:Float.compare t.coords q in
+  if i < m && t.coords.(i) = q then (2 * i) + 1 else 2 * i
+
+let slab_of_coord t x =
+  let m = Array.length t.coords in
+  let i = Search.lower_bound ~cmp:Float.compare t.coords x in
+  if i < m && t.coords.(i) = x then (2 * i) + 1
+  else invalid_arg "Slabs.slab_of_coord: not a coordinate"
+
+let space_words t = Array.length t.coords

@@ -1,0 +1,29 @@
+(** Elementary slabs of a coordinate set (shared by the stabbing
+    structures).
+
+    The [m] distinct endpoint coordinates split the line into [2m + 1]
+    elementary slabs, alternating open gaps and single-coordinate
+    points: slab [2i] is the open gap before coordinate [i], slab
+    [2i + 1] is coordinate [i] itself.  A closed interval whose
+    endpoints are coordinates [i <= j] covers exactly slabs
+    [2i+1 .. 2j+1]; locating a stabbing point is a predecessor
+    search. *)
+
+type t
+
+val of_endpoints : float array -> t
+(** Build from any coordinate multiset (deduplicated internally). *)
+
+val slab_count : t -> int
+
+val coord_count : t -> int
+
+val slab_of_point : t -> float -> int
+(** Slab containing an arbitrary real; O(log m), charged as a
+    predecessor search. *)
+
+val slab_of_coord : t -> float -> int
+(** Slab of a value known to be one of the coordinates.
+    @raise Invalid_argument otherwise. *)
+
+val space_words : t -> int

@@ -1,0 +1,56 @@
+module Stats = Topk_em.Stats
+module P = Problem
+
+type t = {
+  slabs : Slabs.t;
+  counts : int array;  (* per tree node, 1-based heap order *)
+  leaves : int;
+  n : int;
+}
+
+let name = "stab-count"
+
+let rec next_pow2 x k = if k >= x then k else next_pow2 x (2 * k)
+
+let build elems =
+  let n = Array.length elems in
+  let endpoints = Array.make (2 * n) 0. in
+  Array.iteri
+    (fun i (itv : Interval.t) ->
+      endpoints.(2 * i) <- itv.Interval.lo;
+      endpoints.((2 * i) + 1) <- itv.Interval.hi)
+    elems;
+  let slabs = Slabs.of_endpoints endpoints in
+  let leaves = next_pow2 (max 1 (Slabs.slab_count slabs)) 1 in
+  let counts = Array.make (2 * leaves) 0 in
+  let assign (itv : Interval.t) =
+    let l = Slabs.slab_of_coord slabs itv.Interval.lo in
+    let r = Slabs.slab_of_coord slabs itv.Interval.hi in
+    let rec go node node_lo node_hi =
+      if l <= node_lo && r >= node_hi - 1 then
+        counts.(node) <- counts.(node) + 1
+      else begin
+        let mid = (node_lo + node_hi) / 2 in
+        if l < mid then go (2 * node) node_lo mid;
+        if r >= mid then go ((2 * node) + 1) mid node_hi
+      end
+    in
+    go 1 0 leaves
+  in
+  Array.iter assign elems;
+  { slabs; counts; leaves; n }
+
+let size t = t.n
+
+let space_words t = Slabs.space_words t.slabs + Array.length t.counts
+
+let count t q =
+  let s = Slabs.slab_of_point t.slabs q in
+  let total = ref 0 in
+  let node = ref (t.leaves + s) in
+  while !node >= 1 do
+    Stats.charge_ios 1;
+    total := !total + t.counts.(!node);
+    node := !node / 2
+  done;
+  !total

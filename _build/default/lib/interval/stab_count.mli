@@ -1,0 +1,7 @@
+(** Exact stabbing counting: [|q(D)|] for a stabbing point [q] in
+    [O(log n)] — a segment tree whose canonical nodes store only the
+    number of intervals assigned to them; the count is the sum along
+    one root-to-leaf path.  [O(n)] space.  The [Q_cnt] black box for
+    the Section 2 reporting+counting reduction. *)
+
+include Topk_core.Sigs.COUNTING with module P = Problem

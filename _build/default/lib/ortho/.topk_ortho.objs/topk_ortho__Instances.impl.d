@@ -1,0 +1,1 @@
+lib/ortho/instances.ml: Ortho_max Ortho_pri Problem Topk_core

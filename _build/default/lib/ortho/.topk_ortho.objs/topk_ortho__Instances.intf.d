@@ -1,0 +1,1 @@
+lib/ortho/instances.mli: Ortho_max Ortho_pri Problem Topk_core Topk_geom

@@ -1,0 +1,1 @@
+lib/ortho/ortho_max.ml: Array Hashtbl Problem Topk_geom Topk_range Xtree

@@ -1,0 +1,1 @@
+lib/ortho/ortho_max.mli: Problem Topk_core

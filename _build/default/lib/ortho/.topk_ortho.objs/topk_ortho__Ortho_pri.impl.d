@@ -1,0 +1,1 @@
+lib/ortho/ortho_pri.ml: Array Hashtbl Problem Topk_core Topk_geom Topk_range Xtree

@@ -1,0 +1,1 @@
+lib/ortho/ortho_pri.mli: Problem Topk_core

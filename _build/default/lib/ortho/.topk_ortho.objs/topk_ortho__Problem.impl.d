@@ -1,0 +1,1 @@
+lib/ortho/problem.ml: Format Topk_geom

@@ -1,0 +1,1 @@
+lib/ortho/problem.mli: Topk_core Topk_geom

@@ -1,0 +1,1 @@
+lib/ortho/xtree.ml: Array Float Int Topk_em Topk_geom Topk_util

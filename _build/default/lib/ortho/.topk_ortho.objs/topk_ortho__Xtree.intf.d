@@ -1,0 +1,1 @@
+lib/ortho/xtree.mli: Topk_geom

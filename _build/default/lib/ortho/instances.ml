@@ -1,0 +1,14 @@
+module Oracle = Topk_core.Oracle.Make (Problem)
+module Topk_t1 = Topk_core.Theorem1.Make (Ortho_pri)
+module Topk_t2 = Topk_core.Theorem2.Make (Ortho_pri) (Ortho_max)
+module Topk_rj = Topk_core.Baseline_rj.Make (Ortho_pri)
+module Topk_naive = Topk_core.Naive.Make (Problem)
+
+let params () =
+  let polylog2 n = Topk_core.Params.log2 n *. Topk_core.Params.log2 n in
+  {
+    Topk_core.Params.default with
+    Topk_core.Params.lambda = 4.;
+    q_pri = polylog2;
+    q_max = polylog2;
+  }

@@ -1,0 +1,19 @@
+(** Ready-made top-k 2D orthogonal range reporting structures. *)
+
+module Oracle : module type of Topk_core.Oracle.Make (Problem)
+
+module Topk_t1 : module type of Topk_core.Theorem1.Make (Ortho_pri)
+
+module Topk_t2 : module type of Topk_core.Theorem2.Make (Ortho_pri) (Ortho_max)
+
+module Topk_rj : Topk_core.Sigs.TOPK
+  with type P.elem = Topk_geom.Point2.t
+   and type P.query = float * float * float * float
+
+module Topk_naive : Topk_core.Sigs.TOPK
+  with type P.elem = Topk_geom.Point2.t
+   and type P.query = float * float * float * float
+
+val params : unit -> Topk_core.Params.t
+(** [lambda = 4] ([O(n^4)] distinct rank rectangles),
+    [Q_pri = Q_max = log2^2 n]. *)

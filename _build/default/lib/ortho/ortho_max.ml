@@ -1,0 +1,47 @@
+module P2 = Topk_geom.Point2
+module Range_max = Topk_range.Range_max
+module Wpoint = Topk_range.Wpoint
+module P = Problem
+
+type node = {
+  ymax : Range_max.t;
+  by_id : (int, P2.t) Hashtbl.t;
+}
+
+type t = {
+  tree : node Xtree.t;
+  n : int;
+}
+
+let name = "ortho-rangemax"
+
+let make_node pts =
+  let by_id = Hashtbl.create (Array.length pts) in
+  Array.iter (fun (p : P2.t) -> Hashtbl.replace by_id p.P2.id p) pts;
+  let ypoints =
+    Array.map
+      (fun (p : P2.t) ->
+        Wpoint.make ~id:p.P2.id ~pos:p.P2.y ~weight:p.P2.weight ())
+      pts
+  in
+  { ymax = Range_max.build ypoints; by_id }
+
+let build pts = { tree = Xtree.build ~make_node pts; n = Array.length pts }
+
+let size t = t.n
+
+let space_words t =
+  Xtree.space_words t.tree ~words:(fun node ->
+      Range_max.space_words node.ymax + Hashtbl.length node.by_id)
+
+let query t (x1, x2, y1, y2) =
+  let best = ref None in
+  Xtree.visit_range t.tree ~x1 ~x2 (fun node ->
+      match Range_max.query node.ymax (y1, y2) with
+      | None -> ()
+      | Some wp ->
+          let p = Hashtbl.find node.by_id wp.Wpoint.id in
+          (match !best with
+           | None -> best := Some p
+           | Some b -> if P2.compare_weight p b > 0 then best := Some p));
+  !best

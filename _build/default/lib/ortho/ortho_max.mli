@@ -1,0 +1,5 @@
+(** Max 2D orthogonal range reporting: the same range tree with a
+    range-max segment tree ({!Topk_range.Range_max}) per canonical
+    node — [O(log^2 n)] query, [O(n log n)] space. *)
+
+include Topk_core.Sigs.MAX with module P = Problem

@@ -1,0 +1,58 @@
+module P2 = Topk_geom.Point2
+module Range_pri = Topk_range.Range_pri
+module Wpoint = Topk_range.Wpoint
+module P = Problem
+
+type node = {
+  ystab : Range_pri.t;
+  by_id : (int, P2.t) Hashtbl.t;
+}
+
+type t = {
+  tree : node Xtree.t;
+  n : int;
+}
+
+let name = "ortho-rangetree"
+
+let make_node pts =
+  let by_id = Hashtbl.create (Array.length pts) in
+  Array.iter (fun (p : P2.t) -> Hashtbl.replace by_id p.P2.id p) pts;
+  let ypoints =
+    Array.map
+      (fun (p : P2.t) ->
+        Wpoint.make ~id:p.P2.id ~pos:p.P2.y ~weight:p.P2.weight ())
+      pts
+  in
+  { ystab = Range_pri.build ypoints; by_id }
+
+let build pts = { tree = Xtree.build ~make_node pts; n = Array.length pts }
+
+let size t = t.n
+
+let space_words t =
+  Xtree.space_words t.tree ~words:(fun node ->
+      Range_pri.space_words node.ystab + Hashtbl.length node.by_id)
+
+let visit t (x1, x2, y1, y2) ~tau f =
+  Xtree.visit_range t.tree ~x1 ~x2 (fun node ->
+      Range_pri.visit node.ystab (y1, y2) ~tau (fun wp ->
+          f (Hashtbl.find node.by_id wp.Wpoint.id)))
+
+let query t q ~tau =
+  let acc = ref [] in
+  visit t q ~tau (fun p -> acc := p :: !acc);
+  !acc
+
+exception Enough
+
+let query_monitored t q ~tau ~limit =
+  let acc = ref [] and count = ref 0 in
+  match
+    visit t q ~tau (fun p ->
+        acc := p :: !acc;
+        incr count;
+        if !count > limit then raise Enough)
+  with
+  | () -> Topk_core.Sigs.All !acc
+  | exception Enough -> Topk_core.Sigs.Truncated !acc

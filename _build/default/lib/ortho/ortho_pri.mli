@@ -1,0 +1,6 @@
+(** Prioritized 2D orthogonal range reporting: a range tree — segment
+    tree on x-ranks, a prioritized 1D range structure
+    ({!Topk_range.Range_pri}, keyed on y) per canonical node.  Query
+    [(rect, tau)] in [O(log^2 n + t)]; space [O(n log^2 n)]. *)
+
+include Topk_core.Sigs.PRIORITIZED with module P = Problem

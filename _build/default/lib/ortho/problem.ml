@@ -1,0 +1,17 @@
+module P2 = Topk_geom.Point2
+
+type elem = P2.t
+
+type query = float * float * float * float
+
+let weight (e : elem) = e.P2.weight
+
+let id (e : elem) = e.P2.id
+
+let matches (x1, x2, y1, y2) (e : elem) =
+  x1 <= e.P2.x && e.P2.x <= x2 && y1 <= e.P2.y && e.P2.y <= y2
+
+let pp_elem = P2.pp
+
+let pp_query ppf (x1, x2, y1, y2) =
+  Format.fprintf ppf "rect[%g, %g]x[%g, %g]" x1 x2 y1 y2

@@ -1,0 +1,9 @@
+(** Top-k 2D orthogonal range reporting — the "2D (orthogonal)
+    version" of top-k range reporting studied in [28, 29] of the
+    paper's related work: elements are weighted planar points, a
+    predicate is an axis-parallel rectangle [(x1, x2, y1, y2)]. *)
+
+include
+  Topk_core.Sigs.PROBLEM
+    with type elem = Topk_geom.Point2.t
+     and type query = float * float * float * float

@@ -1,0 +1,73 @@
+module Stats = Topk_em.Stats
+module Search = Topk_util.Search
+module P2 = Topk_geom.Point2
+
+type 'node t = {
+  xs : float array;  (* ascending x of the sorted points *)
+  nodes : 'node option array;  (* 1-based heap order *)
+  leaves : int;
+  n : int;
+}
+
+let rec next_pow2 x k = if k >= x then k else next_pow2 x (2 * k)
+
+let compare_x (a : P2.t) (b : P2.t) =
+  match Float.compare a.P2.x b.P2.x with
+  | 0 -> Int.compare a.P2.id b.P2.id
+  | c -> c
+
+let build ~make_node pts =
+  let sorted = Array.copy pts in
+  Array.sort compare_x sorted;
+  let n = Array.length sorted in
+  let leaves = next_pow2 (max 1 n) 1 in
+  let nodes = Array.make (2 * leaves) None in
+  (* Fill every heap node whose rank range is non-empty. *)
+  let rec fill node lo hi =
+    if lo < n && hi - lo >= 1 then begin
+      nodes.(node) <- Some (make_node (Array.sub sorted lo (min hi n - lo)));
+      if hi - lo > 1 then begin
+        let mid = (lo + hi) / 2 in
+        fill (2 * node) lo mid;
+        fill ((2 * node) + 1) mid hi
+      end
+    end
+  in
+  fill 1 0 leaves;
+  { xs = Array.map (fun (p : P2.t) -> p.P2.x) sorted; nodes; leaves; n }
+
+let visit_range t ~x1 ~x2 f =
+  Stats.charge_ios
+    (max 1 (int_of_float (Float.log2 (float_of_int (t.n + 2)))));
+  let a = Search.lower_bound ~cmp:Float.compare t.xs x1 in
+  let b = Search.upper_bound ~cmp:Float.compare t.xs x2 in
+  if a < b then begin
+    let l = ref (t.leaves + a) and r = ref (t.leaves + b) in
+    let apply node =
+      Stats.charge_ios 1;
+      match t.nodes.(node) with Some payload -> f payload | None -> ()
+    in
+    while !l < !r do
+      if !l land 1 = 1 then begin
+        apply !l;
+        incr l
+      end;
+      if !r land 1 = 1 then begin
+        decr r;
+        apply !r
+      end;
+      l := !l / 2;
+      r := !r / 2
+    done
+  end
+
+let fold t ~init ~f =
+  Array.fold_left
+    (fun acc -> function Some payload -> f acc payload | None -> acc)
+    init t.nodes
+
+let space_words t ~words =
+  Array.length t.xs + Array.length t.nodes
+  + fold t ~init:0 ~f:(fun acc node -> acc + words node)
+
+let size t = t.n

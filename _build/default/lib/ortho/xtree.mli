@@ -1,0 +1,25 @@
+(** The outer level of the 2D range tree: a segment tree over the
+    x-rank order of the points.  An x-range decomposes into [O(log n)]
+    canonical nodes; each node carries a caller-supplied secondary
+    structure over its points (sorted by y inside the builders). *)
+
+type 'node t
+
+val build :
+  make_node:(Topk_geom.Point2.t array -> 'node) ->
+  Topk_geom.Point2.t array ->
+  'node t
+(** [make_node] receives each canonical node's points (a contiguous
+    x-rank range). *)
+
+val visit_range :
+  'node t -> x1:float -> x2:float -> ('node -> unit) -> unit
+(** Apply the callback to the canonical nodes covering the x-range,
+    one I/O per node plus the rank binary search.  The callback may
+    raise. *)
+
+val fold : 'node t -> init:'acc -> f:('acc -> 'node -> 'acc) -> 'acc
+
+val space_words : 'node t -> words:('node -> int) -> int
+
+val size : 'node t -> int

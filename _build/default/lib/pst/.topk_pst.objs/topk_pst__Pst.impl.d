@@ -1,0 +1,1 @@
+lib/pst/pst.ml: Array Float Option Topk_em

@@ -1,0 +1,1 @@
+lib/pst/pst.mli:

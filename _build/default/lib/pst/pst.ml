@@ -1,0 +1,133 @@
+module Stats = Topk_em.Stats
+
+type 'a node =
+  | Leaf
+  | Node of {
+      item : 'a;          (* maximum weight in this subtree *)
+      w : float;          (* cached weight of [item] *)
+      k : float;          (* cached key of [item] *)
+      min_key : float;    (* over the whole subtree *)
+      max_key : float;
+      left : 'a node;
+      right : 'a node;
+    }
+
+type 'a t = {
+  root : 'a node;
+  size : int;
+}
+
+type side = Below | Above
+
+(* Build over a key-sorted segment [lo, hi) of [arr]: pull out the
+   max-weight element, shift the tail down to keep the segment sorted,
+   and split the remainder at the median.  O(n log n) total. *)
+let rec build_node ~key ~weight arr lo hi =
+  if hi <= lo then Leaf
+  else begin
+    let min_key = key arr.(lo) and max_key = key arr.(hi - 1) in
+    let m = ref lo in
+    for i = lo + 1 to hi - 1 do
+      if weight arr.(i) > weight arr.(!m) then m := i
+    done;
+    let item = arr.(!m) in
+    Array.blit arr (!m + 1) arr !m (hi - 1 - !m);
+    let hi = hi - 1 in
+    let mid = (lo + hi) / 2 in
+    let left = build_node ~key ~weight arr lo mid in
+    let right = build_node ~key ~weight arr mid hi in
+    Node { item; w = weight item; k = key item; min_key; max_key; left; right }
+  end
+
+let build ~key ~weight elems =
+  let arr = Array.copy elems in
+  Array.sort (fun a b -> Float.compare (key a) (key b)) arr;
+  { root = build_node ~key ~weight arr 0 (Array.length arr); size = Array.length elems }
+
+let size t = t.size
+
+let space_words t = 4 * t.size  (* item + cached key/weight + key range *)
+
+(* Does the subtree's key interval intersect the query side? *)
+let intersects side bound = function
+  | Leaf -> false
+  | Node n ->
+      (match side with
+       | Below -> n.min_key <= bound
+       | Above -> n.max_key >= bound)
+
+let key_ok side bound k =
+  match side with Below -> k <= bound | Above -> k >= bound
+
+let query t ~side ~bound ~tau f =
+  (* Cost model: a reporting node is one scanned element, and so is a
+     weight-pruned probe (both lie inside the clustered run of a
+     reporting parent in an EM layout; there are at most 2t + O(log n)
+     of them).  Only key-boundary nodes that report nothing — O(log n)
+     of them — are random I/Os. *)
+  let rec go node =
+    match node with
+    | Leaf -> ()
+    | Node n ->
+        if n.w >= tau then begin
+          if key_ok side bound n.k then begin
+            Stats.charge_scan 1;
+            f n.item
+          end
+          else Stats.charge_ios 1;
+          if intersects side bound n.left then go n.left;
+          if intersects side bound n.right then go n.right
+        end
+        else Stats.charge_scan 1
+  in
+  if intersects side bound t.root then go t.root
+
+let query_list t ~side ~bound ~tau =
+  let acc = ref [] in
+  query t ~side ~bound ~tau (fun e -> acc := e :: !acc);
+  !acc
+
+exception Enough
+
+let query_monitored t ~side ~bound ~tau ~limit =
+  let acc = ref [] and count = ref 0 in
+  match
+    query t ~side ~bound ~tau (fun e ->
+        acc := e :: !acc;
+        incr count;
+        if !count > limit then raise Enough)
+  with
+  | () -> `All !acc
+  | exception Enough -> `Truncated !acc
+
+let max_element t ~side ~bound =
+  let best = ref None in
+  let beats w = match !best with None -> true | Some (bw, _) -> w > bw in
+  let fully_inside side bound = function
+    | Leaf -> false
+    | Node n ->
+        (match side with
+         | Below -> n.max_key <= bound
+         | Above -> n.min_key >= bound)
+  in
+  let rec go node =
+    match node with
+    | Leaf -> ()
+    | Node n ->
+        Stats.charge_ios 1;
+        if beats n.w && intersects side bound node then begin
+          if key_ok side bound n.k then best := Some (n.w, n.item)
+          else begin
+            (* Visit the fully-inside child first: its root qualifies
+               immediately, pruning the rest — O(log n) overall. *)
+            let a, b =
+              if fully_inside side bound n.left then (n.left, n.right)
+              else (n.right, n.left)
+            in
+            go a;
+            go b
+          end
+        end
+  in
+  go t.root;
+  Option.map snd !best

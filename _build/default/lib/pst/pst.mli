@@ -1,0 +1,48 @@
+(** Static priority search tree (McCreight 1985).
+
+    Stores elements carrying a {e key} and a {e weight} and answers the
+    3-sided query "all elements with key [<=] (or [>=]) a bound and
+    weight [>= tau]" in [O(log n + t)], where [t] is the output size.
+    This is the canonical building block for prioritized reporting:
+    interval stabbing and dominance structures in this repository hang
+    one PST per canonical node.
+
+    Layout: the root holds the maximum-weight element of the set; the
+    rest is split by the median key between two children.  A query
+    prunes on weight (a subtree whose root weight is [< tau] holds
+    nothing reportable) and on key (subtrees beyond the bound are
+    skipped), so it visits [O(log n)] boundary nodes plus one node per
+    reported element.
+
+    Costs: one I/O per node visit on the boundary, reported elements
+    charged as scans (see {!Topk_em.Stats.charge_scan}). *)
+
+type 'a t
+
+type side =
+  | Below  (** query selects keys [<= bound] *)
+  | Above  (** query selects keys [>= bound] *)
+
+val build : key:('a -> float) -> weight:('a -> float) -> 'a array -> 'a t
+(** O(n log n) construction; the input array is not modified. *)
+
+val size : 'a t -> int
+
+val space_words : 'a t -> int
+
+val query :
+  'a t -> side:side -> bound:float -> tau:float -> ('a -> unit) -> unit
+(** [query t ~side ~bound ~tau f] applies [f] to every element on the
+    [side] of [bound] whose weight is [>= tau], in no particular
+    order. *)
+
+val query_list : 'a t -> side:side -> bound:float -> tau:float -> 'a list
+
+val query_monitored :
+  'a t -> side:side -> bound:float -> tau:float -> limit:int ->
+  [ `All of 'a list | `Truncated of 'a list ]
+(** Stops as soon as [limit + 1] elements have been reported. *)
+
+val max_element : 'a t -> side:side -> bound:float -> 'a option
+(** The maximum-weight element on the [side] of [bound]: a max query,
+    O(log n). *)

@@ -1,0 +1,1 @@
+lib/range/dyn_range_max.ml: Array Float Hashtbl Problem Topk_em Topk_util Wpoint

@@ -1,0 +1,1 @@
+lib/range/dyn_range_max.mli: Problem Topk_core

@@ -1,0 +1,1 @@
+lib/range/instances.ml: Dyn_range_max Problem Range_max Range_pri Topk_core

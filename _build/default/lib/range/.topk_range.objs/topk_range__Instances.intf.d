@@ -1,0 +1,1 @@
+lib/range/instances.mli: Problem Range_max Range_pri Topk_core Wpoint

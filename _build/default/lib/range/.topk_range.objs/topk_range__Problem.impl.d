@@ -1,0 +1,1 @@
+lib/range/problem.ml: Format Wpoint

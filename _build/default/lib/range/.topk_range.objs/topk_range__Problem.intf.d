@@ -1,0 +1,1 @@
+lib/range/problem.mli: Topk_core Wpoint

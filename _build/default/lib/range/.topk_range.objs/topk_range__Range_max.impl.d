@@ -1,0 +1,1 @@
+lib/range/range_max.ml: Array Float Problem Topk_em Topk_util Wpoint

@@ -1,0 +1,1 @@
+lib/range/range_max.mli: Problem Topk_core

@@ -1,0 +1,1 @@
+lib/range/range_pri.ml: Array Float Problem Topk_core Topk_em Topk_util Wpoint

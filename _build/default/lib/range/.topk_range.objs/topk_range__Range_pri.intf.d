@@ -1,0 +1,1 @@
+lib/range/range_pri.mli: Problem Topk_core Wpoint

@@ -1,0 +1,1 @@
+lib/range/wpoint.ml: Array Float Format Int Topk_util

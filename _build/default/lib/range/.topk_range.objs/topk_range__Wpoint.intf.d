@@ -1,0 +1,1 @@
+lib/range/wpoint.mli: Format Topk_util

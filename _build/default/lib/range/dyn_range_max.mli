@@ -1,0 +1,13 @@
+(** Dynamic 1D range-max: logarithmic-method buckets, each a segment
+    tree over the bucket's points whose canonical nodes keep
+    weight-descending arrays with a head pointer skipping tombstoned
+    entries (each skip amortizes against one deletion).  The same
+    construction as the dynamic stabbing-max of Theorem 4
+    ({!Topk_interval.Dyn_max}) on a different problem — the [U_max]
+    black box for a dynamic top-k range structure. *)
+
+include Topk_core.Sigs.DYNAMIC_MAX with module P = Problem
+
+val live : t -> int
+
+val rebuilds : t -> int

@@ -1,0 +1,18 @@
+module Oracle = Topk_core.Oracle.Make (Problem)
+module Topk_t1 = Topk_core.Theorem1.Make (Range_pri)
+module Topk_t2 = Topk_core.Theorem2.Make (Range_pri) (Range_max)
+module Synth_max = Topk_core.Max_from_pri.Make (Range_pri)
+module Topk_t2_synth = Topk_core.Theorem2.Make (Range_pri) (Synth_max)
+module Topk_rj = Topk_core.Baseline_rj.Make (Range_pri)
+module Topk_naive = Topk_core.Naive.Make (Problem)
+
+let params () =
+  {
+    Topk_core.Params.default with
+    Topk_core.Params.lambda = 2.;
+    q_pri = Topk_core.Params.log2;
+    q_max = Topk_core.Params.log2;
+  }
+
+module Dyn_pri = Topk_core.Bentley_saxe.Make (Range_pri)
+module Dyn_topk = Topk_core.Theorem2_dynamic.Make (Dyn_pri) (Dyn_range_max)

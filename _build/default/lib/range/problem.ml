@@ -1,0 +1,14 @@
+type elem = Wpoint.t
+
+type query = float * float
+
+let weight (e : elem) = e.Wpoint.weight
+
+let id (e : elem) = e.Wpoint.id
+
+let matches (lo, hi) (e : elem) =
+  lo <= e.Wpoint.pos && e.Wpoint.pos <= hi
+
+let pp_elem = Wpoint.pp
+
+let pp_query ppf (lo, hi) = Format.fprintf ppf "range[%g, %g]" lo hi

@@ -1,0 +1,7 @@
+(** 1D range reporting as a framework problem: a predicate is a closed
+    interval [(lo, hi)] of the line. *)
+
+include
+  Topk_core.Sigs.PROBLEM
+    with type elem = Wpoint.t
+     and type query = float * float

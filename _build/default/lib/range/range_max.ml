@@ -1,0 +1,74 @@
+module Stats = Topk_em.Stats
+module Search = Topk_util.Search
+module P = Problem
+
+type t = {
+  positions : float array;        (* ascending *)
+  best : Wpoint.t option array;   (* per tree node *)
+  leaves : int;
+  n : int;
+}
+
+let name = "range-max-segtree"
+
+let rec next_pow2 x k = if k >= x then k else next_pow2 x (2 * k)
+
+let build elems =
+  let sorted = Array.copy elems in
+  Array.sort Wpoint.compare_pos sorted;
+  let n = Array.length sorted in
+  let leaves = next_pow2 (max 1 n) 1 in
+  let best = Array.make (2 * leaves) None in
+  for i = 0 to n - 1 do
+    best.(leaves + i) <- Some sorted.(i)
+  done;
+  let heavier a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some p, Some q -> if Wpoint.compare_weight p q >= 0 then a else b
+  in
+  for i = leaves - 1 downto 1 do
+    best.(i) <- heavier best.(2 * i) best.((2 * i) + 1)
+  done;
+  {
+    positions = Array.map (fun (p : Wpoint.t) -> p.Wpoint.pos) sorted;
+    best;
+    leaves;
+    n;
+  }
+
+let size t = t.n
+
+let space_words t = Array.length t.positions + Array.length t.best
+
+let query t (lo, hi) =
+  Stats.charge_ios
+    (max 1 (int_of_float (Float.log2 (float_of_int (t.n + 2)))));
+  let a = Search.lower_bound ~cmp:Float.compare t.positions lo in
+  let b = Search.upper_bound ~cmp:Float.compare t.positions hi in
+  if a >= b then None
+  else begin
+    let best = ref None in
+    let consider = function
+      | None -> ()
+      | Some p -> (
+          match !best with
+          | None -> best := Some p
+          | Some q -> if Wpoint.compare_weight p q > 0 then best := Some p)
+    in
+    let l = ref (t.leaves + a) and r = ref (t.leaves + b) in
+    while !l < !r do
+      Stats.charge_ios 1;
+      if !l land 1 = 1 then begin
+        consider t.best.(!l);
+        incr l
+      end;
+      if !r land 1 = 1 then begin
+        decr r;
+        consider t.best.(!r)
+      end;
+      l := !l / 2;
+      r := !r / 2
+    done;
+    !best
+  end

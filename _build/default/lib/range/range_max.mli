@@ -1,0 +1,5 @@
+(** Max 1D range reporting: the same segment tree storing only the
+    maximum-weight point per node — [O(n)] space, [O(log n)] query
+    (a classic range-maximum structure). *)
+
+include Topk_core.Sigs.MAX with module P = Problem

@@ -1,0 +1,44 @@
+type t = {
+  pos : float;
+  weight : float;
+  id : int;
+}
+
+let counter = ref 0
+
+let make ?id ~pos ~weight () =
+  if Float.is_nan pos then invalid_arg "Wpoint.make: NaN position";
+  let id =
+    match id with
+    | Some i -> i
+    | None ->
+        incr counter;
+        !counter
+  in
+  { pos; weight; id }
+
+let compare_weight a b =
+  match Float.compare a.weight b.weight with
+  | 0 -> Int.compare a.id b.id
+  | c -> c
+
+let compare_pos a b =
+  match Float.compare a.pos b.pos with
+  | 0 -> Int.compare a.id b.id
+  | c -> c
+
+let pp ppf t = Format.fprintf ppf "%g@%g#%d" t.pos t.weight t.id
+
+let of_positions ?weights rng positions =
+  let n = Array.length positions in
+  let weights =
+    match weights with
+    | Some w ->
+        if Array.length w <> n then
+          invalid_arg "Wpoint.of_positions: weights length mismatch";
+        w
+    | None -> Topk_util.Gen.distinct_weights rng n
+  in
+  Array.mapi
+    (fun i pos -> make ~id:(i + 1) ~pos ~weight:weights.(i) ())
+    positions

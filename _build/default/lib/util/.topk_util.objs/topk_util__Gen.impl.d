@@ -1,0 +1,1 @@
+lib/util/gen.ml: Array Float Rng

@@ -1,0 +1,70 @@
+(* splitmix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators", OOPSLA 2014.  Small state, passes BigCrush, splittable. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t = { state = bits64 t }
+
+let copy t = { state = t.state }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be > 0";
+  (* Rejection sampling on 62 bits to avoid modulo bias. *)
+  let b = Int64.of_int bound in
+  let range = Int64.shift_left 1L 62 in
+  let limit = Int64.(mul (div range b) b) in
+  let rec go () =
+    let r = Int64.shift_right_logical (bits64 t) 2 in
+    if r >= limit then go () else Int64.to_int (Int64.rem r b)
+  in
+  go ()
+
+let uniform t =
+  (* 53 uniform bits into [0,1). *)
+  let r = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float r *. 0x1.0p-53
+
+let float t x = uniform t *. x
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p =
+  if p <= 0. then false
+  else if p >= 1. then true
+  else uniform t < p
+
+let exponential t =
+  let u = 1.0 -. uniform t in
+  -.log u
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample t ~p arr =
+  if p >= 1. then Array.copy arr
+  else if p <= 0. then [||]
+  else begin
+    let kept = ref [] in
+    for i = Array.length arr - 1 downto 0 do
+      if bernoulli t p then kept := arr.(i) :: !kept
+    done;
+    Array.of_list !kept
+  end

@@ -1,0 +1,43 @@
+(** Deterministic, splittable pseudo-random generator (splitmix64).
+
+    Every randomized component of the library (rank sampling, core-set
+    construction, quickselect pivots, workload generators) draws from an
+    explicit [Rng.t], so experiments are reproducible from a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a generator determined entirely by [seed]. *)
+
+val split : t -> t
+(** A statistically independent generator derived from [t]'s stream;
+    both remain usable. *)
+
+val copy : t -> t
+
+val bits64 : t -> int64
+(** Next 64 uniform bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [0, x). *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p] (clamped to [0,1]). *)
+
+val uniform : t -> float
+(** Uniform in [0, 1). *)
+
+val exponential : t -> float
+(** Standard exponential variate. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample : t -> p:float -> 'a array -> 'a array
+(** [sample t ~p arr] keeps each element independently with probability
+    [p] — the p-sample of Section 3.1. *)

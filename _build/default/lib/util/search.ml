@@ -1,0 +1,40 @@
+let lower_bound ~cmp arr x =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp arr.(mid) x < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let upper_bound ~cmp arr x =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp arr.(mid) x <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let predecessor ~cmp arr x =
+  let i = upper_bound ~cmp arr x in
+  if i = 0 then None else Some (i - 1)
+
+let binary_search_first ok lo hi =
+  let lo = ref lo and hi = ref hi in
+  if !lo >= !hi then None
+  else begin
+    let found = ref None in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if ok mid then begin
+        found := Some mid;
+        hi := mid
+      end
+      else lo := mid + 1
+    done;
+    !found
+  end
+
+let is_sorted ~cmp arr =
+  let n = Array.length arr in
+  let rec go i = i >= n || (cmp arr.(i - 1) arr.(i) <= 0 && go (i + 1)) in
+  go 1

@@ -1,0 +1,19 @@
+(** Binary searches on sorted arrays (predecessor/successor style),
+    used by every "predecessor search" step in the paper's structures
+    (slab location, canonical-set collection, hull extreme points). *)
+
+val lower_bound : cmp:('a -> 'a -> int) -> 'a array -> 'a -> int
+(** Index of the first element [>= x] (length if none).  The array must
+    be sorted ascending under [cmp]. *)
+
+val upper_bound : cmp:('a -> 'a -> int) -> 'a array -> 'a -> int
+(** Index of the first element [> x] (length if none). *)
+
+val predecessor : cmp:('a -> 'a -> int) -> 'a array -> 'a -> int option
+(** Index of the last element [<= x], if any. *)
+
+val binary_search_first : (int -> bool) -> int -> int -> int option
+(** [binary_search_first ok lo hi] is the smallest [i] in [lo, hi) with
+    [ok i], assuming [ok] is monotone (all-false then all-true). *)
+
+val is_sorted : cmp:('a -> 'a -> int) -> 'a array -> bool

@@ -1,0 +1,28 @@
+(** k-selection, the workhorse the paper invokes as "k-selection [8]":
+    from an unordered batch of candidates, extract the [k] largest in
+    linear time.  Also order statistics (quickselect and the
+    deterministic median-of-medians). *)
+
+val top_k : cmp:('a -> 'a -> int) -> int -> 'a list -> 'a list
+(** [top_k ~cmp k xs] is the [k] largest elements of [xs] under [cmp],
+    sorted descending.  Returns all of [xs] sorted descending when
+    [length xs <= k].  Expected O(|xs| + k log k) via quickselect on an
+    internal RNG seeded deterministically. *)
+
+val top_k_array : cmp:('a -> 'a -> int) -> int -> 'a array -> 'a list
+(** As {!top_k}; the input array is not modified. *)
+
+val quickselect : ?rng:Rng.t -> cmp:('a -> 'a -> int) -> 'a array -> int -> 'a
+(** [quickselect ~cmp arr i] is the element of rank [i] (0-based, from
+    the smallest under [cmp]); expected linear time.  The array is
+    permuted in place.  @raise Invalid_argument if [i] is out of
+    bounds. *)
+
+val median_of_medians : cmp:('a -> 'a -> int) -> 'a array -> int -> 'a
+(** Deterministic worst-case linear selection of rank [i] (0-based,
+    from the smallest).  The array is permuted in place. *)
+
+val nth_largest : cmp:('a -> 'a -> int) -> 'a array -> int -> 'a
+(** [nth_largest ~cmp arr r] is the element of weight rank [r]
+    (1-based, from the largest), expected linear time; the array is
+    permuted in place. *)

@@ -1,0 +1,1 @@
+test/test_conformance.ml: Alcotest Array Float Int List Option Printf Topk_core Topk_dominance Topk_enclosure Topk_geom Topk_halfspace Topk_interval Topk_ortho Topk_range Topk_util

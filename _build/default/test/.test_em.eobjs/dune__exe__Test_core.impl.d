@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Format Int List Option Printf QCheck QCheck_alcotest Topk_core Topk_em Topk_pst Topk_util

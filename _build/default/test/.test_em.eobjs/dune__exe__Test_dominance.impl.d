@@ -1,0 +1,1 @@
+test/test_dominance.ml: Alcotest Array Float Int List Option QCheck QCheck_alcotest Topk_core Topk_dominance Topk_util

@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest Array Float Int List Option QCheck QCheck_alcotest Topk_core Topk_interval Topk_util

@@ -1,0 +1,1 @@
+test/test_em.ml: Alcotest Array Topk_em

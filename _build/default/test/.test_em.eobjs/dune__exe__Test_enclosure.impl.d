@@ -1,0 +1,1 @@
+test/test_enclosure.ml: Alcotest Array Float Int List Option QCheck QCheck_alcotest Topk_core Topk_enclosure Topk_interval Topk_util

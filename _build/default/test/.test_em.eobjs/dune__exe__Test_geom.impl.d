@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest Array Float Hashtbl Int List Option Printf QCheck QCheck_alcotest Topk_geom Topk_util

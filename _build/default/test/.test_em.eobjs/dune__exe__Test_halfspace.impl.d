@@ -1,0 +1,1 @@
+test/test_halfspace.ml: Alcotest Array Float Int List Option QCheck QCheck_alcotest Topk_core Topk_geom Topk_halfspace Topk_util

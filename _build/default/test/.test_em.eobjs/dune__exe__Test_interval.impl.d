@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Array Float Int List Option Printf QCheck QCheck_alcotest Topk_core Topk_interval Topk_util

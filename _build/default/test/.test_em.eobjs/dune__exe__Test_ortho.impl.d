@@ -1,0 +1,1 @@
+test/test_ortho.ml: Alcotest Array Float Int List Option QCheck QCheck_alcotest Topk_core Topk_geom Topk_ortho Topk_util

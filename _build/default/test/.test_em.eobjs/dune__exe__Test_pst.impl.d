@@ -1,0 +1,1 @@
+test/test_pst.ml: Alcotest Array Float Int List Option Printf QCheck QCheck_alcotest Topk_em Topk_pst Topk_util

@@ -1,0 +1,1 @@
+test/test_range.ml: Alcotest Array Float Int List Option QCheck QCheck_alcotest Topk_core Topk_range Topk_util

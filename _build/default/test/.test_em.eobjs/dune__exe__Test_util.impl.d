@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Int List QCheck QCheck_alcotest Topk_util

@@ -1,0 +1,364 @@
+(* Cross-problem conformance laws.
+
+   Every problem instance must satisfy the same contracts the
+   reductions rely on; this suite states them once as functors and
+   applies them to all eight problems.  Notably:
+
+   - tau-inclusion: a prioritized query with tau = w(e) for a matching
+     element e MUST report e (the reductions always query at the exact
+     weight of a sampled element — an exclusive comparison here is the
+     classic off-by-one);
+   - monitored exactness: [All] answers are complete, [Truncated]
+     answers have exactly limit+1 elements;
+   - top-k prefix monotonicity: top-k is a prefix of top-(k+1). *)
+
+module Sigs = Topk_core.Sigs
+module Rng = Topk_util.Rng
+module Gen = Topk_util.Gen
+
+module type INSTANCE = sig
+  module P : Sigs.PROBLEM
+
+  module Pri : Sigs.PRIORITIZED with module P = P
+
+  module Max : Sigs.MAX with module P = P
+
+  module Topk : Sigs.TOPK with module P = P
+
+  val name : string
+
+  val params : Topk_core.Params.t
+
+  val elements : Rng.t -> n:int -> P.elem array
+
+  val queries : Rng.t -> n:int -> P.query array
+end
+
+module Conformance (I : INSTANCE) = struct
+  module Oracle = Topk_core.Oracle.Make (I.P)
+  module W = Sigs.Weight_order (I.P)
+
+  let ids l = List.sort Int.compare (List.map I.P.id l)
+
+  let setup seed n =
+    let rng = Rng.create seed in
+    let elems = I.elements rng ~n in
+    (elems, Oracle.build elems, I.queries rng ~n:25)
+
+  let test_tau_inclusion () =
+    let elems, oracle, queries = setup 701 300 in
+    let s = I.Pri.build elems in
+    Array.iter
+      (fun q ->
+        (* tau equal to the weight of each of a few matching elements:
+           that element must be reported. *)
+        let matching = Oracle.prioritized oracle q ~tau:Float.neg_infinity in
+        List.iteri
+          (fun i e ->
+            if i mod 7 = 0 then begin
+              let tau = I.P.weight e in
+              let got = I.Pri.query s q ~tau in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: tau-inclusion" I.name)
+                true
+                (List.exists (fun x -> I.P.id x = I.P.id e) got);
+              (* And the result is exactly the oracle's. *)
+              Alcotest.(check (list int))
+                (Printf.sprintf "%s: tau-exact" I.name)
+                (ids (Oracle.prioritized oracle q ~tau))
+                (ids got)
+            end)
+          matching)
+      queries
+
+  let test_monitored_exactness () =
+    let elems, oracle, queries = setup 703 300 in
+    let s = I.Pri.build elems in
+    Array.iter
+      (fun q ->
+        let total = Oracle.count oracle q in
+        (match I.Pri.query_monitored s q ~tau:Float.neg_infinity ~limit:total with
+         | Sigs.All got ->
+             Alcotest.(check (list int))
+               (Printf.sprintf "%s: monitored All complete" I.name)
+               (ids (Oracle.prioritized oracle q ~tau:Float.neg_infinity))
+               (ids got)
+         | Sigs.Truncated _ ->
+             Alcotest.failf "%s: truncation below the result size" I.name);
+        if total > 2 then
+          match
+            I.Pri.query_monitored s q ~tau:Float.neg_infinity
+              ~limit:(total - 2)
+          with
+          | Sigs.Truncated got ->
+              Alcotest.(check int)
+                (Printf.sprintf "%s: truncated = limit+1" I.name)
+                (total - 1) (List.length got)
+          | Sigs.All _ ->
+              Alcotest.failf "%s: missed truncation" I.name)
+      queries
+
+  let test_max_agrees () =
+    let elems, oracle, queries = setup 707 300 in
+    let m = I.Max.build elems in
+    Array.iter
+      (fun q ->
+        Alcotest.(check (option int))
+          (Printf.sprintf "%s: max" I.name)
+          (Option.map I.P.id (Oracle.max oracle q))
+          (Option.map I.P.id (I.Max.query m q)))
+      queries
+
+  let test_topk_prefix_monotone () =
+    let elems, oracle, queries = setup 709 250 in
+    ignore oracle;
+    let t = I.Topk.build ~params:I.params elems in
+    Array.iter
+      (fun q ->
+        let prev = ref [] in
+        List.iter
+          (fun k ->
+            let cur = List.map I.P.id (I.Topk.query t q ~k) in
+            let plen = List.length !prev in
+            Alcotest.(check (list int))
+              (Printf.sprintf "%s: top-%d extends top-k prefix" I.name k)
+              !prev
+              (List.filteri (fun i _ -> i < plen) cur);
+            prev := cur)
+          [ 1; 2; 4; 8; 32; 128 ])
+      queries
+
+  let test_topk_sorted_and_distinct () =
+    let elems, _, queries = setup 711 250 in
+    let t = I.Topk.build ~params:I.params elems in
+    Array.iter
+      (fun q ->
+        let got = I.Topk.query t q ~k:40 in
+        let rec check_sorted = function
+          | a :: (b :: _ as rest) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: descending" I.name)
+                true
+                (W.compare a b > 0);
+              check_sorted rest
+          | _ -> ()
+        in
+        check_sorted got;
+        let uniq = List.sort_uniq Int.compare (List.map I.P.id got) in
+        Alcotest.(check int)
+          (Printf.sprintf "%s: no duplicates" I.name)
+          (List.length got) (List.length uniq))
+      queries
+
+  let test_empty_input () =
+    let t = I.Topk.build ~params:I.params [||] in
+    let s = I.Pri.build [||] in
+    let m = I.Max.build [||] in
+    let rng = Rng.create 713 in
+    Array.iter
+      (fun q ->
+        Alcotest.(check int)
+          (Printf.sprintf "%s: empty topk" I.name)
+          0
+          (List.length (I.Topk.query t q ~k:5));
+        Alcotest.(check int)
+          (Printf.sprintf "%s: empty pri" I.name)
+          0
+          (List.length (I.Pri.query s q ~tau:Float.neg_infinity));
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: empty max" I.name)
+          true
+          (I.Max.query m q = None))
+      (I.queries rng ~n:5)
+
+  let suite =
+    [
+      Alcotest.test_case "tau inclusion at exact weights" `Quick
+        test_tau_inclusion;
+      Alcotest.test_case "monitored exactness" `Quick
+        test_monitored_exactness;
+      Alcotest.test_case "max agrees with oracle" `Quick test_max_agrees;
+      Alcotest.test_case "top-k prefix monotone" `Quick
+        test_topk_prefix_monotone;
+      Alcotest.test_case "top-k sorted, distinct" `Quick
+        test_topk_sorted_and_distinct;
+      Alcotest.test_case "empty input" `Quick test_empty_input;
+    ]
+end
+
+(* --- the eight instances --- *)
+
+module Interval_instance = struct
+  module P = Topk_interval.Problem
+  module Pri = Topk_interval.Seg_stab
+  module Max = Topk_interval.Slab_max
+  module Topk = Topk_interval.Instances.Topk_t2
+
+  let name = "interval"
+
+  let params = Topk_interval.Instances.params ()
+
+  let elements rng ~n =
+    Topk_interval.Interval.of_spans rng
+      (Gen.intervals rng ~shape:Gen.Mixed_intervals ~n)
+
+  let queries rng ~n = Gen.stab_queries rng ~n
+end
+
+module Range_instance = struct
+  module P = Topk_range.Problem
+  module Pri = Topk_range.Range_pri
+  module Max = Topk_range.Range_max
+  module Topk = Topk_range.Instances.Topk_t2
+
+  let name = "range"
+
+  let params = Topk_range.Instances.params ()
+
+  let elements rng ~n =
+    Topk_range.Wpoint.of_positions rng
+      (Array.init n (fun _ -> Rng.uniform rng))
+
+  let queries rng ~n =
+    Array.init n (fun _ ->
+        let a = Rng.uniform rng and b = Rng.uniform rng in
+        (Float.min a b, Float.max a b))
+end
+
+module Enclosure_instance = struct
+  module P = Topk_enclosure.Problem
+  module Pri = Topk_enclosure.Enc_pri
+  module Max = Topk_enclosure.Enc_max
+  module Topk = Topk_enclosure.Instances.Topk_t2
+
+  let name = "enclosure"
+
+  let params = Topk_enclosure.Instances.params ()
+
+  let elements rng ~n = Topk_enclosure.Rect.of_boxes rng (Gen.rectangles rng ~n)
+
+  let queries rng ~n =
+    Array.init n (fun _ -> (Rng.uniform rng, Rng.uniform rng))
+end
+
+module Dominance_instance = struct
+  module P = Topk_dominance.Problem
+  module Pri = Topk_dominance.Dom_pri
+  module Max = Topk_dominance.Dom_max
+  module Topk = Topk_dominance.Instances.Topk_t2
+
+  let name = "dominance"
+
+  let params = Topk_dominance.Instances.params ()
+
+  let elements rng ~n =
+    Topk_dominance.Point3.of_coords rng
+      (Array.init n (fun _ ->
+           (Rng.uniform rng, Rng.uniform rng, Rng.uniform rng)))
+
+  let queries rng ~n =
+    Array.init n (fun _ ->
+        (Rng.uniform rng, Rng.uniform rng, Rng.uniform rng))
+end
+
+module Halfplane_instance = struct
+  module P = Topk_halfspace.Hp_problem
+  module Pri = Topk_halfspace.Hp_pri
+  module Max = Topk_halfspace.Hp_max
+  module Topk = Topk_halfspace.Instances.Topk2_t2
+
+  let name = "halfplane"
+
+  let params = Topk_halfspace.Instances.params2 ()
+
+  let elements rng ~n =
+    Topk_geom.Point2.of_coords rng
+      (Array.map (fun c -> (c.(0), c.(1))) (Gen.points rng ~n ~d:2))
+
+  let queries rng ~n =
+    Array.map Topk_geom.Halfplane.of_triple (Gen.halfplanes rng ~n)
+end
+
+module Kd_halfspace_instance = struct
+  module P = Topk_halfspace.Instances.Hs_problem
+  module Pri = Topk_halfspace.Instances.Kd_hs_pri
+  module Max = Topk_halfspace.Instances.Kd_hs_max
+  module Topk = Topk_halfspace.Instances.Topkd_t2
+
+  let name = "kd-halfspace-d3"
+
+  let params = Topk_halfspace.Instances.paramsd ~d:3
+
+  let elements rng ~n = Topk_halfspace.Pointd.of_coords rng (Gen.points rng ~n ~d:3)
+
+  let queries rng ~n =
+    Array.init n (fun _ ->
+        let normal = Array.init 3 (fun _ -> Rng.uniform rng -. 0.5) in
+        if Array.for_all (fun a -> Float.abs a < 1e-9) normal then
+          normal.(0) <- 1.;
+        let anchor = Array.init 3 (fun _ -> Rng.uniform rng) in
+        let c = ref 0. in
+        Array.iteri (fun i a -> c := !c +. (a *. anchor.(i))) normal;
+        Topk_halfspace.Predicates.Halfspace.make ~normal ~c:!c)
+end
+
+module Ball_instance = struct
+  module P = Topk_halfspace.Instances.Ball_problem
+  module Pri = Topk_halfspace.Instances.Kd_ball_pri
+  module Max = Topk_halfspace.Instances.Kd_ball_max
+  module Topk = Topk_halfspace.Instances.Topk_ball_t2
+
+  let name = "ball-d3"
+
+  let params = Topk_halfspace.Instances.paramsd ~d:3
+
+  let elements rng ~n = Topk_halfspace.Pointd.of_coords rng (Gen.points rng ~n ~d:3)
+
+  let queries rng ~n =
+    Array.map
+      (fun (c, r) -> Topk_halfspace.Predicates.Ball.make ~center:c ~radius:r)
+      (Gen.balls rng ~n ~d:3)
+end
+
+module Ortho_instance = struct
+  module P = Topk_ortho.Problem
+  module Pri = Topk_ortho.Ortho_pri
+  module Max = Topk_ortho.Ortho_max
+  module Topk = Topk_ortho.Instances.Topk_t2
+
+  let name = "ortho"
+
+  let params = Topk_ortho.Instances.params ()
+
+  let elements rng ~n =
+    Topk_geom.Point2.of_coords rng
+      (Array.map (fun c -> (c.(0), c.(1))) (Gen.points rng ~n ~d:2))
+
+  let queries rng ~n =
+    Array.init n (fun _ ->
+        let x1 = Rng.uniform rng and x2 = Rng.uniform rng in
+        let y1 = Rng.uniform rng and y2 = Rng.uniform rng in
+        (Float.min x1 x2, Float.max x1 x2, Float.min y1 y2, Float.max y1 y2))
+end
+
+module C_interval = Conformance (Interval_instance)
+module C_range = Conformance (Range_instance)
+module C_enclosure = Conformance (Enclosure_instance)
+module C_dominance = Conformance (Dominance_instance)
+module C_halfplane = Conformance (Halfplane_instance)
+module C_kd = Conformance (Kd_halfspace_instance)
+module C_ball = Conformance (Ball_instance)
+module C_ortho = Conformance (Ortho_instance)
+
+let () =
+  Alcotest.run "topk_conformance"
+    [
+      ("interval", C_interval.suite);
+      ("range", C_range.suite);
+      ("enclosure", C_enclosure.suite);
+      ("dominance", C_dominance.suite);
+      ("halfplane", C_halfplane.suite);
+      ("kd-halfspace", C_kd.suite);
+      ("ball", C_ball.suite);
+      ("ortho", C_ortho.suite);
+    ]

@@ -1,0 +1,194 @@
+(* Tests for 3D dominance (Theorem 6). *)
+
+module Rng = Topk_util.Rng
+module Gen = Topk_util.Gen
+module P3 = Topk_dominance.Point3
+module Dom3 = Topk_dominance.Dom3
+module Dom_pri = Topk_dominance.Dom_pri
+module Dom_max = Topk_dominance.Dom_max
+module Minz = Topk_dominance.Minz
+module Inst = Topk_dominance.Instances
+module Sigs = Topk_core.Sigs
+
+let random_points rng n =
+  P3.of_coords rng
+    (Array.map
+       (fun c -> (c.(0), c.(1), c.(2)))
+       (Gen.points rng ~n ~d:3))
+
+let random_corners rng n =
+  Array.init n (fun _ -> (Rng.uniform rng, Rng.uniform rng, Rng.uniform rng))
+
+let ids elems = List.map (fun (e : P3.t) -> e.P3.id) elems
+
+let sorted_ids elems = List.sort Int.compare (ids elems)
+
+let test_dominated_by () =
+  let p = P3.make ~x:1. ~y:2. ~z:3. ~weight:0. () in
+  Alcotest.(check bool) "dominated" true (P3.dominated_by p (1., 2., 3.));
+  Alcotest.(check bool) "strictly" true (P3.dominated_by p (2., 3., 4.));
+  Alcotest.(check bool) "x fails" false (P3.dominated_by p (0.9, 3., 4.));
+  Alcotest.(check bool) "y fails" false (P3.dominated_by p (2., 1.9, 4.));
+  Alcotest.(check bool) "z fails" false (P3.dominated_by p (2., 3., 2.9))
+
+let test_dom3_matches_filter () =
+  let rng = Rng.create 201 in
+  let pts = random_points rng 500 in
+  let d = Dom3.build pts in
+  Array.iter
+    (fun q ->
+      let expected =
+        Array.to_list pts
+        |> List.filter (fun p -> P3.dominated_by p q)
+      in
+      let got = ref [] in
+      Dom3.visit d q (fun p -> got := p :: !got);
+      Alcotest.(check (list int))
+        "dom3 report" (sorted_ids expected) (sorted_ids !got))
+    (random_corners rng 60)
+
+let test_minz_matches_filter () =
+  let rng = Rng.create 203 in
+  let pts = random_points rng 400 in
+  let m = Minz.build pts in
+  Array.iter
+    (fun (x, y, _) ->
+      let expected =
+        Array.fold_left
+          (fun acc (p : P3.t) ->
+            if p.P3.x <= x && p.P3.y <= y then Float.min acc p.P3.z else acc)
+          Float.infinity pts
+      in
+      Alcotest.(check (float 0.)) "min z" expected (Minz.query m ~x ~y))
+    (random_corners rng 80)
+
+let test_dom_pri_matches_oracle () =
+  let rng = Rng.create 207 in
+  let pts = random_points rng 400 in
+  let oracle = Inst.Oracle.build pts in
+  let s = Dom_pri.build pts in
+  Array.iter
+    (fun q ->
+      List.iter
+        (fun tau ->
+          let expected = Inst.Oracle.prioritized oracle q ~tau in
+          let got = Dom_pri.query s q ~tau in
+          Alcotest.(check (list int))
+            "dom prioritized" (sorted_ids expected) (sorted_ids got))
+        [ Float.neg_infinity; 100.; 300.; 500. ])
+    (random_corners rng 40)
+
+let test_dom_pri_monitored () =
+  let rng = Rng.create 209 in
+  let pts = random_points rng 300 in
+  let s = Dom_pri.build pts in
+  let q = (2., 2., 2.) (* dominates everything *) in
+  (match Dom_pri.query_monitored s q ~tau:Float.neg_infinity ~limit:9 with
+   | Sigs.Truncated prefix ->
+       Alcotest.(check int) "limit+1" 10 (List.length prefix)
+   | Sigs.All _ -> Alcotest.fail "expected truncation");
+  match Dom_pri.query_monitored s q ~tau:Float.neg_infinity ~limit:300 with
+  | Sigs.All all -> Alcotest.(check int) "all" 300 (List.length all)
+  | Sigs.Truncated _ -> Alcotest.fail "unexpected truncation"
+
+let test_dom_max_matches_oracle () =
+  let rng = Rng.create 211 in
+  List.iter
+    (fun n ->
+      let pts = random_points rng n in
+      let oracle = Inst.Oracle.build pts in
+      let m = Dom_max.build pts in
+      Array.iter
+        (fun q ->
+          Alcotest.(check (option int))
+            "dom max"
+            (Option.map (fun (e : P3.t) -> e.P3.id) (Inst.Oracle.max oracle q))
+            (Option.map (fun (e : P3.t) -> e.P3.id) (Dom_max.query m q)))
+        (random_corners rng 60))
+    [ 1; 2; 50; 300 ]
+
+let test_reductions_match_oracle () =
+  let rng = Rng.create 213 in
+  let n = 300 in
+  let pts = random_points rng n in
+  let oracle = Inst.Oracle.build pts in
+  let params = Inst.params () in
+  let t1 = Inst.Topk_t1.build ~params pts in
+  let t2 = Inst.Topk_t2.build ~params pts in
+  let rj = Inst.Topk_rj.build pts in
+  Array.iter
+    (fun q ->
+      List.iter
+        (fun k ->
+          let expected = ids (Inst.Oracle.top_k oracle q ~k) in
+          Alcotest.(check (list int))
+            "t1" expected (ids (Inst.Topk_t1.query t1 q ~k));
+          Alcotest.(check (list int))
+            "t2" expected (ids (Inst.Topk_t2.query t2 q ~k));
+          Alcotest.(check (list int))
+            "rj" expected (ids (Inst.Topk_rj.query rj q ~k)))
+        [ 1; 3; 20; 150; 400 ])
+    (random_corners rng 20)
+
+(* The paper's motivating query: best-rated hotels under price,
+   distance, and security constraints. *)
+let test_hotel_query () =
+  let rng = Rng.create 217 in
+  let hotels = Inst.hotels rng ~n:500 in
+  let oracle = Inst.Oracle.build hotels in
+  let t2 = Inst.Topk_t2.build ~params:(Inst.params ()) hotels in
+  (* Price <= 200, distance <= 10 km, security >= 3. *)
+  let q = (200., 10., -3.) in
+  let got = Inst.Topk_t2.query t2 q ~k:10 in
+  Alcotest.(check (list int))
+    "top-10 hotels" (ids (Inst.Oracle.top_k oracle q ~k:10)) (ids got);
+  List.iter
+    (fun (h : P3.t) ->
+      Alcotest.(check bool) "price" true (h.P3.x <= 200.);
+      Alcotest.(check bool) "distance" true (h.P3.y <= 10.);
+      Alcotest.(check bool) "security" true (-.h.P3.z >= 3.))
+    got
+
+let prop_dominance_agree =
+  QCheck.Test.make ~count:20 ~name:"dominance reductions agree"
+    QCheck.(pair (int_bound 10_000) (int_bound 200))
+    (fun (seed, raw_n) ->
+      let n = max 4 raw_n in
+      let rng = Rng.create seed in
+      let pts = random_points rng n in
+      let oracle = Inst.Oracle.build pts in
+      let t2 = Inst.Topk_t2.build ~params:(Inst.params ()) pts in
+      let qs = random_corners rng 5 in
+      Array.for_all
+        (fun q ->
+          List.for_all
+            (fun k ->
+              ids (Inst.Oracle.top_k oracle q ~k)
+              = ids (Inst.Topk_t2.query t2 q ~k))
+            [ 1; 6; n / 2 ])
+        qs)
+
+let () =
+  Alcotest.run "topk_dominance"
+    [
+      ( "point3",
+        [ Alcotest.test_case "dominated_by" `Quick test_dominated_by ] );
+      ( "dom3",
+        [ Alcotest.test_case "matches filter" `Quick test_dom3_matches_filter ] );
+      ( "minz",
+        [ Alcotest.test_case "matches filter" `Quick test_minz_matches_filter ] );
+      ( "dom_pri",
+        [
+          Alcotest.test_case "matches oracle" `Quick
+            test_dom_pri_matches_oracle;
+          Alcotest.test_case "monitored" `Quick test_dom_pri_monitored;
+        ] );
+      ( "dom_max",
+        [ Alcotest.test_case "matches oracle" `Quick test_dom_max_matches_oracle ] );
+      ( "reductions",
+        [
+          Alcotest.test_case "match oracle" `Slow test_reductions_match_oracle;
+          Alcotest.test_case "hotel query" `Quick test_hotel_query;
+          QCheck_alcotest.to_alcotest prop_dominance_agree;
+        ] );
+    ]

@@ -1,0 +1,292 @@
+(* Tests for the dynamic structures: Bentley-Saxe prioritized, dynamic
+   stabbing-max, and the dynamic form of Theorem 2 (updates in
+   O(U_pri + U_max) expected). *)
+
+module Rng = Topk_util.Rng
+module Gen = Topk_util.Gen
+module I = Topk_interval.Interval
+module Inst = Topk_interval.Instances
+module Dyn_pri = Topk_interval.Instances.Dyn_pri
+module Dyn_max = Topk_interval.Dyn_max
+module Dyn_topk = Topk_interval.Instances.Dyn_topk
+module Sigs = Topk_core.Sigs
+
+let ids elems = List.map (fun (e : I.t) -> e.I.id) elems
+
+let sorted_ids elems = List.sort Int.compare (ids elems)
+
+(* A mutable reference model: a plain list of live intervals. *)
+module Model = struct
+  type t = { mutable live : I.t list }
+
+  let create () = { live = [] }
+
+  let insert t e = t.live <- e :: t.live
+
+  let delete t (e : I.t) =
+    t.live <- List.filter (fun (x : I.t) -> x.I.id <> e.I.id) t.live
+
+  let prioritized t q ~tau =
+    List.filter (fun (e : I.t) -> I.contains e q && e.I.weight >= tau) t.live
+
+  let max t q =
+    List.fold_left
+      (fun best e ->
+        if I.contains e q then
+          match best with
+          | None -> Some e
+          | Some b -> if I.compare_weight e b > 0 then Some e else best
+        else best)
+      None t.live
+
+  let top_k t q ~k =
+    Topk_util.Select.top_k ~cmp:I.compare_weight k
+      (List.filter (fun e -> I.contains e q) t.live)
+end
+
+let random_interval rng id =
+  let lo = Rng.uniform rng in
+  let hi = lo +. Rng.float rng (1.2 -. lo) in
+  I.make ~id ~lo ~hi:(min 1.2 hi)
+    ~weight:(float_of_int id +. Rng.float rng 0.3)
+    ()
+
+(* Drive structure and model through the same random trace, checking
+   agreement after every batch. *)
+let run_trace ~check ~insert ~delete rng ~ops ~check_every =
+  let model = Model.create () in
+  let next_id = ref 0 in
+  for op = 1 to ops do
+    let do_insert =
+      List.length model.Model.live < 10 || Rng.bernoulli rng 0.6
+    in
+    if do_insert then begin
+      incr next_id;
+      let e = random_interval rng !next_id in
+      Model.insert model e;
+      insert e
+    end
+    else begin
+      let live = Array.of_list model.Model.live in
+      let e = live.(Rng.int rng (Array.length live)) in
+      Model.delete model e;
+      delete e
+    end;
+    if op mod check_every = 0 then check model
+  done;
+  check model
+
+let test_dyn_pri_trace () =
+  let rng = Rng.create 301 in
+  let s = Dyn_pri.build [||] in
+  run_trace rng ~ops:600 ~check_every:50
+    ~insert:(Dyn_pri.insert s)
+    ~delete:(Dyn_pri.delete s)
+    ~check:(fun model ->
+      Alcotest.(check int) "live count" (List.length model.Model.live)
+        (Dyn_pri.live s);
+      let qs = Gen.stab_queries rng ~n:10 in
+      Array.iter
+        (fun q ->
+          List.iter
+            (fun tau ->
+              Alcotest.(check (list int))
+                "dyn prioritized"
+                (sorted_ids (Model.prioritized model q ~tau))
+                (sorted_ids (Dyn_pri.query s q ~tau)))
+            [ Float.neg_infinity; 100.; 400. ])
+        qs)
+
+let test_dyn_pri_monitored_trace () =
+  let rng = Rng.create 303 in
+  let s = Dyn_pri.build [||] in
+  run_trace rng ~ops:300 ~check_every:60
+    ~insert:(Dyn_pri.insert s)
+    ~delete:(Dyn_pri.delete s)
+    ~check:(fun model ->
+      let qs = Gen.stab_queries rng ~n:5 in
+      Array.iter
+        (fun q ->
+          let expected = Model.prioritized model q ~tau:Float.neg_infinity in
+          let total = List.length expected in
+          (* All-verdict must be exact even with tombstones. *)
+          (match
+             Dyn_pri.query_monitored s q ~tau:Float.neg_infinity ~limit:total
+           with
+           | Sigs.All got ->
+               Alcotest.(check (list int))
+                 "monitored all" (sorted_ids expected) (sorted_ids got)
+           | Sigs.Truncated _ -> Alcotest.fail "unexpected truncation");
+          if total > 3 then
+            match
+              Dyn_pri.query_monitored s q ~tau:Float.neg_infinity
+                ~limit:(total - 2)
+            with
+            | Sigs.Truncated prefix ->
+                Alcotest.(check bool)
+                  "truncated bigger than limit" true
+                  (List.length prefix > total - 2)
+            | Sigs.All _ -> Alcotest.fail "expected truncation")
+        qs)
+
+let test_dyn_max_trace () =
+  let rng = Rng.create 307 in
+  let s = Dyn_max.build [||] in
+  run_trace rng ~ops:600 ~check_every:40
+    ~insert:(Dyn_max.insert s)
+    ~delete:(Dyn_max.delete s)
+    ~check:(fun model ->
+      let qs = Gen.stab_queries rng ~n:15 in
+      Array.iter
+        (fun q ->
+          Alcotest.(check (option int))
+            "dyn max"
+            (Option.map (fun (e : I.t) -> e.I.id) (Model.max model q))
+            (Option.map (fun (e : I.t) -> e.I.id) (Dyn_max.query s q)))
+        qs)
+
+let test_dyn_max_delete_heavy () =
+  (* Repeatedly delete the current maximum: the head-skipping must
+     keep answers exact. *)
+  let rng = Rng.create 311 in
+  let n = 200 in
+  let elems =
+    Array.init n (fun i -> random_interval rng (i + 1))
+  in
+  let s = Dyn_max.build elems in
+  let model = Model.create () in
+  Array.iter (Model.insert model) elems;
+  let q = 0.55 in
+  let rec drain steps =
+    if steps > 0 then begin
+      match Model.max model q with
+      | None ->
+          Alcotest.(check (option int)) "both empty" None
+            (Option.map (fun (e : I.t) -> e.I.id) (Dyn_max.query s q))
+      | Some m ->
+          Alcotest.(check (option int))
+            "max agrees" (Some m.I.id)
+            (Option.map (fun (e : I.t) -> e.I.id) (Dyn_max.query s q));
+          Model.delete model m;
+          Dyn_max.delete s m;
+          drain (steps - 1)
+    end
+  in
+  drain n
+
+let test_dyn_topk_trace () =
+  let rng = Rng.create 313 in
+  let params = Inst.params () in
+  let s = Dyn_topk.build ~params [||] in
+  run_trace rng ~ops:500 ~check_every:50
+    ~insert:(Dyn_topk.insert s)
+    ~delete:(Dyn_topk.delete s)
+    ~check:(fun model ->
+      let qs = Gen.stab_queries rng ~n:8 in
+      Array.iter
+        (fun q ->
+          List.iter
+            (fun k ->
+              Alcotest.(check (list int))
+                "dyn top-k"
+                (ids (Model.top_k model q ~k))
+                (ids (Dyn_topk.query s q ~k)))
+            [ 1; 5; 40; 1000 ])
+        qs)
+
+let test_dyn_topk_build_then_update () =
+  let rng = Rng.create 317 in
+  let spans = Gen.intervals rng ~shape:Gen.Mixed_intervals ~n:300 in
+  let elems = I.of_spans rng spans in
+  let s = Dyn_topk.build ~params:(Inst.params ()) elems in
+  let model = Model.create () in
+  Array.iter (Model.insert model) elems;
+  (* Delete a third, insert fresh ones, re-check. *)
+  Array.iteri
+    (fun i e ->
+      if i mod 3 = 0 then begin
+        Model.delete model e;
+        Dyn_topk.delete s e
+      end)
+    elems;
+  for i = 1 to 100 do
+    let e = random_interval rng (1000 + i) in
+    Model.insert model e;
+    Dyn_topk.insert s e
+  done;
+  let qs = Gen.stab_queries rng ~n:10 in
+  Array.iter
+    (fun q ->
+      List.iter
+        (fun k ->
+          Alcotest.(check (list int))
+            "after updates"
+            (ids (Model.top_k model q ~k))
+            (ids (Dyn_topk.query s q ~k)))
+        [ 1; 10; 100 ])
+    qs
+
+let test_resampling_fires () =
+  let rng = Rng.create 319 in
+  let s = Dyn_topk.build ~params:(Inst.params ()) [||] in
+  for i = 1 to 2000 do
+    Dyn_topk.insert s (random_interval rng i)
+  done;
+  Alcotest.(check bool) "ladder resampled as n grew" true
+    (Dyn_topk.resamples s > 3);
+  Alcotest.(check int) "size tracks inserts" 2000 (Dyn_topk.size s)
+
+let prop_dynamic_agree =
+  QCheck.Test.make ~count:15 ~name:"dynamic top-k agrees after random trace"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let s = Dyn_topk.build ~params:(Inst.params ()) [||] in
+      let model = Model.create () in
+      let next_id = ref 0 in
+      for _ = 1 to 150 do
+        if List.length model.Model.live < 5 || Rng.bernoulli rng 0.65 then begin
+          incr next_id;
+          let e = random_interval rng !next_id in
+          Model.insert model e;
+          Dyn_topk.insert s e
+        end
+        else begin
+          let live = Array.of_list model.Model.live in
+          let e = live.(Rng.int rng (Array.length live)) in
+          Model.delete model e;
+          Dyn_topk.delete s e
+        end
+      done;
+      let qs = Gen.stab_queries rng ~n:4 in
+      Array.for_all
+        (fun q ->
+          List.for_all
+            (fun k ->
+              ids (Model.top_k model q ~k) = ids (Dyn_topk.query s q ~k))
+            [ 1; 7; 300 ])
+        qs)
+
+let () =
+  Alcotest.run "topk_dynamic"
+    [
+      ( "dyn_pri",
+        [
+          Alcotest.test_case "random trace" `Slow test_dyn_pri_trace;
+          Alcotest.test_case "monitored on trace" `Quick
+            test_dyn_pri_monitored_trace;
+        ] );
+      ( "dyn_max",
+        [
+          Alcotest.test_case "random trace" `Slow test_dyn_max_trace;
+          Alcotest.test_case "delete-heavy" `Quick test_dyn_max_delete_heavy;
+        ] );
+      ( "dyn_topk",
+        [
+          Alcotest.test_case "random trace" `Slow test_dyn_topk_trace;
+          Alcotest.test_case "build then update" `Quick
+            test_dyn_topk_build_then_update;
+          Alcotest.test_case "resampling fires" `Quick test_resampling_fires;
+          QCheck_alcotest.to_alcotest prop_dynamic_agree;
+        ] );
+    ]

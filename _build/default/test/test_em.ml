@@ -1,0 +1,147 @@
+(* Tests for the external-memory cost model. *)
+
+module Config = Topk_em.Config
+module Stats = Topk_em.Stats
+module Lru = Topk_em.Lru_cache
+module Io_array = Topk_em.Io_array
+
+let test_config_validation () =
+  Alcotest.check_raises "b too small"
+    (Invalid_argument "Config.em: block size must be >= 2")
+    (fun () -> ignore (Config.em ~b:1 ()));
+  Alcotest.check_raises "m too small"
+    (Invalid_argument "Config.em: memory must be >= 2 * b")
+    (fun () -> ignore (Config.em ~m:100 ~b:64 ()))
+
+let test_blocks_of_words () =
+  let c = Config.em ~b:64 () in
+  Alcotest.(check int) "zero" 0 (Config.blocks_of_words c 0);
+  Alcotest.(check int) "negative" 0 (Config.blocks_of_words c (-5));
+  Alcotest.(check int) "one" 1 (Config.blocks_of_words c 1);
+  Alcotest.(check int) "full block" 1 (Config.blocks_of_words c 64);
+  Alcotest.(check int) "block + 1" 2 (Config.blocks_of_words c 65);
+  let r = Config.ram in
+  Alcotest.(check int) "ram: word = block" 7 (Config.blocks_of_words r 7)
+
+let test_with_model_restores () =
+  let before = Config.current () in
+  let inside = ref Config.ram in
+  Config.with_model Config.ram (fun () -> inside := Config.current ());
+  Alcotest.(check bool) "inside is ram" true (!inside = Config.ram);
+  Alcotest.(check bool) "restored" true (Config.current () = before);
+  (try
+     Config.with_model Config.ram (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check bool) "restored after exception" true
+    (Config.current () = before)
+
+let test_charge_ios () =
+  Stats.reset ();
+  Stats.charge_ios 3;
+  Stats.charge_ios 0;
+  Stats.charge_ios 2;
+  Alcotest.(check int) "sum" 5 (Stats.ios ());
+  Alcotest.check_raises "negative" (Invalid_argument "Stats.charge_ios: negative")
+    (fun () -> Stats.charge_ios (-1))
+
+let test_charge_scan_carry () =
+  Config.with_model (Config.em ~b:64 ()) (fun () ->
+      Stats.reset ();
+      (* 64 one-element scans amount to exactly one block I/O. *)
+      for _ = 1 to 64 do
+        Stats.charge_scan 1
+      done;
+      Alcotest.(check int) "64 x 1 elem = 1 io" 1 (Stats.ios ());
+      Stats.reset ();
+      Stats.charge_scan 63;
+      Alcotest.(check int) "63 elems: no io yet" 0 (Stats.ios ());
+      Stats.charge_scan 1;
+      Alcotest.(check int) "carry completes the block" 1 (Stats.ios ());
+      Stats.reset ();
+      Stats.charge_scan 640;
+      Alcotest.(check int) "bulk scan" 10 (Stats.ios ());
+      Alcotest.(check int) "raw elements recorded" 640
+        (Stats.snapshot ()).Stats.scanned)
+
+let test_measure_isolates () =
+  Stats.reset ();
+  Stats.charge_ios 7;
+  let (), inner = Stats.measure (fun () -> Stats.charge_ios 5) in
+  Alcotest.(check int) "inner sees its own" 5 inner.Stats.ios;
+  Alcotest.(check int) "outer untouched" 7 (Stats.ios ());
+  (try
+     ignore
+       (Stats.measure (fun () ->
+            Stats.charge_ios 100;
+            failwith "boom"))
+   with Failure _ -> ());
+  Alcotest.(check int) "outer survives exception" 7 (Stats.ios ())
+
+let test_lru_hits_and_misses () =
+  Topk_em.Config.with_model (Config.em ~b:64 ()) (fun () ->
+      Stats.reset ();
+      let c = Lru.create ~capacity:2 () in
+      Alcotest.(check bool) "first access misses" false (Lru.access c 1);
+      Alcotest.(check bool) "second access hits" true (Lru.access c 1);
+      ignore (Lru.access c 2);
+      (* Capacity 2: 1 and 2 resident; 3 evicts the LRU (1). *)
+      ignore (Lru.access c 3);
+      Alcotest.(check bool) "1 was evicted" false (Lru.access c 1);
+      Alcotest.(check bool) "3 still resident" true (Lru.access c 3);
+      Alcotest.(check int) "io per miss" 4 (Stats.ios ()))
+
+let test_lru_recency_updates () =
+  let c = Lru.create ~capacity:2 () in
+  ignore (Lru.access c 1);
+  ignore (Lru.access c 2);
+  ignore (Lru.access c 1);  (* 1 becomes MRU; 2 is now LRU *)
+  ignore (Lru.access c 3);  (* evicts 2 *)
+  Alcotest.(check bool) "1 survived" true (Lru.access c 1);
+  Alcotest.(check bool) "2 evicted" false (Lru.access c 2)
+
+let test_io_array_sequential_vs_random () =
+  Config.with_model (Config.em ~b:8 ~m:16 ()) (fun () ->
+      let data = Array.init 64 (fun i -> i) in
+      (* Sequential scan: one miss per block. *)
+      Stats.reset ();
+      let a = Io_array.of_array data in
+      let sum = ref 0 in
+      Io_array.iter_range a ~lo:0 ~hi:64 (fun x -> sum := !sum + x);
+      Alcotest.(check int) "sum" (64 * 63 / 2) !sum;
+      Alcotest.(check int) "sequential: 8 blocks" 8 (Stats.ios ());
+      (* Strided probes with a 2-block cache: most probes miss. *)
+      Stats.reset ();
+      let b = Io_array.of_array data in
+      for i = 0 to 7 do
+        ignore (Io_array.get b (i * 8));
+        ignore (Io_array.get b (((i + 4) mod 8) * 8))
+      done;
+      Alcotest.(check bool) "random probes cost more" true (Stats.ios () > 8))
+
+let () =
+  Alcotest.run "topk_em"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "validation" `Quick test_config_validation;
+          Alcotest.test_case "blocks_of_words" `Quick test_blocks_of_words;
+          Alcotest.test_case "with_model restores" `Quick
+            test_with_model_restores;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "charge_ios" `Quick test_charge_ios;
+          Alcotest.test_case "scan carry" `Quick test_charge_scan_carry;
+          Alcotest.test_case "measure isolates" `Quick test_measure_isolates;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "hits and misses" `Quick test_lru_hits_and_misses;
+          Alcotest.test_case "recency" `Quick test_lru_recency_updates;
+        ] );
+      ( "io_array",
+        [
+          Alcotest.test_case "sequential vs random" `Quick
+            test_io_array_sequential_vs_random;
+        ] );
+    ]

@@ -1,0 +1,264 @@
+(* Tests for the planar geometry substrate: convex hulls, extreme
+   search, onion layers. *)
+
+module Rng = Topk_util.Rng
+module Gen = Topk_util.Gen
+module P2 = Topk_geom.Point2
+module Hp = Topk_geom.Halfplane
+module Chull = Topk_geom.Chull
+module Layers = Topk_geom.Layers
+
+let random_points rng n =
+  P2.of_coords rng
+    (Array.map (fun c -> (c.(0), c.(1))) (Gen.points rng ~n ~d:2))
+
+let dot (p : P2.t) (a, b) = (a *. p.P2.x) +. (b *. p.P2.y)
+
+(* Every input point is inside (or on) the hull: all ring edges keep it
+   on the left. *)
+let inside_hull ring (p : P2.t) =
+  let len = Array.length ring in
+  if len = 0 then false
+  else if len = 1 then true  (* degenerate: containment not meaningful *)
+  else begin
+    let ok = ref true in
+    for i = 0 to len - 1 do
+      let a = ring.(i) and b = ring.((i + 1) mod len) in
+      if P2.orient a b p < -.1e-12 then ok := false
+    done;
+    !ok
+  end
+
+let test_hull_contains_all () =
+  let rng = Rng.create 3 in
+  List.iter
+    (fun n ->
+      let pts = random_points rng n in
+      let hull = Chull.of_points pts in
+      let ring = Chull.ring hull in
+      Array.iter
+        (fun p ->
+          Alcotest.(check bool)
+            (Printf.sprintf "point %d inside hull (n=%d)" p.P2.id n)
+            true (inside_hull ring p))
+        pts)
+    [ 1; 2; 3; 10; 100; 1000 ]
+
+let test_hull_ring_is_convex () =
+  let rng = Rng.create 5 in
+  let pts = random_points rng 500 in
+  let ring = Chull.ring (Chull.of_points pts) in
+  let len = Array.length ring in
+  for i = 0 to len - 1 do
+    let a = ring.(i)
+    and b = ring.((i + 1) mod len)
+    and c = ring.((i + 2) mod len) in
+    Alcotest.(check bool) "strict left turn" true (P2.orient a b c > 0.)
+  done
+
+let test_hull_collinear_input () =
+  (* All points on a line: the strict hull keeps only the extremes. *)
+  let pts =
+    Array.init 20 (fun i ->
+        P2.make ~id:(i + 1) ~x:(float_of_int i) ~y:(2. *. float_of_int i)
+          ~weight:(float_of_int i) ())
+  in
+  let ring = Chull.ring (Chull.of_points pts) in
+  Alcotest.(check int) "two vertices" 2 (Array.length ring)
+
+let test_hull_duplicate_points () =
+  let p i x y = P2.make ~id:i ~x ~y ~weight:(float_of_int i) () in
+  let pts = [| p 1 0. 0.; p 2 0. 0.; p 3 1. 0.; p 4 0. 1.; p 5 1. 0. |] in
+  let ring = Chull.ring (Chull.of_points pts) in
+  Alcotest.(check int) "triangle" 3 (Array.length ring)
+
+let extreme_linear ring dir =
+  Array.fold_left
+    (fun best p ->
+      match best with
+      | None -> Some p
+      | Some b -> if dot p dir > dot b dir then Some p else best)
+    None ring
+
+let test_extreme_matches_linear () =
+  let rng = Rng.create 7 in
+  List.iter
+    (fun n ->
+      let pts = random_points rng n in
+      let hull = Chull.of_points pts in
+      let ring = Chull.ring hull in
+      for _ = 1 to 100 do
+        let theta = Rng.float rng (2. *. Float.pi) in
+        let dir = (cos theta, sin theta) in
+        match (Chull.extreme hull ~dir, extreme_linear ring dir) with
+        | Some (_, p), Some q ->
+            (* Ties possible under floating point: compare dot values. *)
+            Alcotest.(check (float 1e-9))
+              "extreme dot value" (dot q dir) (dot p dir)
+        | None, None -> ()
+        | _ -> Alcotest.fail "extreme disagreement on emptiness"
+      done)
+    [ 1; 2; 3; 4; 17; 300 ]
+
+let test_extreme_axis_directions () =
+  let rng = Rng.create 11 in
+  let pts = random_points rng 200 in
+  let hull = Chull.of_points pts in
+  let ring = Chull.ring hull in
+  List.iter
+    (fun dir ->
+      match (Chull.extreme hull ~dir, extreme_linear ring dir) with
+      | Some (idx, p), Some q ->
+          Alcotest.(check (float 1e-12)) "axis extreme" (dot q dir) (dot p dir);
+          Alcotest.(check int) "index consistent" p.P2.id ring.(idx).P2.id
+      | _ -> Alcotest.fail "axis extreme failed")
+    [ (1., 0.); (-1., 0.); (0., 1.); (0., -1.) ]
+
+let test_report_halfplane_matches_filter () =
+  let rng = Rng.create 13 in
+  let pts = random_points rng 400 in
+  let hull = Chull.of_points pts in
+  let ring = Chull.ring hull in
+  Array.iter
+    (fun hp3 ->
+      let h = Hp.of_triple hp3 in
+      let expected =
+        Array.to_list ring
+        |> List.filter (Hp.contains h)
+        |> List.map (fun (p : P2.t) -> p.P2.id)
+        |> List.sort Int.compare
+      in
+      let got = ref [] in
+      ignore (Chull.report_halfplane hull h (fun p -> got := p.P2.id :: !got));
+      Alcotest.(check (list int))
+        "halfplane vertices" expected
+        (List.sort Int.compare !got))
+    (Gen.halfplanes rng ~n:100)
+
+let test_layers_partition () =
+  let rng = Rng.create 17 in
+  let pts = random_points rng 600 in
+  let layers = Layers.build pts in
+  let seen = Hashtbl.create 16 in
+  for i = 0 to Layers.layer_count layers - 1 do
+    Array.iter
+      (fun (p : P2.t) ->
+        Alcotest.(check bool)
+          "no point in two layers" false
+          (Hashtbl.mem seen p.P2.id);
+        Hashtbl.replace seen p.P2.id ())
+      (Chull.ring (Layers.layer layers i))
+  done;
+  Alcotest.(check int) "all points in some layer" 600 (Hashtbl.length seen)
+
+let test_layers_report_matches_filter () =
+  let rng = Rng.create 19 in
+  let pts = random_points rng 500 in
+  let layers = Layers.build pts in
+  Array.iter
+    (fun hp3 ->
+      let h = Hp.of_triple hp3 in
+      let expected =
+        Array.to_list pts
+        |> List.filter (Hp.contains h)
+        |> List.map (fun (p : P2.t) -> p.P2.id)
+        |> List.sort Int.compare
+      in
+      let got = ref [] in
+      ignore (Layers.report_halfplane layers h (fun p -> got := p.P2.id :: !got));
+      Alcotest.(check (list int))
+        "layered halfplane report" expected
+        (List.sort Int.compare !got))
+    (Gen.halfplanes rng ~n:60)
+
+let test_layers_max_matches_filter () =
+  let rng = Rng.create 23 in
+  let pts = random_points rng 300 in
+  let layers = Layers.build pts in
+  Array.iter
+    (fun hp3 ->
+      let h = Hp.of_triple hp3 in
+      let expected =
+        Array.fold_left
+          (fun best p ->
+            if Hp.contains h p then
+              match best with
+              | None -> Some p
+              | Some b -> if P2.compare_weight p b > 0 then Some p else best
+            else best)
+          None pts
+      in
+      Alcotest.(check (option int))
+        "max weight in halfplane"
+        (Option.map (fun (p : P2.t) -> p.P2.id) expected)
+        (Option.map
+           (fun (p : P2.t) -> p.P2.id)
+           (Layers.max_halfplane layers h)))
+    (Gen.halfplanes rng ~n:60)
+
+let prop_hull_extreme =
+  QCheck.Test.make ~count:100 ~name:"hull extreme equals linear scan"
+    QCheck.(pair (int_bound 10_000) (int_bound 200))
+    (fun (seed, raw_n) ->
+      let n = max 1 raw_n in
+      let rng = Rng.create seed in
+      let pts = random_points rng n in
+      let hull = Chull.of_points pts in
+      let ring = Chull.ring hull in
+      let theta = Rng.float rng (2. *. Float.pi) in
+      let dir = (cos theta, sin theta) in
+      match (Chull.extreme hull ~dir, extreme_linear ring dir) with
+      | Some (_, p), Some q -> Float.abs (dot p dir -. dot q dir) < 1e-9
+      | None, None -> true
+      | _ -> false)
+
+let prop_layers_report =
+  QCheck.Test.make ~count:50 ~name:"layer report equals filter"
+    QCheck.(pair (int_bound 10_000) (int_bound 150))
+    (fun (seed, raw_n) ->
+      let n = max 1 raw_n in
+      let rng = Rng.create seed in
+      let pts = random_points rng n in
+      let layers = Layers.build pts in
+      let h = Hp.of_triple (Gen.halfplanes rng ~n:1).(0) in
+      let expected =
+        Array.to_list pts
+        |> List.filter (Hp.contains h)
+        |> List.map (fun (p : P2.t) -> p.P2.id)
+        |> List.sort Int.compare
+      in
+      let got = ref [] in
+      ignore
+        (Layers.report_halfplane layers h (fun p -> got := p.P2.id :: !got));
+      expected = List.sort Int.compare !got)
+
+let () =
+  Alcotest.run "topk_geom"
+    [
+      ( "chull",
+        [
+          Alcotest.test_case "contains all points" `Quick
+            test_hull_contains_all;
+          Alcotest.test_case "ring is convex" `Quick test_hull_ring_is_convex;
+          Alcotest.test_case "collinear input" `Quick
+            test_hull_collinear_input;
+          Alcotest.test_case "duplicate points" `Quick
+            test_hull_duplicate_points;
+          Alcotest.test_case "extreme matches linear" `Quick
+            test_extreme_matches_linear;
+          Alcotest.test_case "extreme on axes" `Quick
+            test_extreme_axis_directions;
+          Alcotest.test_case "report halfplane" `Quick
+            test_report_halfplane_matches_filter;
+          QCheck_alcotest.to_alcotest prop_hull_extreme;
+        ] );
+      ( "layers",
+        [
+          Alcotest.test_case "partition" `Quick test_layers_partition;
+          Alcotest.test_case "report matches filter" `Quick
+            test_layers_report_matches_filter;
+          Alcotest.test_case "max matches filter" `Quick
+            test_layers_max_matches_filter;
+          QCheck_alcotest.to_alcotest prop_layers_report;
+        ] );
+    ]

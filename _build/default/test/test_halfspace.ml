@@ -1,0 +1,281 @@
+(* Tests for halfspace and circular top-k (Theorem 3, Corollary 1). *)
+
+module Rng = Topk_util.Rng
+module Gen = Topk_util.Gen
+module P2 = Topk_geom.Point2
+module Hp = Topk_geom.Halfplane
+module H = Topk_halfspace
+module Inst = Topk_halfspace.Instances
+module Sigs = Topk_core.Sigs
+
+let random_points2 rng n =
+  P2.of_coords rng
+    (Array.map (fun c -> (c.(0), c.(1))) (Gen.points rng ~n ~d:2))
+
+let ids2 elems = List.map (fun (e : P2.t) -> e.P2.id) elems
+
+let idsd elems = List.map (fun (e : H.Pointd.t) -> e.H.Pointd.id) elems
+
+(* --- 2D prioritized (onion) --- *)
+
+let test_hp_pri_matches_oracle () =
+  let rng = Rng.create 31 in
+  let pts = random_points2 rng 400 in
+  let oracle = Inst.Oracle2.build pts in
+  let s = H.Hp_pri.build pts in
+  Array.iter
+    (fun hp3 ->
+      let q = Hp.of_triple hp3 in
+      List.iter
+        (fun tau ->
+          let expected = Inst.Oracle2.prioritized oracle q ~tau in
+          let got = H.Hp_pri.query s q ~tau in
+          Alcotest.(check (list int))
+            "hp prioritized"
+            (List.sort Int.compare (ids2 expected))
+            (List.sort Int.compare (ids2 got)))
+        [ Float.neg_infinity; 100.; 250.; 390.; 500. ])
+    (Gen.halfplanes rng ~n:40)
+
+let test_hp_pri_monitored () =
+  let rng = Rng.create 37 in
+  let pts = random_points2 rng 300 in
+  let s = H.Hp_pri.build pts in
+  (* A halfplane containing everything. *)
+  let q = Hp.make ~a:0. ~b:1. ~c:(-10.) in
+  (match H.Hp_pri.query_monitored s q ~tau:Float.neg_infinity ~limit:5 with
+   | Sigs.Truncated prefix ->
+       Alcotest.(check int) "limit+1" 6 (List.length prefix)
+   | Sigs.All _ -> Alcotest.fail "expected truncation");
+  match H.Hp_pri.query_monitored s q ~tau:Float.neg_infinity ~limit:300 with
+  | Sigs.All all -> Alcotest.(check int) "full" 300 (List.length all)
+  | Sigs.Truncated _ -> Alcotest.fail "unexpected truncation"
+
+(* --- 2D max (hull tournament) --- *)
+
+let test_hp_max_matches_oracle () =
+  let rng = Rng.create 41 in
+  List.iter
+    (fun n ->
+      let pts = random_points2 rng n in
+      let oracle = Inst.Oracle2.build pts in
+      let m = H.Hp_max.build pts in
+      Array.iter
+        (fun hp3 ->
+          let q = Hp.of_triple hp3 in
+          Alcotest.(check (option int))
+            "hp max"
+            (Option.map (fun (e : P2.t) -> e.P2.id) (Inst.Oracle2.max oracle q))
+            (Option.map (fun (e : P2.t) -> e.P2.id) (H.Hp_max.query m q)))
+        (Gen.halfplanes rng ~n:60))
+    [ 1; 2; 3; 50; 400 ]
+
+(* --- 2D reductions end to end --- *)
+
+let test_topk2_reductions () =
+  let rng = Rng.create 43 in
+  let n = 400 in
+  let pts = random_points2 rng n in
+  let oracle = Inst.Oracle2.build pts in
+  let t1 = Inst.Topk2_t1.build ~params:(Inst.params2 ()) pts in
+  let t2 = Inst.Topk2_t2.build ~params:(Inst.params2 ()) pts in
+  let rj = Inst.Topk2_rj.build pts in
+  Array.iter
+    (fun hp3 ->
+      let q = Hp.of_triple hp3 in
+      List.iter
+        (fun k ->
+          let expected = ids2 (Inst.Oracle2.top_k oracle q ~k) in
+          Alcotest.(check (list int))
+            "t1" expected (ids2 (Inst.Topk2_t1.query t1 q ~k));
+          Alcotest.(check (list int))
+            "t2" expected (ids2 (Inst.Topk2_t2.query t2 q ~k));
+          Alcotest.(check (list int))
+            "rj" expected (ids2 (Inst.Topk2_rj.query rj q ~k)))
+        [ 1; 5; 37; 200; 500 ])
+    (Gen.halfplanes rng ~n:25)
+
+(* --- kd-tree (d >= 3) --- *)
+
+let random_pointsd rng ~n ~d = H.Pointd.of_coords rng (Gen.points rng ~n ~d)
+
+let random_halfspace rng ~d =
+  let normal = Array.init d (fun _ -> Rng.uniform rng -. 0.5) in
+  if Array.for_all (fun a -> Float.abs a < 1e-9) normal then normal.(0) <- 1.;
+  let anchor = Array.init d (fun _ -> Rng.uniform rng) in
+  let c = ref 0. in
+  Array.iteri (fun i a -> c := !c +. (a *. anchor.(i))) normal;
+  H.Predicates.Halfspace.make ~normal ~c:!c
+
+let test_kd_pri_matches_oracle () =
+  let rng = Rng.create 47 in
+  List.iter
+    (fun d ->
+      let pts = random_pointsd rng ~n:500 ~d in
+      let oracle = Inst.Oracled.build pts in
+      let s = Inst.Kd_hs_pri.build pts in
+      for _ = 1 to 30 do
+        let q = random_halfspace rng ~d in
+        List.iter
+          (fun tau ->
+            let expected = Inst.Oracled.prioritized oracle q ~tau in
+            let got = Inst.Kd_hs_pri.query s q ~tau in
+            Alcotest.(check (list int))
+              "kd prioritized"
+              (List.sort Int.compare (idsd expected))
+              (List.sort Int.compare (idsd got)))
+          [ Float.neg_infinity; 250.; 495. ]
+      done)
+    [ 2; 3; 4; 5 ]
+
+let test_kd_max_matches_oracle () =
+  let rng = Rng.create 53 in
+  let d = 4 in
+  let pts = random_pointsd rng ~n:600 ~d in
+  let oracle = Inst.Oracled.build pts in
+  let m = Inst.Kd_hs_max.build pts in
+  for _ = 1 to 50 do
+    let q = random_halfspace rng ~d in
+    Alcotest.(check (option int))
+      "kd max"
+      (Option.map (fun (e : H.Pointd.t) -> e.H.Pointd.id)
+         (Inst.Oracled.max oracle q))
+      (Option.map (fun (e : H.Pointd.t) -> e.H.Pointd.id)
+         (Inst.Kd_hs_max.query m q))
+  done
+
+let test_topkd_reductions () =
+  let rng = Rng.create 59 in
+  let d = 4 in
+  let n = 400 in
+  let pts = random_pointsd rng ~n ~d in
+  let oracle = Inst.Oracled.build pts in
+  let params = Inst.paramsd ~d in
+  let t1 = Inst.Topkd_t1.build ~params pts in
+  let t2 = Inst.Topkd_t2.build ~params pts in
+  for _ = 1 to 15 do
+    let q = random_halfspace rng ~d in
+    List.iter
+      (fun k ->
+        let expected = idsd (Inst.Oracled.top_k oracle q ~k) in
+        Alcotest.(check (list int))
+          "kd t1" expected (idsd (Inst.Topkd_t1.query t1 q ~k));
+        Alcotest.(check (list int))
+          "kd t2" expected (idsd (Inst.Topkd_t2.query t2 q ~k)))
+      [ 1; 10; 100; 399 ]
+  done
+
+(* --- circular: direct ball queries and the lifting route --- *)
+
+let test_ball_direct_matches_oracle () =
+  let rng = Rng.create 61 in
+  let d = 3 in
+  let pts = random_pointsd rng ~n:500 ~d in
+  let oracle = Inst.Oracle_ball.build pts in
+  let t2 = Inst.Topk_ball_t2.build ~params:(Inst.paramsd ~d) pts in
+  Array.iter
+    (fun (center, radius) ->
+      let q = H.Predicates.Ball.make ~center ~radius in
+      List.iter
+        (fun k ->
+          Alcotest.(check (list int))
+            "ball top-k"
+            (idsd (Inst.Oracle_ball.top_k oracle q ~k))
+            (idsd (Inst.Topk_ball_t2.query t2 q ~k)))
+        [ 1; 5; 50 ])
+    (Gen.balls rng ~n:30 ~d)
+
+let test_lifting_equivalence () =
+  let rng = Rng.create 67 in
+  let d = 3 in
+  let pts = random_pointsd rng ~n:400 ~d in
+  let lifted = H.Lifting.lift_points pts in
+  Array.iter
+    (fun (center, radius) ->
+      let ball = H.Predicates.Ball.make ~center ~radius in
+      let hs = H.Lifting.lift_ball ball in
+      (* Point-in-ball iff lifted-point-in-halfspace. *)
+      Array.iteri
+        (fun i p ->
+          Alcotest.(check bool)
+            "lifting preserves membership"
+            (H.Predicates.Ball.matches ball p)
+            (H.Predicates.Halfspace.matches hs lifted.(i)))
+        pts)
+    (Gen.balls rng ~n:50 ~d)
+
+let test_lifted_topk_matches_ball_topk () =
+  let rng = Rng.create 71 in
+  let d = 3 in
+  let pts = random_pointsd rng ~n:300 ~d in
+  let lifted = H.Lifting.lift_points pts in
+  let oracle = Inst.Oracle_ball.build pts in
+  let t1 = Inst.Topkd_t1.build ~params:(Inst.paramsd ~d:(d + 1)) lifted in
+  Array.iter
+    (fun (center, radius) ->
+      let ball = H.Predicates.Ball.make ~center ~radius in
+      let hs = H.Lifting.lift_ball ball in
+      List.iter
+        (fun k ->
+          Alcotest.(check (list int))
+            "lifted top-k equals ball top-k"
+            (idsd (Inst.Oracle_ball.top_k oracle ball ~k))
+            (idsd (Inst.Topkd_t1.query t1 hs ~k)))
+        [ 1; 7; 64 ])
+    (Gen.balls rng ~n:20 ~d)
+
+(* Property: 2D reductions agree with oracle across random workloads. *)
+let prop_topk2_agree =
+  QCheck.Test.make ~count:20 ~name:"2d halfplane reductions agree"
+    QCheck.(pair (int_bound 10_000) (int_bound 200))
+    (fun (seed, raw_n) ->
+      let n = max 4 raw_n in
+      let rng = Rng.create seed in
+      let pts = random_points2 rng n in
+      let oracle = Inst.Oracle2.build pts in
+      let t2 = Inst.Topk2_t2.build ~params:(Inst.params2 ()) pts in
+      let qs = Gen.halfplanes rng ~n:5 in
+      Array.for_all
+        (fun hp3 ->
+          let q = Hp.of_triple hp3 in
+          List.for_all
+            (fun k ->
+              ids2 (Inst.Oracle2.top_k oracle q ~k)
+              = ids2 (Inst.Topk2_t2.query t2 q ~k))
+            [ 1; 3; n / 2 ])
+        qs)
+
+let () =
+  Alcotest.run "topk_halfspace"
+    [
+      ( "hp_pri",
+        [
+          Alcotest.test_case "matches oracle" `Quick
+            test_hp_pri_matches_oracle;
+          Alcotest.test_case "monitored" `Quick test_hp_pri_monitored;
+        ] );
+      ( "hp_max",
+        [ Alcotest.test_case "matches oracle" `Quick test_hp_max_matches_oracle ] );
+      ( "topk2",
+        [
+          Alcotest.test_case "reductions" `Slow test_topk2_reductions;
+          QCheck_alcotest.to_alcotest prop_topk2_agree;
+        ] );
+      ( "kd",
+        [
+          Alcotest.test_case "prioritized matches oracle" `Quick
+            test_kd_pri_matches_oracle;
+          Alcotest.test_case "max matches oracle" `Quick
+            test_kd_max_matches_oracle;
+          Alcotest.test_case "reductions (d=4)" `Slow test_topkd_reductions;
+        ] );
+      ( "circular",
+        [
+          Alcotest.test_case "ball top-k" `Quick
+            test_ball_direct_matches_oracle;
+          Alcotest.test_case "lifting equivalence" `Quick
+            test_lifting_equivalence;
+          Alcotest.test_case "lifted top-k" `Quick
+            test_lifted_topk_matches_ball_topk;
+        ] );
+    ]

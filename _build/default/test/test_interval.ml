@@ -1,0 +1,428 @@
+(* Tests for the interval-stabbing structures and the reductions
+   instantiated on them (Theorem 4). *)
+
+module Rng = Topk_util.Rng
+module Gen = Topk_util.Gen
+module I = Topk_interval.Interval
+module Problem = Topk_interval.Problem
+module Seg = Topk_interval.Seg_stab
+module Max = Topk_interval.Slab_max
+module Inst = Topk_interval.Instances
+module Sigs = Topk_core.Sigs
+
+let mk ?id ~lo ~hi ~w () = I.make ?id ~lo ~hi ~weight:w ()
+
+let ids elems = List.map (fun (e : I.t) -> e.I.id) elems
+
+let check_ids = Alcotest.(check (list int))
+
+let workload rng ~shape ~n =
+  Inst.Oracle.build (I.of_spans rng (Gen.intervals rng ~shape ~n))
+
+(* --- Interval basics --- *)
+
+let test_make_validates () =
+  Alcotest.check_raises "lo > hi" (Invalid_argument "Interval.make: lo > hi")
+    (fun () -> ignore (mk ~lo:2. ~hi:1. ~w:0. ()));
+  Alcotest.check_raises "nan" (Invalid_argument "Interval.make: NaN bound")
+    (fun () -> ignore (mk ~lo:Float.nan ~hi:1. ~w:0. ()))
+
+let test_contains () =
+  let itv = mk ~lo:1. ~hi:3. ~w:5. () in
+  Alcotest.(check bool) "inside" true (I.contains itv 2.);
+  Alcotest.(check bool) "left endpoint" true (I.contains itv 1.);
+  Alcotest.(check bool) "right endpoint" true (I.contains itv 3.);
+  Alcotest.(check bool) "outside left" false (I.contains itv 0.999);
+  Alcotest.(check bool) "outside right" false (I.contains itv 3.001)
+
+let test_weight_order_tiebreak () =
+  let a = mk ~id:1 ~lo:0. ~hi:1. ~w:5. () in
+  let b = mk ~id:2 ~lo:0. ~hi:1. ~w:5. () in
+  Alcotest.(check bool) "tie broken by id" true (I.compare_weight a b < 0);
+  Alcotest.(check int) "antisymmetric" (-(I.compare_weight b a))
+    (I.compare_weight a b)
+
+(* --- Slabs --- *)
+
+let test_slabs_structure () =
+  let s = Topk_interval.Slabs.of_endpoints [| 3.; 1.; 2.; 1. |] in
+  (* Distinct coords: 1, 2, 3 -> 7 slabs. *)
+  Alcotest.(check int) "slab count" 7 (Topk_interval.Slabs.slab_count s);
+  Alcotest.(check int) "coord count" 3 (Topk_interval.Slabs.coord_count s);
+  (* Coordinates land on odd (point) slabs, gaps on even slabs. *)
+  Alcotest.(check int) "coord 1" 1 (Topk_interval.Slabs.slab_of_point s 1.);
+  Alcotest.(check int) "coord 2" 3 (Topk_interval.Slabs.slab_of_point s 2.);
+  Alcotest.(check int) "coord 3" 5 (Topk_interval.Slabs.slab_of_point s 3.);
+  Alcotest.(check int) "before all" 0 (Topk_interval.Slabs.slab_of_point s 0.);
+  Alcotest.(check int) "gap 1-2" 2 (Topk_interval.Slabs.slab_of_point s 1.5);
+  Alcotest.(check int) "gap 2-3" 4 (Topk_interval.Slabs.slab_of_point s 2.5);
+  Alcotest.(check int) "after all" 6 (Topk_interval.Slabs.slab_of_point s 9.);
+  Alcotest.(check int) "slab_of_coord" 3 (Topk_interval.Slabs.slab_of_coord s 2.);
+  Alcotest.check_raises "not a coordinate"
+    (Invalid_argument "Slabs.slab_of_coord: not a coordinate") (fun () ->
+      ignore (Topk_interval.Slabs.slab_of_coord s 1.5))
+
+let prop_slabs_monotone =
+  QCheck.Test.make ~count:100 ~name:"slab index is monotone in the point"
+    QCheck.(pair (int_bound 10_000) (int_bound 50))
+    (fun (seed, raw_m) ->
+      let m = max 1 raw_m in
+      let rng = Rng.create seed in
+      let coords = Array.init m (fun _ -> Rng.uniform rng) in
+      let s = Topk_interval.Slabs.of_endpoints coords in
+      let qs = Array.init 50 (fun _ -> Rng.float rng 1.2 -. 0.1) in
+      Array.sort Float.compare qs;
+      let slabs = Array.map (Topk_interval.Slabs.slab_of_point s) qs in
+      Topk_util.Search.is_sorted ~cmp:Int.compare slabs)
+
+(* --- Prioritized structure (Seg_stab) --- *)
+
+let sorted_ids elems =
+  List.sort Int.compare (ids elems)
+
+let test_seg_stab_matches_oracle () =
+  let rng = Rng.create 7 in
+  List.iter
+    (fun shape ->
+      let oracle = workload rng ~shape ~n:300 in
+      let s = Seg.build (Inst.Oracle.elements oracle) in
+      let queries = Gen.stab_queries rng ~n:50 in
+      Array.iter
+        (fun q ->
+          List.iter
+            (fun tau ->
+              let expected = Inst.Oracle.prioritized oracle q ~tau in
+              let got = Seg.query s q ~tau in
+              check_ids "prioritized query" (sorted_ids expected)
+                (sorted_ids got))
+            [ Float.neg_infinity; 50.; 150.; 290.; 301. ])
+        queries)
+    [ Gen.Short_intervals; Gen.Mixed_intervals; Gen.Nested_intervals ]
+
+let test_seg_stab_endpoint_queries () =
+  let rng = Rng.create 11 in
+  let oracle = workload rng ~shape:Gen.Mixed_intervals ~n:200 in
+  let elems = Inst.Oracle.elements oracle in
+  let s = Seg.build elems in
+  (* Query exactly at interval endpoints: closed-interval semantics. *)
+  Array.iteri
+    (fun i (itv : I.t) ->
+      if i mod 10 = 0 then begin
+        List.iter
+          (fun q ->
+            let expected = Inst.Oracle.prioritized oracle q ~tau:Float.neg_infinity in
+            let got = Seg.query s q ~tau:Float.neg_infinity in
+            check_ids "endpoint stab" (sorted_ids expected) (sorted_ids got))
+          [ itv.I.lo; itv.I.hi ]
+      end)
+    elems
+
+let test_seg_stab_monitored () =
+  let rng = Rng.create 13 in
+  let oracle = workload rng ~shape:Gen.Nested_intervals ~n:500 in
+  let s = Seg.build (Inst.Oracle.elements oracle) in
+  let q = 0.5 (* center of nested intervals: everything matches *) in
+  let total = Inst.Oracle.count oracle q in
+  Alcotest.(check bool) "big result" true (total > 400);
+  (match Seg.query_monitored s q ~tau:Float.neg_infinity ~limit:10 with
+   | Sigs.Truncated prefix ->
+       Alcotest.(check int) "stops at limit+1" 11 (List.length prefix)
+   | Sigs.All _ -> Alcotest.fail "expected truncation");
+  (match Seg.query_monitored s q ~tau:Float.neg_infinity ~limit:total with
+   | Sigs.All all -> Alcotest.(check int) "full result" total (List.length all)
+   | Sigs.Truncated _ -> Alcotest.fail "unexpected truncation")
+
+let test_seg_stab_empty_and_single () =
+  let s = Seg.build [||] in
+  Alcotest.(check int) "empty query" 0
+    (List.length (Seg.query s 0.5 ~tau:Float.neg_infinity));
+  let one = mk ~id:1 ~lo:0.2 ~hi:0.8 ~w:1. () in
+  let s = Seg.build [| one |] in
+  check_ids "hit" [ 1 ] (ids (Seg.query s 0.5 ~tau:Float.neg_infinity));
+  check_ids "miss" [] (ids (Seg.query s 0.9 ~tau:Float.neg_infinity));
+  check_ids "tau filters" [] (ids (Seg.query s 0.5 ~tau:2.))
+
+(* --- Interval-tree prioritized (linear space) --- *)
+
+let test_itree_matches_oracle () =
+  let rng = Rng.create 14 in
+  List.iter
+    (fun shape ->
+      let oracle = workload rng ~shape ~n:300 in
+      let s = Topk_interval.Itree_pri.build (Inst.Oracle.elements oracle) in
+      let queries = Gen.stab_queries rng ~n:50 in
+      Array.iter
+        (fun q ->
+          List.iter
+            (fun tau ->
+              check_ids "itree prioritized"
+                (sorted_ids (Inst.Oracle.prioritized oracle q ~tau))
+                (sorted_ids (Topk_interval.Itree_pri.query s q ~tau)))
+            [ Float.neg_infinity; 150.; 500. ])
+        queries)
+    [ Gen.Short_intervals; Gen.Mixed_intervals; Gen.Nested_intervals ]
+
+let test_itree_linear_space_and_depth () =
+  let rng = Rng.create 15 in
+  let oracle = workload rng ~shape:Gen.Mixed_intervals ~n:4096 in
+  let elems = Inst.Oracle.elements oracle in
+  let itree = Topk_interval.Itree_pri.build elems in
+  let seg = Seg.build elems in
+  (* Linear vs n log n: the interval tree must be much smaller. *)
+  Alcotest.(check bool) "itree smaller than segment tree" true
+    (Topk_interval.Itree_pri.space_words itree < Seg.space_words seg / 2);
+  Alcotest.(check bool) "logarithmic depth" true
+    (Topk_interval.Itree_pri.depth itree <= 3 * 12)
+
+let test_itree_reduction_matches_oracle () =
+  let rng = Rng.create 16 in
+  let oracle = workload rng ~shape:Gen.Mixed_intervals ~n:400 in
+  let elems = Inst.Oracle.elements oracle in
+  let t2 = Inst.Topk_t2_itree.build ~params:(Inst.params ()) elems in
+  let queries = Gen.stab_queries rng ~n:25 in
+  Array.iter
+    (fun q ->
+      List.iter
+        (fun k ->
+          check_ids "theorem2 over itree"
+            (ids (Inst.Oracle.top_k oracle q ~k))
+            (ids (Inst.Topk_t2_itree.query t2 q ~k)))
+        [ 1; 7; 80; 900 ])
+    queries
+
+(* --- Max structure (Slab_max) --- *)
+
+let test_slab_max_matches_oracle () =
+  let rng = Rng.create 17 in
+  List.iter
+    (fun shape ->
+      let oracle = workload rng ~shape ~n:400 in
+      let m = Max.build (Inst.Oracle.elements oracle) in
+      let queries = Gen.stab_queries rng ~n:100 in
+      Array.iter
+        (fun q ->
+          let expected = Inst.Oracle.max oracle q in
+          let got = Max.query m q in
+          Alcotest.(check (option int))
+            "max id"
+            (Option.map (fun (e : I.t) -> e.I.id) expected)
+            (Option.map (fun (e : I.t) -> e.I.id) got))
+        queries)
+    [ Gen.Short_intervals; Gen.Mixed_intervals; Gen.Nested_intervals ]
+
+let test_slab_max_endpoints () =
+  let rng = Rng.create 19 in
+  let oracle = workload rng ~shape:Gen.Mixed_intervals ~n:300 in
+  let elems = Inst.Oracle.elements oracle in
+  let m = Max.build elems in
+  Array.iteri
+    (fun i (itv : I.t) ->
+      if i mod 7 = 0 then
+        List.iter
+          (fun q ->
+            let expected = Inst.Oracle.max oracle q in
+            let got = Max.query m q in
+            Alcotest.(check (option int))
+              "max at endpoint"
+              (Option.map (fun (e : I.t) -> e.I.id) expected)
+              (Option.map (fun (e : I.t) -> e.I.id) got))
+          [ itv.I.lo; itv.I.hi ])
+    elems
+
+(* --- Counting structure --- *)
+
+let test_stab_count_matches_oracle () =
+  let rng = Rng.create 21 in
+  List.iter
+    (fun shape ->
+      let oracle = workload rng ~shape ~n:400 in
+      let c = Topk_interval.Stab_count.build (Inst.Oracle.elements oracle) in
+      Array.iter
+        (fun q ->
+          Alcotest.(check int)
+            "stab count" (Inst.Oracle.count oracle q)
+            (Topk_interval.Stab_count.count c q))
+        (Gen.stab_queries rng ~n:80))
+    [ Gen.Short_intervals; Gen.Mixed_intervals; Gen.Nested_intervals ]
+
+let test_stab_count_endpoints () =
+  let rng = Rng.create 22 in
+  let oracle = workload rng ~shape:Gen.Mixed_intervals ~n:200 in
+  let elems = Inst.Oracle.elements oracle in
+  let c = Topk_interval.Stab_count.build elems in
+  Array.iteri
+    (fun i (itv : I.t) ->
+      if i mod 13 = 0 then
+        List.iter
+          (fun q ->
+            Alcotest.(check int)
+              "count at endpoint" (Inst.Oracle.count oracle q)
+              (Topk_interval.Stab_count.count c q))
+          [ itv.I.lo; itv.I.hi ])
+    elems
+
+(* --- Reductions end to end (Theorem 4) --- *)
+
+let check_topk name structure_query oracle queries ks =
+  Array.iter
+    (fun q ->
+      List.iter
+        (fun k ->
+          let expected = Inst.Oracle.top_k oracle q ~k in
+          let got = structure_query q ~k in
+          check_ids
+            (Printf.sprintf "%s top-%d" name k)
+            (ids expected) (ids got))
+        ks)
+    queries
+
+let reduction_case name build query_fn =
+  let rng = Rng.create 23 in
+  List.iter
+    (fun (shape, n) ->
+      let oracle = workload rng ~shape ~n in
+      let t = build (Inst.Oracle.elements oracle) in
+      let queries = Gen.stab_queries rng ~n:25 in
+      check_topk name (query_fn t) oracle queries
+        [ 1; 2; 3; 10; 50; n / 2; n; 2 * n ])
+    [ (Gen.Short_intervals, 300);
+      (Gen.Mixed_intervals, 500);
+      (Gen.Nested_intervals, 400) ]
+
+let test_theorem1_correct () =
+  reduction_case "theorem1"
+    (fun elems -> Inst.Topk_t1.build ~params:(Inst.params ()) elems)
+    (fun t q ~k -> Inst.Topk_t1.query t q ~k)
+
+let test_theorem2_correct () =
+  reduction_case "theorem2"
+    (fun elems -> Inst.Topk_t2.build ~params:(Inst.params ()) elems)
+    (fun t q ~k -> Inst.Topk_t2.query t q ~k)
+
+let test_baseline_rj_correct () =
+  reduction_case "baseline-rj"
+    (fun elems -> Inst.Topk_rj.build elems)
+    (fun t q ~k -> Inst.Topk_rj.query t q ~k)
+
+let test_rj_counting_correct () =
+  reduction_case "rj-counting"
+    (fun elems -> Inst.Topk_rj_counting.build elems)
+    (fun t q ~k -> Inst.Topk_rj_counting.query t q ~k)
+
+let test_naive_correct () =
+  reduction_case "naive"
+    (fun elems -> Inst.Topk_naive.build elems)
+    (fun t q ~k -> Inst.Topk_naive.query t q ~k)
+
+(* k = 0 and negative k return nothing; k = 1 agrees with max. *)
+let test_topk_degenerate_k () =
+  let rng = Rng.create 29 in
+  let oracle = workload rng ~shape:Gen.Mixed_intervals ~n:200 in
+  let elems = Inst.Oracle.elements oracle in
+  let t1 = Inst.Topk_t1.build ~params:(Inst.params ()) elems in
+  let t2 = Inst.Topk_t2.build ~params:(Inst.params ()) elems in
+  Alcotest.(check int) "t1 k=0" 0 (List.length (Inst.Topk_t1.query t1 0.5 ~k:0));
+  Alcotest.(check int) "t2 k=-1" 0
+    (List.length (Inst.Topk_t2.query t2 0.5 ~k:(-1)));
+  let m = Max.build elems in
+  let queries = Gen.stab_queries rng ~n:40 in
+  Array.iter
+    (fun q ->
+      let top1 = Inst.Topk_t2.query t2 q ~k:1 in
+      let mx = Max.query m q in
+      Alcotest.(check (option int))
+        "k=1 equals max"
+        (Option.map (fun (e : I.t) -> e.I.id) mx)
+        (match top1 with [] -> None | e :: _ -> Some e.I.id))
+    queries
+
+(* Property-based: random workloads, random queries, all reductions
+   agree with the oracle. *)
+let prop_reductions_agree =
+  QCheck.Test.make ~count:30 ~name:"reductions agree with oracle"
+    QCheck.(pair (int_bound 1000) (int_bound 300))
+    (fun (seed, raw_n) ->
+      let n = max 4 raw_n in
+      let rng = Rng.create seed in
+      let shape =
+        match seed mod 3 with
+        | 0 -> Gen.Short_intervals
+        | 1 -> Gen.Mixed_intervals
+        | _ -> Gen.Nested_intervals
+      in
+      let oracle = workload rng ~shape ~n in
+      let elems = Inst.Oracle.elements oracle in
+      let t1 = Inst.Topk_t1.build ~params:(Inst.params ()) elems in
+      let t2 = Inst.Topk_t2.build ~params:(Inst.params ()) elems in
+      let rj = Inst.Topk_rj.build elems in
+      let qs = Gen.stab_queries rng ~n:5 in
+      let ks = [ 1; 7; n / 3; n ] in
+      Array.for_all
+        (fun q ->
+          List.for_all
+            (fun k ->
+              let expected = ids (Inst.Oracle.top_k oracle q ~k) in
+              expected = ids (Inst.Topk_t1.query t1 q ~k)
+              && expected = ids (Inst.Topk_t2.query t2 q ~k)
+              && expected = ids (Inst.Topk_rj.query rj q ~k))
+            ks)
+        qs)
+
+let () =
+  Alcotest.run "topk_interval"
+    [
+      ( "interval",
+        [
+          Alcotest.test_case "make validates" `Quick test_make_validates;
+          Alcotest.test_case "contains" `Quick test_contains;
+          Alcotest.test_case "weight order tiebreak" `Quick
+            test_weight_order_tiebreak;
+        ] );
+      ( "slabs",
+        [
+          Alcotest.test_case "structure" `Quick test_slabs_structure;
+          QCheck_alcotest.to_alcotest prop_slabs_monotone;
+        ] );
+      ( "seg_stab",
+        [
+          Alcotest.test_case "matches oracle" `Quick
+            test_seg_stab_matches_oracle;
+          Alcotest.test_case "endpoint queries" `Quick
+            test_seg_stab_endpoint_queries;
+          Alcotest.test_case "monitored" `Quick test_seg_stab_monitored;
+          Alcotest.test_case "empty and single" `Quick
+            test_seg_stab_empty_and_single;
+        ] );
+      ( "itree_pri",
+        [
+          Alcotest.test_case "matches oracle" `Quick test_itree_matches_oracle;
+          Alcotest.test_case "linear space, log depth" `Quick
+            test_itree_linear_space_and_depth;
+          Alcotest.test_case "theorem2 over itree" `Quick
+            test_itree_reduction_matches_oracle;
+        ] );
+      ( "slab_max",
+        [
+          Alcotest.test_case "matches oracle" `Quick
+            test_slab_max_matches_oracle;
+          Alcotest.test_case "endpoints" `Quick test_slab_max_endpoints;
+        ] );
+      ( "stab_count",
+        [
+          Alcotest.test_case "matches oracle" `Quick
+            test_stab_count_matches_oracle;
+          Alcotest.test_case "endpoints" `Quick test_stab_count_endpoints;
+        ] );
+      ( "reductions",
+        [
+          Alcotest.test_case "theorem1 correct" `Slow test_theorem1_correct;
+          Alcotest.test_case "theorem2 correct" `Slow test_theorem2_correct;
+          Alcotest.test_case "baseline-rj correct" `Slow
+            test_baseline_rj_correct;
+          Alcotest.test_case "rj-counting correct" `Slow
+            test_rj_counting_correct;
+          Alcotest.test_case "naive correct" `Quick test_naive_correct;
+          Alcotest.test_case "degenerate k" `Quick test_topk_degenerate_k;
+          QCheck_alcotest.to_alcotest prop_reductions_agree;
+        ] );
+    ]

@@ -1,0 +1,151 @@
+(* Tests for top-k 2D orthogonal range reporting. *)
+
+module Rng = Topk_util.Rng
+module Gen = Topk_util.Gen
+module P2 = Topk_geom.Point2
+module Pri = Topk_ortho.Ortho_pri
+module Max = Topk_ortho.Ortho_max
+module Inst = Topk_ortho.Instances
+module Sigs = Topk_core.Sigs
+
+let random_points rng n =
+  P2.of_coords rng
+    (Array.map (fun c -> (c.(0), c.(1))) (Gen.points rng ~n ~d:2))
+
+let random_rects rng n =
+  Array.init n (fun _ ->
+      let x1 = Rng.uniform rng and x2 = Rng.uniform rng in
+      let y1 = Rng.uniform rng and y2 = Rng.uniform rng in
+      (Float.min x1 x2, Float.max x1 x2, Float.min y1 y2, Float.max y1 y2))
+
+let ids elems = List.map (fun (e : P2.t) -> e.P2.id) elems
+
+let sorted_ids elems = List.sort Int.compare (ids elems)
+
+let test_pri_matches_oracle () =
+  let rng = Rng.create 801 in
+  List.iter
+    (fun n ->
+      let pts = random_points rng n in
+      let oracle = Inst.Oracle.build pts in
+      let s = Pri.build pts in
+      Array.iter
+        (fun q ->
+          List.iter
+            (fun tau ->
+              Alcotest.(check (list int))
+                "ortho prioritized"
+                (sorted_ids (Inst.Oracle.prioritized oracle q ~tau))
+                (sorted_ids (Pri.query s q ~tau)))
+            [ Float.neg_infinity; float_of_int (n / 2); 1e9 ])
+        (random_rects rng 30))
+    [ 0; 1; 2; 17; 400 ]
+
+let test_pri_boundary_rects () =
+  let rng = Rng.create 803 in
+  let pts = random_points rng 200 in
+  let oracle = Inst.Oracle.build pts in
+  let s = Pri.build pts in
+  (* Rectangles degenerate to a point / a segment through data points. *)
+  Array.iteri
+    (fun i (p : P2.t) ->
+      if i mod 13 = 0 then
+        List.iter
+          (fun q ->
+            Alcotest.(check (list int))
+              "boundary rect"
+              (sorted_ids
+                 (Inst.Oracle.prioritized oracle q ~tau:Float.neg_infinity))
+              (sorted_ids (Pri.query s q ~tau:Float.neg_infinity)))
+          [ (p.P2.x, p.P2.x, p.P2.y, p.P2.y);
+            (p.P2.x, p.P2.x, 0., 1.);
+            (0., 1., p.P2.y, p.P2.y) ])
+    pts
+
+let test_pri_monitored () =
+  let rng = Rng.create 807 in
+  let pts = random_points rng 300 in
+  let s = Pri.build pts in
+  let all = (0., 1., 0., 1.) in
+  (match Pri.query_monitored s all ~tau:Float.neg_infinity ~limit:9 with
+   | Sigs.Truncated prefix ->
+       Alcotest.(check int) "limit+1" 10 (List.length prefix)
+   | Sigs.All _ -> Alcotest.fail "expected truncation");
+  match Pri.query_monitored s all ~tau:Float.neg_infinity ~limit:300 with
+  | Sigs.All got -> Alcotest.(check int) "all" 300 (List.length got)
+  | Sigs.Truncated _ -> Alcotest.fail "unexpected truncation"
+
+let test_max_matches_oracle () =
+  let rng = Rng.create 809 in
+  List.iter
+    (fun n ->
+      let pts = random_points rng n in
+      let oracle = Inst.Oracle.build pts in
+      let m = Max.build pts in
+      Array.iter
+        (fun q ->
+          Alcotest.(check (option int))
+            "ortho max"
+            (Option.map (fun (e : P2.t) -> e.P2.id) (Inst.Oracle.max oracle q))
+            (Option.map (fun (e : P2.t) -> e.P2.id) (Max.query m q)))
+        (random_rects rng 50))
+    [ 1; 2; 40; 400 ]
+
+let test_reductions_match_oracle () =
+  let rng = Rng.create 811 in
+  let n = 350 in
+  let pts = random_points rng n in
+  let oracle = Inst.Oracle.build pts in
+  let params = Inst.params () in
+  let t1 = Inst.Topk_t1.build ~params pts in
+  let t2 = Inst.Topk_t2.build ~params pts in
+  let rj = Inst.Topk_rj.build pts in
+  Array.iter
+    (fun q ->
+      List.iter
+        (fun k ->
+          let expected = ids (Inst.Oracle.top_k oracle q ~k) in
+          Alcotest.(check (list int))
+            "t1" expected (ids (Inst.Topk_t1.query t1 q ~k));
+          Alcotest.(check (list int))
+            "t2" expected (ids (Inst.Topk_t2.query t2 q ~k));
+          Alcotest.(check (list int))
+            "rj" expected (ids (Inst.Topk_rj.query rj q ~k)))
+        [ 1; 4; 30; 200; 700 ])
+    (random_rects rng 20)
+
+let prop_ortho_agree =
+  QCheck.Test.make ~count:20 ~name:"ortho reductions agree"
+    QCheck.(pair (int_bound 10_000) (int_bound 250))
+    (fun (seed, raw_n) ->
+      let n = max 4 raw_n in
+      let rng = Rng.create seed in
+      let pts = random_points rng n in
+      let oracle = Inst.Oracle.build pts in
+      let t2 = Inst.Topk_t2.build ~params:(Inst.params ()) pts in
+      Array.for_all
+        (fun q ->
+          List.for_all
+            (fun k ->
+              ids (Inst.Oracle.top_k oracle q ~k)
+              = ids (Inst.Topk_t2.query t2 q ~k))
+            [ 1; 8; n ])
+        (random_rects rng 5))
+
+let () =
+  Alcotest.run "topk_ortho"
+    [
+      ( "ortho_pri",
+        [
+          Alcotest.test_case "matches oracle" `Quick test_pri_matches_oracle;
+          Alcotest.test_case "boundary rects" `Quick test_pri_boundary_rects;
+          Alcotest.test_case "monitored" `Quick test_pri_monitored;
+        ] );
+      ( "ortho_max",
+        [ Alcotest.test_case "matches oracle" `Quick test_max_matches_oracle ] );
+      ( "reductions",
+        [
+          Alcotest.test_case "match oracle" `Slow test_reductions_match_oracle;
+          QCheck_alcotest.to_alcotest prop_ortho_agree;
+        ] );
+    ]

@@ -1,0 +1,157 @@
+(* Tests for the priority search tree. *)
+
+module Rng = Topk_util.Rng
+module Pst = Topk_pst.Pst
+
+type item = { k : float; w : float; uid : int }
+
+let random_items rng n =
+  let weights = Topk_util.Gen.distinct_weights rng n in
+  Array.init n (fun i -> { k = Rng.uniform rng; w = weights.(i); uid = i + 1 })
+
+let build items =
+  Pst.build ~key:(fun i -> i.k) ~weight:(fun i -> i.w) items
+
+let filter_ref items ~side ~bound ~tau =
+  Array.to_list items
+  |> List.filter (fun i ->
+         (match side with
+          | Pst.Below -> i.k <= bound
+          | Pst.Above -> i.k >= bound)
+         && i.w >= tau)
+  |> List.map (fun i -> i.uid)
+  |> List.sort Int.compare
+
+let got_ids l = List.sort Int.compare (List.map (fun i -> i.uid) l)
+
+let test_query_matches_filter () =
+  let rng = Rng.create 501 in
+  List.iter
+    (fun n ->
+      let items = random_items rng n in
+      let t = build items in
+      for _ = 1 to 50 do
+        let bound = Rng.uniform rng in
+        let tau = Rng.float rng (float_of_int n) in
+        List.iter
+          (fun side ->
+            Alcotest.(check (list int))
+              "3-sided query"
+              (filter_ref items ~side ~bound ~tau)
+              (got_ids (Pst.query_list t ~side ~bound ~tau)))
+          [ Pst.Below; Pst.Above ]
+      done)
+    [ 0; 1; 2; 7; 500 ]
+
+let test_query_all_and_none () =
+  let rng = Rng.create 503 in
+  let items = random_items rng 200 in
+  let t = build items in
+  Alcotest.(check int) "everything" 200
+    (List.length
+       (Pst.query_list t ~side:Pst.Below ~bound:2. ~tau:Float.neg_infinity));
+  Alcotest.(check int) "nothing by key" 0
+    (List.length
+       (Pst.query_list t ~side:Pst.Below ~bound:(-1.) ~tau:Float.neg_infinity));
+  Alcotest.(check int) "nothing by weight" 0
+    (List.length (Pst.query_list t ~side:Pst.Below ~bound:2. ~tau:1e9))
+
+let test_duplicate_keys () =
+  (* All keys equal: pure weight filtering. *)
+  let items =
+    Array.init 100 (fun i -> { k = 0.5; w = float_of_int i; uid = i + 1 })
+  in
+  let t = build items in
+  Alcotest.(check int) "above threshold" 30
+    (List.length (Pst.query_list t ~side:Pst.Below ~bound:0.5 ~tau:70.));
+  Alcotest.(check int) "excluded by key" 0
+    (List.length (Pst.query_list t ~side:Pst.Above ~bound:0.6 ~tau:0.))
+
+let test_monitored () =
+  let rng = Rng.create 507 in
+  let items = random_items rng 300 in
+  let t = build items in
+  (match
+     Pst.query_monitored t ~side:Pst.Below ~bound:2. ~tau:Float.neg_infinity
+       ~limit:10
+   with
+   | `Truncated l -> Alcotest.(check int) "limit+1" 11 (List.length l)
+   | `All _ -> Alcotest.fail "expected truncation");
+  match
+    Pst.query_monitored t ~side:Pst.Below ~bound:2. ~tau:Float.neg_infinity
+      ~limit:300
+  with
+  | `All l -> Alcotest.(check int) "full" 300 (List.length l)
+  | `Truncated _ -> Alcotest.fail "unexpected truncation"
+
+let test_max_element () =
+  let rng = Rng.create 509 in
+  let items = random_items rng 400 in
+  let t = build items in
+  for _ = 1 to 100 do
+    let bound = Rng.uniform rng in
+    List.iter
+      (fun side ->
+        let expected =
+          Array.fold_left
+            (fun best i ->
+              let inside =
+                match side with
+                | Pst.Below -> i.k <= bound
+                | Pst.Above -> i.k >= bound
+              in
+              if inside then
+                match best with
+                | None -> Some i
+                | Some b -> if i.w > b.w then Some i else best
+              else best)
+            None items
+        in
+        Alcotest.(check (option int))
+          "max element"
+          (Option.map (fun i -> i.uid) expected)
+          (Option.map (fun i -> i.uid) (Pst.max_element t ~side ~bound)))
+      [ Pst.Below; Pst.Above ]
+  done
+
+(* The boundary-path property: with tau above every weight, a query
+   touches O(log n) nodes, not O(n). *)
+let test_pruning_cost () =
+  let rng = Rng.create 511 in
+  let items = random_items rng 4096 in
+  let t = build items in
+  Topk_em.Config.with_model Topk_em.Config.ram (fun () ->
+      let (), s =
+        Topk_em.Stats.measure (fun () ->
+            ignore (Pst.query_list t ~side:Pst.Below ~bound:0.5 ~tau:1e12))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "pruned to %d ios" s.Topk_em.Stats.ios)
+        true (s.Topk_em.Stats.ios <= 2))
+
+let prop_pst_matches_filter =
+  QCheck.Test.make ~count:100 ~name:"pst equals filter"
+    QCheck.(triple (int_bound 100_000) (int_bound 300) (float_range 0. 1.))
+    (fun (seed, raw_n, bound) ->
+      let n = max 1 raw_n in
+      let rng = Rng.create seed in
+      let items = random_items rng n in
+      let t = build items in
+      let tau = Rng.float rng (float_of_int n) in
+      filter_ref items ~side:Pst.Below ~bound ~tau
+      = got_ids (Pst.query_list t ~side:Pst.Below ~bound ~tau))
+
+let () =
+  Alcotest.run "topk_pst"
+    [
+      ( "pst",
+        [
+          Alcotest.test_case "matches filter" `Quick test_query_matches_filter;
+          Alcotest.test_case "all and none" `Quick test_query_all_and_none;
+          Alcotest.test_case "duplicate keys" `Quick test_duplicate_keys;
+          Alcotest.test_case "monitored" `Quick test_monitored;
+          Alcotest.test_case "max element" `Quick test_max_element;
+          Alcotest.test_case "pruning cost" `Quick test_pruning_cost;
+          QCheck_alcotest.to_alcotest prop_pst_matches_filter;
+        ] );
+    ]

@@ -1,0 +1,301 @@
+(* Tests for the utility layer: RNG, heaps, selection, search, and the
+   workload generators every experiment relies on. *)
+
+module Rng = Topk_util.Rng
+module Heap = Topk_util.Heap
+module Select = Topk_util.Select
+module Search = Topk_util.Search
+module Gen = Topk_util.Gen
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done;
+  let c = Rng.create 43 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.bits64 (Rng.copy c) <> Rng.bits64 (Rng.copy a) then differs := true;
+    ignore (Rng.bits64 a);
+    ignore (Rng.bits64 c)
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  (* The split stream must not replay the parent's. *)
+  let xa = Array.init 20 (fun _ -> Rng.bits64 a) in
+  let xb = Array.init 20 (fun _ -> Rng.bits64 b) in
+  Alcotest.(check bool) "streams differ" true (xa <> xb)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let bound = 1 + Rng.int rng 100 in
+    let v = Rng.int rng bound in
+    if v < 0 || v >= bound then Alcotest.fail "out of bounds"
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be > 0")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_int_roughly_uniform () =
+  let rng = Rng.create 13 in
+  let counts = Array.make 10 0 in
+  let trials = 100_000 in
+  for _ = 1 to trials do
+    let v = Rng.int rng 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = trials / 10 in
+      if abs (c - expected) > expected / 5 then
+        Alcotest.failf "bucket %d skewed: %d" i c)
+    counts
+
+let test_rng_bernoulli () =
+  let rng = Rng.create 17 in
+  Alcotest.(check bool) "p=0" false (Rng.bernoulli rng 0.);
+  Alcotest.(check bool) "p=1" true (Rng.bernoulli rng 1.);
+  let hits = ref 0 in
+  let trials = 50_000 in
+  for _ = 1 to trials do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int trials in
+  Alcotest.(check bool) "rate near 0.3" true (Float.abs (rate -. 0.3) < 0.02)
+
+let test_rng_sample_rate () =
+  let rng = Rng.create 19 in
+  let arr = Array.init 10_000 (fun i -> i) in
+  let s = Rng.sample rng ~p:0.1 arr in
+  let m = Array.length s in
+  Alcotest.(check bool) "size near np" true (abs (m - 1000) < 200);
+  (* A sample preserves relative order and draws without replacement. *)
+  Alcotest.(check bool) "sorted subsequence" true
+    (Search.is_sorted ~cmp:Int.compare s);
+  Alcotest.(check int) "p=1 keeps all" 10_000
+    (Array.length (Rng.sample rng ~p:1. arr));
+  Alcotest.(check int) "p=0 keeps none" 0
+    (Array.length (Rng.sample rng ~p:0. arr))
+
+(* --- Heap --- *)
+
+let test_heap_sorts () =
+  let rng = Rng.create 23 in
+  let arr = Array.init 1000 (fun _ -> Rng.int rng 10_000) in
+  let h = Heap.of_array ~cmp:Int.compare arr in
+  let drained = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some x ->
+        drained := x :: !drained;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  let got = Array.of_list (List.rev !drained) in
+  let expected = Array.copy arr in
+  Array.sort Int.compare expected;
+  Alcotest.(check bool) "heap drains sorted" true (got = expected)
+
+let test_heap_push_pop_interleaved () =
+  let h = Heap.create ~cmp:Int.compare () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Heap.push h 5;
+  Heap.push h 1;
+  Heap.push h 3;
+  Alcotest.(check (option int)) "peek min" (Some 1) (Heap.peek h);
+  Alcotest.(check (option int)) "pop min" (Some 1) (Heap.pop h);
+  Heap.push h 0;
+  Alcotest.(check (option int)) "new min" (Some 0) (Heap.pop h);
+  Alcotest.(check int) "length" 2 (Heap.length h);
+  Alcotest.check_raises "pop_exn on empty"
+    (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Heap.pop_exn h);
+      ignore (Heap.pop_exn h);
+      ignore (Heap.pop_exn h))
+
+(* --- Select --- *)
+
+let test_quickselect_matches_sort () =
+  let rng = Rng.create 29 in
+  for _ = 1 to 50 do
+    let n = 1 + Rng.int rng 500 in
+    let arr = Array.init n (fun _ -> Rng.int rng 1000) in
+    let sorted = Array.copy arr in
+    Array.sort Int.compare sorted;
+    let i = Rng.int rng n in
+    Alcotest.(check int) "rank i"
+      sorted.(i)
+      (Select.quickselect ~cmp:Int.compare (Array.copy arr) i)
+  done
+
+let test_median_of_medians_matches_sort () =
+  let rng = Rng.create 31 in
+  for _ = 1 to 30 do
+    let n = 1 + Rng.int rng 300 in
+    let arr = Array.init n (fun _ -> Rng.int rng 100) in
+    let sorted = Array.copy arr in
+    Array.sort Int.compare sorted;
+    let i = Rng.int rng n in
+    Alcotest.(check int) "rank i (deterministic)"
+      sorted.(i)
+      (Select.median_of_medians ~cmp:Int.compare (Array.copy arr) i)
+  done
+
+let test_top_k () =
+  let xs = [ 5; 1; 9; 3; 7; 2; 8 ] in
+  Alcotest.(check (list int)) "top 3" [ 9; 8; 7 ]
+    (Select.top_k ~cmp:Int.compare 3 xs);
+  Alcotest.(check (list int)) "top 0" [] (Select.top_k ~cmp:Int.compare 0 xs);
+  Alcotest.(check (list int)) "top > n" [ 9; 8; 7; 5; 3; 2; 1 ]
+    (Select.top_k ~cmp:Int.compare 100 xs);
+  Alcotest.(check (list int)) "empty" [] (Select.top_k ~cmp:Int.compare 3 [])
+
+let test_nth_largest () =
+  let arr = [| 5; 1; 9; 3; 7 |] in
+  Alcotest.(check int) "1st largest" 9
+    (Select.nth_largest ~cmp:Int.compare (Array.copy arr) 1);
+  Alcotest.(check int) "3rd largest" 5
+    (Select.nth_largest ~cmp:Int.compare (Array.copy arr) 3);
+  Alcotest.(check int) "5th largest" 1
+    (Select.nth_largest ~cmp:Int.compare (Array.copy arr) 5);
+  Alcotest.check_raises "rank 0"
+    (Invalid_argument "Select.nth_largest: rank out of bounds") (fun () ->
+      ignore (Select.nth_largest ~cmp:Int.compare (Array.copy arr) 0))
+
+let prop_top_k_matches_sort =
+  QCheck.Test.make ~count:200 ~name:"top_k equals sort-take"
+    QCheck.(pair (list int) small_nat)
+    (fun (xs, k) ->
+      let expected =
+        List.sort (fun a b -> Int.compare b a) xs
+        |> List.filteri (fun i _ -> i < k)
+      in
+      Select.top_k ~cmp:Int.compare k xs = expected)
+
+(* --- Search --- *)
+
+let test_bounds () =
+  let arr = [| 1; 3; 3; 5; 7 |] in
+  let lb = Search.lower_bound ~cmp:Int.compare arr in
+  let ub = Search.upper_bound ~cmp:Int.compare arr in
+  Alcotest.(check int) "lb 0" 0 (lb 0);
+  Alcotest.(check int) "lb 3" 1 (lb 3);
+  Alcotest.(check int) "lb 4" 3 (lb 4);
+  Alcotest.(check int) "lb 8" 5 (lb 8);
+  Alcotest.(check int) "ub 3" 3 (ub 3);
+  Alcotest.(check int) "ub 7" 5 (ub 7);
+  Alcotest.(check (option int)) "pred 4"
+    (Some 2)
+    (Search.predecessor ~cmp:Int.compare arr 4);
+  Alcotest.(check (option int)) "pred 0" None
+    (Search.predecessor ~cmp:Int.compare arr 0)
+
+let test_binary_search_first () =
+  let ok i = i >= 42 in
+  Alcotest.(check (option int)) "first" (Some 42)
+    (Search.binary_search_first ok 0 100);
+  Alcotest.(check (option int)) "none" None
+    (Search.binary_search_first ok 0 42);
+  Alcotest.(check (option int)) "empty range" None
+    (Search.binary_search_first ok 5 5)
+
+(* --- Gen --- *)
+
+let test_distinct_weights () =
+  let rng = Rng.create 37 in
+  let w = Gen.distinct_weights rng 5000 in
+  let sorted = Array.copy w in
+  Array.sort Float.compare sorted;
+  for i = 1 to Array.length sorted - 1 do
+    if sorted.(i) = sorted.(i - 1) then Alcotest.fail "duplicate weight"
+  done
+
+let test_intervals_valid () =
+  let rng = Rng.create 41 in
+  List.iter
+    (fun shape ->
+      Array.iter
+        (fun (lo, hi) ->
+          if lo > hi then Alcotest.fail "inverted interval";
+          if Float.is_nan lo || Float.is_nan hi then Alcotest.fail "nan")
+        (Gen.intervals rng ~shape ~n:2000))
+    [ Gen.Short_intervals; Gen.Mixed_intervals; Gen.Nested_intervals ]
+
+let test_nested_intervals_nest () =
+  let rng = Rng.create 43 in
+  let iv = Gen.intervals rng ~shape:Gen.Nested_intervals ~n:100 in
+  (* All nested intervals contain the center. *)
+  Array.iter
+    (fun (lo, hi) ->
+      Alcotest.(check bool) "covers center" true (lo <= 0.5 && hi >= 0.5))
+    iv
+
+let test_halfplanes_unit_normal () =
+  let rng = Rng.create 47 in
+  Array.iter
+    (fun (a, b, _) ->
+      Alcotest.(check (float 1e-9)) "unit normal" 1. ((a *. a) +. (b *. b)))
+    (Gen.halfplanes rng ~n:500)
+
+let test_mix_weights_correlation () =
+  let rng = Rng.create 53 in
+  let coords = Array.init 2000 (fun i -> float_of_int i /. 2000.) in
+  let w = Gen.mix_weights rng (Gen.Correlated 1.) ~coords in
+  (* With full correlation, weights must be increasing in coords. *)
+  Alcotest.(check bool) "monotone" true
+    (Search.is_sorted ~cmp:Float.compare w);
+  let w0 = Gen.mix_weights rng Gen.Uniform_weights ~coords in
+  Alcotest.(check bool) "uncorrelated is shuffled" false
+    (Search.is_sorted ~cmp:Float.compare w0)
+
+let () =
+  Alcotest.run "topk_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independent" `Quick
+            test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int uniform" `Slow test_rng_int_roughly_uniform;
+          Alcotest.test_case "bernoulli" `Quick test_rng_bernoulli;
+          Alcotest.test_case "sample rate" `Quick test_rng_sample_rate;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "drains sorted" `Quick test_heap_sorts;
+          Alcotest.test_case "push/pop" `Quick test_heap_push_pop_interleaved;
+        ] );
+      ( "select",
+        [
+          Alcotest.test_case "quickselect" `Quick test_quickselect_matches_sort;
+          Alcotest.test_case "median of medians" `Quick
+            test_median_of_medians_matches_sort;
+          Alcotest.test_case "top_k" `Quick test_top_k;
+          Alcotest.test_case "nth_largest" `Quick test_nth_largest;
+          QCheck_alcotest.to_alcotest prop_top_k_matches_sort;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "binary_search_first" `Quick
+            test_binary_search_first;
+        ] );
+      ( "gen",
+        [
+          Alcotest.test_case "distinct weights" `Quick test_distinct_weights;
+          Alcotest.test_case "intervals valid" `Quick test_intervals_valid;
+          Alcotest.test_case "nested intervals nest" `Quick
+            test_nested_intervals_nest;
+          Alcotest.test_case "halfplane normals" `Quick
+            test_halfplanes_unit_normal;
+          Alcotest.test_case "weight correlation" `Quick
+            test_mix_weights_correlation;
+        ] );
+    ]
