@@ -1,0 +1,33 @@
+# Development entry points.  `make check` is what CI runs.
+
+.PHONY: all build test check bench quick-bench serve-bench examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# The CI gate: everything compiles (including benches and examples)
+# and every test — unit, property, conformance, service, cram — passes.
+check:
+	dune build @all
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+quick-bench:
+	dune exec bench/main.exe -- --quick
+
+serve-bench:
+	dune exec bin/topk_cli.exe -- serve-bench -n 100000 --queries 10000 --workers 4
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/serving.exe
+
+clean:
+	dune clean

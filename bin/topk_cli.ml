@@ -12,6 +12,26 @@
 
 open Cmdliner
 
+(* --- argument validation ---
+
+   Invalid combinations exit with a one-line error and status 2 instead
+   of an uncaught exception from deep inside a structure. *)
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("topk: " ^ msg);
+      exit 2)
+    fmt
+
+let require_pos name v =
+  if v <= 0 then die "%s must be positive (got %d)" name v
+
+let require_pos_float name v =
+  if not (v > 0.) then die "%s must be positive (got %g)" name v
+
+let validate_common ~n ~k = require_pos "n" n; require_pos "k" k
+
 type method_ = Thm1 | Thm2 | Rj | Naive
 
 let method_conv =
@@ -69,6 +89,7 @@ let interval_cmd =
       & info [ "q" ] ~docv:"Q" ~doc:"Stabbing coordinate in [0,1].")
   in
   let run n k seed meth q block =
+    validate_common ~n ~k;
     with_model block (fun () ->
         let elems =
           let rng = Topk_util.Rng.create seed in
@@ -115,6 +136,7 @@ let enclosure_cmd =
     Arg.(value & opt float 0.5 & info [ "y" ] ~docv:"Y" ~doc:"Query y.")
   in
   let run n k seed meth x y block =
+    validate_common ~n ~k;
     with_model block (fun () ->
         let rects =
           let rng = Topk_util.Rng.create seed in
@@ -166,6 +188,7 @@ let dominance_cmd =
       & info [ "z" ] ~docv:"SEC" ~doc:"Min security rating.")
   in
   let run n k seed meth x y z block =
+    validate_common ~n ~k;
     with_model block (fun () ->
         let hotels =
           Topk_dominance.Instances.hotels (Topk_util.Rng.create seed) ~n
@@ -211,6 +234,7 @@ let halfplane_cmd =
   let b_arg = Arg.(value & opt float 1. & info [ "b" ] ~docv:"B" ~doc:"Normal y.") in
   let c_arg = Arg.(value & opt float 1. & info [ "c" ] ~docv:"C" ~doc:"Offset.") in
   let run n k seed a b c block =
+    validate_common ~n ~k;
     with_model block (fun () ->
         let pts =
           let rng = Topk_util.Rng.create seed in
@@ -242,6 +266,8 @@ let circular_cmd =
   let y_arg = Arg.(value & opt float 0.5 & info [ "y" ] ~docv:"Y" ~doc:"Center y.") in
   let r_arg = Arg.(value & opt float 0.2 & info [ "r" ] ~docv:"R" ~doc:"Radius.") in
   let run n k seed x y r block =
+    validate_common ~n ~k;
+    require_pos_float "r" r;
     with_model block (fun () ->
         let module H = Topk_halfspace in
         let module Inst = Topk_halfspace.Instances in
@@ -262,6 +288,175 @@ let circular_cmd =
     Term.(
       const run $ n_arg $ k_arg $ seed_arg $ x_arg $ y_arg $ r_arg $ block_arg)
 
+(* --- serve-bench --- *)
+
+let serve_bench_cmd =
+  let module Svc = Topk_service in
+  let module Stats = Topk_em.Stats in
+  let queries_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "queries" ] ~docv:"Q" ~doc:"Number of queries to serve.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"W" ~doc:"Worker domains in the pool.")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "capacity" ] ~docv:"C" ~doc:"Bounded queue capacity.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "batch" ] ~docv:"J" ~doc:"Max jobs a worker pops at once.")
+  in
+  let mixed_arg =
+    Arg.(
+      value & flag
+      & info [ "mixed" ]
+          ~doc:"Serve a mixed interval-stabbing + 1D-range workload \
+                instead of intervals only.")
+  in
+  let run n k seed queries workers capacity batch mixed block =
+    validate_common ~n ~k;
+    require_pos "queries" queries;
+    require_pos "workers" workers;
+    require_pos "capacity" capacity;
+    require_pos "batch" batch;
+    with_model block (fun () ->
+        let rng = Topk_util.Rng.create seed in
+        Printf.printf
+          "serve-bench: n=%d queries=%d workers=%d k=%d capacity=%d batch<=%d%s\n%!"
+          n queries workers k capacity batch
+          (if mixed then " (mixed interval+range)" else "");
+        (* Build the instances (build cost is not part of serving). *)
+        let elems =
+          Topk_interval.Interval.of_spans rng
+            (Topk_util.Gen.intervals rng ~shape:Topk_util.Gen.Mixed_intervals
+               ~n)
+        in
+        let module IInst = Topk_interval.Instances in
+        let itv = IInst.Topk_t2.build ~params:(IInst.params ()) elems in
+        let registry = Svc.Registry.create () in
+        let itv_h =
+          Svc.Registry.register registry ~name:"intervals"
+            (module IInst.Topk_t2)
+            itv
+        in
+        let range_h =
+          if not mixed then None
+          else begin
+            let module RInst = Topk_range.Instances in
+            let pts =
+              Topk_range.Wpoint.of_positions rng
+                (Array.init n (fun _ -> Topk_util.Rng.uniform rng))
+            in
+            let rs = RInst.Topk_t2.build ~params:(RInst.params ()) pts in
+            Some
+              (Svc.Registry.register registry ~name:"range1d"
+                 (module RInst.Topk_t2)
+                 rs)
+          end
+        in
+        List.iter
+          (fun i -> Format.printf "registered %a@." Svc.Registry.pp_info i)
+          (Svc.Registry.list registry);
+        let stabs = Topk_util.Gen.stab_queries rng ~n:queries in
+        let ranges =
+          Array.init queries (fun _ ->
+              let a = Topk_util.Rng.uniform rng
+              and b = Topk_util.Rng.uniform rng in
+              (Float.min a b, Float.max a b))
+        in
+        (* Sequential reference pass on this domain, same code path as
+           the workers (per-query carry rounding included). *)
+        let run_one i =
+          if mixed && i land 1 = 1 then
+            match range_h with
+            | Some h ->
+                ignore
+                  (Svc.Registry.h_exec h ranges.(i) ~k ~budget:None
+                     ~deadline:None)
+            | None -> assert false
+          else
+            ignore
+              (Svc.Registry.h_exec itv_h stabs.(i) ~k ~budget:None
+                 ~deadline:None)
+        in
+        let t0 = Unix.gettimeofday () in
+        let (), seq =
+          Stats.measure (fun () ->
+              for i = 0 to queries - 1 do
+                run_one i
+              done)
+        in
+        let seq_elapsed = Unix.gettimeofday () -. t0 in
+        Printf.printf "\nsequential: %d queries in %.3fs (%.0f qps), %s\n%!"
+          queries seq_elapsed
+          (float_of_int queries /. Float.max 1e-9 seq_elapsed)
+          (Format.asprintf "%a" Stats.pp seq);
+        (* Concurrent pass through the pool. *)
+        let pool =
+          Svc.Executor.create ~workers ~queue_capacity:capacity
+            ~batch_max:batch ()
+        in
+        let t1 = Unix.gettimeofday () in
+        let futures =
+          List.init queries (fun i ->
+              if mixed && i land 1 = 1 then
+                match range_h with
+                | Some h ->
+                    let fut = Svc.Executor.submit pool h ranges.(i) ~k in
+                    fun () -> ignore (Svc.Future.await fut)
+                | None -> assert false
+              else
+                let fut = Svc.Executor.submit pool itv_h stabs.(i) ~k in
+                fun () -> ignore (Svc.Future.await fut))
+        in
+        List.iter (fun wait -> wait ()) futures;
+        let elapsed = Unix.gettimeofday () -. t1 in
+        let par = Svc.Executor.aggregate_stats pool in
+        Printf.printf "concurrent: %d queries in %.3fs (%.0f qps)\n"
+          queries elapsed
+          (float_of_int queries /. Float.max 1e-9 elapsed);
+        Printf.printf "aggregated worker cost: %s\n"
+          (Format.asprintf "%a" Stats.pp par);
+        Printf.printf "per-worker EM accounting:\n";
+        List.iter
+          (fun (w, s) ->
+            Printf.printf "  worker %d: %s\n" w
+              (Format.asprintf "%a" Stats.pp s))
+          (Svc.Executor.worker_stats pool);
+        Printf.printf "I/O totals: sequential=%d aggregated=%d (%s)\n"
+          seq.Stats.ios par.Stats.ios
+          (if seq.Stats.ios = par.Stats.ios then "exact match" else "MISMATCH");
+        (* Graceful degradation demo: a deliberately under-budgeted
+           query comes back flagged with a certified prefix instead of
+           stalling a worker. *)
+        let starved =
+          Svc.Future.await
+            (Svc.Executor.submit pool itv_h stabs.(0) ~k:(max 64 k) ~budget:2)
+        in
+        Printf.printf "under-budgeted query (budget=2 I/Os): %s, %d answer(s)%s\n"
+          (Svc.Response.status_string starved.Svc.Response.status)
+          (List.length starved.Svc.Response.answers)
+          (if Svc.Response.is_partial starved then " [certified prefix]"
+           else "");
+        Svc.Executor.shutdown pool;
+        Printf.printf "\nmetrics:\n%s" (Svc.Metrics.report (Svc.Executor.metrics pool)))
+  in
+  Cmd.v
+    (Cmd.info "serve-bench"
+       ~doc:
+         "Drive the concurrent serving subsystem (registry + domain pool) \
+          with a synthetic workload and report latency/IO histograms.")
+    Term.(
+      const run $ n_arg $ k_arg $ seed_arg $ queries_arg $ workers_arg
+      $ capacity_arg $ batch_arg $ mixed_arg $ block_arg)
+
 (* --- sample-check --- *)
 
 let sample_check_cmd =
@@ -274,6 +469,10 @@ let sample_check_cmd =
     Arg.(value & opt int 500 & info [ "trials" ] ~docv:"T" ~doc:"Trials.")
   in
   let run n k seed delta trials =
+    validate_common ~n ~k;
+    require_pos "trials" trials;
+    require_pos_float "delta" delta;
+    if k > n then die "k must be <= n (got k=%d, n=%d)" k n;
     let module RS = Topk_core.Rank_sampling in
     let rng = Topk_util.Rng.create seed in
     let ground = Array.init n (fun i -> i) in
@@ -312,4 +511,5 @@ let () =
             halfplane_cmd;
             circular_cmd;
             sample_check_cmd;
+            serve_bench_cmd;
           ]))

@@ -4,35 +4,79 @@ type snapshot = {
   queries : int;
 }
 
+let zero_snapshot = { ios = 0; scanned = 0; queries = 0 }
+
+let add a b =
+  {
+    ios = a.ios + b.ios;
+    scanned = a.scanned + b.scanned;
+    queries = a.queries + b.queries;
+  }
+
+let diff a b =
+  {
+    ios = a.ios - b.ios;
+    scanned = a.scanned - b.scanned;
+    queries = a.queries - b.queries;
+  }
+
 type state = {
+  domain : int;  (* id of the domain that owns these counters *)
   mutable s_ios : int;
   mutable s_scanned : int;
   mutable s_queries : int;
   mutable s_carry : int;  (* scanned elements not yet filling a block *)
 }
 
-let zero () = { s_ios = 0; s_scanned = 0; s_queries = 0; s_carry = 0 }
+(* Every domain that ever charges work registers its counter record
+   here, so totals can be aggregated after workers have joined.  States
+   of terminated domains stay registered: their counts remain part of
+   the aggregate, exactly like a worker flushing its tally on exit. *)
+let registry : state list ref = ref []
 
-let state = zero ()
+let registry_mutex = Mutex.create ()
+
+let fresh_state () =
+  let s =
+    {
+      domain = (Domain.self () :> int);
+      s_ios = 0;
+      s_scanned = 0;
+      s_queries = 0;
+      s_carry = 0;
+    }
+  in
+  Mutex.protect registry_mutex (fun () -> registry := s :: !registry);
+  s
+
+(* Per-domain counters: the main domain's slot behaves exactly like the
+   old global record, so single-threaded callers see no change. *)
+let key = Domain.DLS.new_key fresh_state
+
+let state () = Domain.DLS.get key
 
 let reset () =
+  let state = state () in
   state.s_ios <- 0;
   state.s_scanned <- 0;
   state.s_queries <- 0;
   state.s_carry <- 0
 
-let snapshot () =
-  { ios = state.s_ios; scanned = state.s_scanned; queries = state.s_queries }
+let snapshot_of s = { ios = s.s_ios; scanned = s.s_scanned; queries = s.s_queries }
 
-let ios () = state.s_ios
+let snapshot () = snapshot_of (state ())
+
+let ios () = (state ()).s_ios
 
 let charge_ios n =
   if n < 0 then invalid_arg "Stats.charge_ios: negative";
+  let state = state () in
   state.s_ios <- state.s_ios + n
 
 let charge_scan t =
   if t < 0 then invalid_arg "Stats.charge_scan: negative";
   if t > 0 then begin
+    let state = state () in
     let b = (Config.current ()).Config.b in
     let total = state.s_carry + t in
     state.s_ios <- state.s_ios + (total / b);
@@ -40,10 +84,20 @@ let charge_scan t =
     state.s_scanned <- state.s_scanned + t
   end
 
-let mark_query () = state.s_queries <- state.s_queries + 1
+let mark_query () =
+  let state = state () in
+  state.s_queries <- state.s_queries + 1
+
+let round_carry () =
+  let state = state () in
+  if state.s_carry > 0 then begin
+    state.s_ios <- state.s_ios + 1;
+    state.s_carry <- 0
+  end
 
 let measure f =
-  let saved = snapshot () in
+  let state = state () in
+  let saved = snapshot_of state in
   let saved_carry = state.s_carry in
   reset ();
   let restore () =
@@ -54,12 +108,33 @@ let measure f =
   in
   match f () with
   | x ->
-      let s = snapshot () in
+      let s = snapshot_of state in
       restore ();
       (x, s)
   | exception e ->
       restore ();
       raise e
+
+(* --- cross-domain aggregation --- *)
+
+let registered () = Mutex.protect registry_mutex (fun () -> !registry)
+
+let aggregate () =
+  List.fold_left
+    (fun acc s -> add acc (snapshot_of s))
+    zero_snapshot (registered ())
+
+let per_domain () =
+  List.rev_map (fun s -> (s.domain, snapshot_of s)) (registered ())
+
+let reset_all () =
+  List.iter
+    (fun s ->
+      s.s_ios <- 0;
+      s.s_scanned <- 0;
+      s.s_queries <- 0;
+      s.s_carry <- 0)
+    (registered ())
 
 let pp ppf s =
   Format.fprintf ppf "ios=%d scanned=%d queries=%d" s.ios s.scanned s.queries

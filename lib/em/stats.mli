@@ -7,7 +7,14 @@
     fetched) or element scans, which are converted to [ceil (t / B)]
     I/Os under the current {!Config}.
 
-    The counter is global and single-threaded, like the model. *)
+    Counters are {e per-domain} ([Domain.DLS]-backed): each domain
+    charges its own slot without synchronisation, so the serving layer
+    ({!Topk_service}) can run queries on many domains concurrently.  In
+    a single-domain program the main domain's slot behaves exactly like
+    the global counter of the original model — [reset], [snapshot],
+    [ios] and [measure] all act on the calling domain only.  Totals
+    across domains are available through {!aggregate}, {!per_domain}
+    and {!reset_all}. *)
 
 type snapshot = {
   ios : int;       (** block I/Os charged (node visits + scan blocks) *)
@@ -15,13 +22,23 @@ type snapshot = {
   queries : int;   (** number of [query] marks *)
 }
 
+val zero_snapshot : snapshot
+
+val add : snapshot -> snapshot -> snapshot
+(** Componentwise sum. *)
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff after before] is the componentwise difference — the cost of
+    the work performed between the two snapshots. *)
+
 val reset : unit -> unit
-(** Zero all counters. *)
+(** Zero the calling domain's counters. *)
 
 val snapshot : unit -> snapshot
+(** The calling domain's counters. *)
 
 val ios : unit -> int
-(** Total I/Os since the last {!reset}. *)
+(** The calling domain's I/Os since its last {!reset}. *)
 
 val charge_ios : int -> unit
 (** Charge [n] whole I/Os ([n >= 0]). *)
@@ -37,9 +54,40 @@ val charge_scan : int -> unit
 val mark_query : unit -> unit
 (** Record that one query was answered (for averaging). *)
 
+val round_carry : unit -> unit
+(** Close the current partial scan block: if scanned elements are
+    pending below a block boundary, charge one I/O for them and clear
+    the carry.  Charging a scan of [t] elements between two
+    [round_carry]s costs exactly [ceil (t / B)] I/Os, making a query's
+    cost independent of what ran before it on the same domain — the
+    serving layer brackets each query with this so per-domain totals
+    are exactly the sum of per-query costs, regardless of how queries
+    were scheduled across workers. *)
+
 val measure : (unit -> 'a) -> 'a * snapshot
 (** [measure f] runs [f] with fresh counters and returns its result
     together with the I/Os it consumed; previous counters are restored
-    (and {e not} incremented) afterwards. *)
+    (and {e not} incremented) afterwards.  Counts only work done on the
+    calling domain. *)
+
+(** {1 Cross-domain aggregation}
+
+    Work charged on a domain stays visible after the domain terminates,
+    so joining a worker pool and then calling {!aggregate} yields the
+    exact total of all work ever charged (the join provides the
+    happens-before edge).  Calling {!aggregate} while other domains are
+    still running is safe but returns a possibly-stale reading. *)
+
+val aggregate : unit -> snapshot
+(** Sum of the counters of every domain that ever charged work
+    (including terminated ones). *)
+
+val per_domain : unit -> (int * snapshot) list
+(** One entry per domain that ever charged work, keyed by its
+    [Domain.id], in registration order. *)
+
+val reset_all : unit -> unit
+(** Zero the counters of {e every} domain.  Only meaningful when no
+    other domain is concurrently charging. *)
 
 val pp : Format.formatter -> snapshot -> unit

@@ -1,0 +1,188 @@
+module Stats = Topk_em.Stats
+
+type t = {
+  mutex : Mutex.t;
+  not_empty : Condition.t;  (* signalled on enqueue / shutdown *)
+  not_full : Condition.t;   (* signalled when queue space frees up *)
+  idle : Condition.t;       (* signalled when the pool fully drains *)
+  queue : Request.t Queue.t;
+  capacity : int;
+  batch_max : int;
+  mutable stopping : bool;
+  mutable pending : int;  (* queued + in-flight requests *)
+  mutable domains : unit Domain.t list;
+  worker_ids : int array;  (* Domain ids, written once by each worker *)
+  n_workers : int;
+  metrics : Metrics.t;
+}
+
+let default_workers () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* --- worker side --- *)
+
+let record_outcome metrics (o : Request.outcome) =
+  let open Metrics in
+  Counter.incr metrics.completed;
+  (match o.Request.o_status with
+  | Response.Complete -> ()
+  | Response.Cutoff_budget -> Counter.incr metrics.cutoff_budget
+  | Response.Cutoff_deadline -> Counter.incr metrics.cutoff_deadline
+  | Response.Failed _ -> Counter.incr metrics.failed);
+  Histogram.observe metrics.latency_us
+    (int_of_float (o.Request.o_latency *. 1e6));
+  Histogram.observe metrics.ios o.Request.o_ios
+
+let pop_batch t =
+  Mutex.protect t.mutex (fun () ->
+      while Queue.is_empty t.queue && not t.stopping do
+        Condition.wait t.not_empty t.mutex
+      done;
+      let n = min t.batch_max (Queue.length t.queue) in
+      let rec pop acc n =
+        if n = 0 then List.rev acc else pop (Queue.pop t.queue :: acc) (n - 1)
+      in
+      let jobs = pop [] n in
+      if n > 0 then Condition.broadcast t.not_full;
+      jobs)
+
+let rec worker_loop t idx =
+  match pop_batch t with
+  | [] -> ()  (* stopping and queue drained: exit *)
+  | jobs ->
+      let open Metrics in
+      Histogram.observe t.metrics.batch (List.length jobs);
+      List.iter
+        (fun job ->
+          Gauge.decr t.metrics.queue_depth;
+          Gauge.incr t.metrics.inflight;
+          let outcome = Request.run job ~worker:idx in
+          Gauge.decr t.metrics.inflight;
+          record_outcome t.metrics outcome;
+          Mutex.protect t.mutex (fun () ->
+              t.pending <- t.pending - 1;
+              if t.pending = 0 then Condition.broadcast t.idle))
+        jobs;
+      worker_loop t idx
+
+let worker_main t idx =
+  t.worker_ids.(idx) <- (Domain.self () :> int);
+  worker_loop t idx
+
+(* --- pool management --- *)
+
+let create ?workers ?(queue_capacity = 1024) ?(batch_max = 32) () =
+  let n_workers =
+    match workers with None -> default_workers () | Some w -> w
+  in
+  if n_workers < 1 then invalid_arg "Executor.create: workers must be >= 1";
+  if queue_capacity < 1 then
+    invalid_arg "Executor.create: queue_capacity must be >= 1";
+  if batch_max < 1 then invalid_arg "Executor.create: batch_max must be >= 1";
+  let t =
+    {
+      mutex = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      idle = Condition.create ();
+      queue = Queue.create ();
+      capacity = queue_capacity;
+      batch_max;
+      stopping = false;
+      pending = 0;
+      domains = [];
+      worker_ids = Array.make n_workers (-1);
+      n_workers;
+      metrics = Metrics.create ();
+    }
+  in
+  t.domains <-
+    List.init n_workers (fun i -> Domain.spawn (fun () -> worker_main t i));
+  t
+
+let worker_count t = t.n_workers
+
+let metrics t = t.metrics
+
+let queue_depth t = Mutex.protect t.mutex (fun () -> Queue.length t.queue)
+
+(* --- submission --- *)
+
+exception Shut_down
+
+let enqueue_blocking t req =
+  Mutex.protect t.mutex (fun () ->
+      if t.stopping then raise Shut_down;
+      while Queue.length t.queue >= t.capacity && not t.stopping do
+        Condition.wait t.not_full t.mutex
+      done;
+      if t.stopping then raise Shut_down;
+      Queue.push req t.queue;
+      t.pending <- t.pending + 1;
+      Metrics.Gauge.incr t.metrics.queue_depth;
+      Metrics.Counter.incr t.metrics.submitted;
+      Condition.signal t.not_empty)
+
+let enqueue_nonblocking t req =
+  let accepted =
+    Mutex.protect t.mutex (fun () ->
+        if t.stopping then raise Shut_down;
+        if Queue.length t.queue >= t.capacity then false
+        else begin
+          Queue.push req t.queue;
+          t.pending <- t.pending + 1;
+          Metrics.Gauge.incr t.metrics.queue_depth;
+          Metrics.Counter.incr t.metrics.submitted;
+          Condition.signal t.not_empty;
+          true
+        end)
+  in
+  if not accepted then Metrics.Counter.incr t.metrics.rejected;
+  accepted
+
+let submit t handle ?budget ?timeout q ~k =
+  let req, fut = Request.make handle ?budget ?timeout q ~k in
+  enqueue_blocking t req;
+  fut
+
+let try_submit t handle ?budget ?timeout q ~k =
+  let req, fut = Request.make handle ?budget ?timeout q ~k in
+  if enqueue_nonblocking t req then Some fut else None
+
+let submit_batch t handle ?budget ?timeout queries ~k =
+  List.map (fun q -> submit t handle ?budget ?timeout q ~k) queries
+
+(* --- lifecycle --- *)
+
+let drain t =
+  Mutex.protect t.mutex (fun () ->
+      while t.pending > 0 do
+        Condition.wait t.idle t.mutex
+      done)
+
+let shutdown t =
+  let domains =
+    Mutex.protect t.mutex (fun () ->
+        t.stopping <- true;
+        Condition.broadcast t.not_empty;
+        Condition.broadcast t.not_full;
+        let d = t.domains in
+        t.domains <- [];
+        d)
+  in
+  List.iter Domain.join domains
+
+(* --- per-worker EM accounting --- *)
+
+let worker_stats t =
+  let ids = Array.to_list t.worker_ids in
+  List.filter_map
+    (fun (d, s) ->
+      match List.find_index (Int.equal d) ids with
+      | Some idx -> Some (idx, s)
+      | None -> None)
+    (Stats.per_domain ())
+
+let aggregate_stats t =
+  List.fold_left
+    (fun acc (_, s) -> Stats.add acc s)
+    Stats.zero_snapshot (worker_stats t)

@@ -1,0 +1,86 @@
+(** The worker pool: OCaml 5 [Domain]-based workers behind one bounded
+    MPMC request queue.
+
+    Index structures are immutable once built (the paper's structures
+    are static or rebuilt wholesale), so a single snapshot is shared by
+    every worker with no per-query synchronisation; the only contended
+    state is the queue itself, and workers amortise that by popping
+    requests in batches of up to [batch_max].
+
+    Admission control: {!submit} applies backpressure (blocks while the
+    queue is at capacity), {!try_submit} sheds load instead (returns
+    [None] and counts a rejection).  Per-query graceful degradation —
+    budget and deadline cutoff with certified-prefix answers — is
+    handled in {!Registry.exec} on the worker.
+
+    Every worker charges the EM cost of the queries it runs to its own
+    domain-local {!Topk_em.Stats} slot; {!worker_stats} and
+    {!aggregate_stats} expose the per-worker and pooled totals. *)
+
+type t
+
+exception Shut_down
+(** Raised by submission after {!shutdown}. *)
+
+val default_workers : unit -> int
+(** [max 1 (Domain.recommended_domain_count () - 1)] — leave one core
+    for the submitting thread. *)
+
+val create : ?workers:int -> ?queue_capacity:int -> ?batch_max:int -> unit -> t
+(** Spawn the pool.  Defaults: {!default_workers} workers, capacity
+    1024, batches of up to 32.
+    @raise Invalid_argument on non-positive parameters. *)
+
+val submit :
+  t ->
+  ('q, 'e) Registry.handle ->
+  ?budget:int ->
+  ?timeout:float ->
+  'q ->
+  k:int ->
+  'e Response.t Future.t
+(** Enqueue a query; blocks while the queue is full ({e backpressure}).
+    @raise Shut_down if the pool has been shut down. *)
+
+val try_submit :
+  t ->
+  ('q, 'e) Registry.handle ->
+  ?budget:int ->
+  ?timeout:float ->
+  'q ->
+  k:int ->
+  'e Response.t Future.t option
+(** Non-blocking admission: [None] (and a rejection count) when the
+    queue is at capacity. *)
+
+val submit_batch :
+  t ->
+  ('q, 'e) Registry.handle ->
+  ?budget:int ->
+  ?timeout:float ->
+  'q list ->
+  k:int ->
+  'e Response.t Future.t list
+(** [submit] each query in order, returning the futures in order. *)
+
+val drain : t -> unit
+(** Block until no request is queued or in flight. *)
+
+val shutdown : t -> unit
+(** Stop accepting work, let the workers finish the backlog, and join
+    them.  Idempotent. *)
+
+val worker_count : t -> int
+
+val queue_depth : t -> int
+
+val metrics : t -> Metrics.t
+
+val worker_stats : t -> (int * Topk_em.Stats.snapshot) list
+(** Per-worker EM accounting: [(worker index, counters)] for each
+    worker domain that has charged work.  Exact once the pool is
+    {!drain}ed (quiescent) or {!shutdown} (joined); a possibly-stale
+    reading while queries are still running. *)
+
+val aggregate_stats : t -> Topk_em.Stats.snapshot
+(** Sum of {!worker_stats}. *)

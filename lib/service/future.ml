@@ -1,0 +1,30 @@
+type 'a t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable cell : 'a option;
+}
+
+let create () = { mutex = Mutex.create (); cond = Condition.create (); cell = None }
+
+let fill t v =
+  Mutex.protect t.mutex (fun () ->
+      match t.cell with
+      | Some _ -> invalid_arg "Future.fill: already filled"
+      | None ->
+          t.cell <- Some v;
+          Condition.broadcast t.cond)
+
+let await t =
+  Mutex.protect t.mutex (fun () ->
+      let rec wait () =
+        match t.cell with
+        | Some v -> v
+        | None ->
+            Condition.wait t.cond t.mutex;
+            wait ()
+      in
+      wait ())
+
+let poll t = Mutex.protect t.mutex (fun () -> t.cell)
+
+let is_filled t = Option.is_some (poll t)

@@ -1,0 +1,19 @@
+(** Single-assignment cells ("ivars") used to hand a worker's response
+    back to the submitting thread.  Writes and reads may come from
+    different domains. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val fill : 'a t -> 'a -> unit
+(** Publish the value and wake all waiters.
+    @raise Invalid_argument if already filled. *)
+
+val await : 'a t -> 'a
+(** Block the calling thread until the value is available. *)
+
+val poll : 'a t -> 'a option
+(** Non-blocking read. *)
+
+val is_filled : 'a t -> bool

@@ -1,0 +1,170 @@
+(* Lock-free serving metrics: plain [Atomic.t] counters and power-of-two
+   bucketed histograms.  Workers record without ever taking a lock, so
+   metrics cannot become a point of contention in the pool. *)
+
+module Counter = struct
+  type t = int Atomic.t
+
+  let create () = Atomic.make 0
+
+  let incr t = Atomic.incr t
+
+  let add t n = ignore (Atomic.fetch_and_add t n)
+
+  let get t = Atomic.get t
+end
+
+module Gauge = struct
+  type t = int Atomic.t
+
+  let create () = Atomic.make 0
+
+  let incr t = Atomic.incr t
+
+  let decr t = Atomic.decr t
+
+  let get t = Atomic.get t
+end
+
+module Histogram = struct
+  (* Bucket [0] holds the observation [0]; bucket [i >= 1] holds
+     observations in [2^(i-1), 2^i).  63 buckets cover every
+     non-negative OCaml int. *)
+  let buckets = 63
+
+  type t = {
+    counts : int Atomic.t array;
+    sum : int Atomic.t;
+    count : int Atomic.t;
+    max : int Atomic.t;
+  }
+
+  let create () =
+    {
+      counts = Array.init buckets (fun _ -> Atomic.make 0);
+      sum = Atomic.make 0;
+      count = Atomic.make 0;
+      max = Atomic.make 0;
+    }
+
+  let bucket_of v =
+    let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+    if v <= 0 then 0 else min (buckets - 1) (bits 0 v)
+
+  (* Upper edge of bucket [i] (inclusive): the value reported for
+     percentiles falling in that bucket. *)
+  let upper_of i = if i = 0 then 0 else (1 lsl i) - 1
+
+  let rec update_max t v =
+    let cur = Atomic.get t.max in
+    if v > cur && not (Atomic.compare_and_set t.max cur v) then update_max t v
+
+  let observe t v =
+    let v = max 0 v in
+    Atomic.incr t.counts.(bucket_of v);
+    ignore (Atomic.fetch_and_add t.sum v);
+    Atomic.incr t.count;
+    update_max t v
+
+  let count t = Atomic.get t.count
+
+  let sum t = Atomic.get t.sum
+
+  let max_value t = Atomic.get t.max
+
+  let mean t =
+    let n = count t in
+    if n = 0 then 0. else float_of_int (sum t) /. float_of_int n
+
+  (* Approximate percentile: the upper edge of the first bucket whose
+     cumulative count reaches [q * count], clamped by the exact max. *)
+  let percentile t q =
+    let n = count t in
+    if n = 0 then 0
+    else begin
+      let rank = int_of_float (ceil (q *. float_of_int n)) in
+      let rank = Stdlib.max 1 (Stdlib.min n rank) in
+      let rec go i acc =
+        if i >= buckets then max_value t
+        else
+          let acc = acc + Atomic.get t.counts.(i) in
+          if acc >= rank then Stdlib.min (upper_of i) (max_value t)
+          else go (i + 1) acc
+      in
+      go 0 0
+    end
+end
+
+type t = {
+  started : float;
+  submitted : Counter.t;
+  completed : Counter.t;
+  rejected : Counter.t;      (* admission control: queue full on try_submit *)
+  failed : Counter.t;        (* queries that raised *)
+  cutoff_budget : Counter.t;
+  cutoff_deadline : Counter.t;
+  queue_depth : Gauge.t;
+  inflight : Gauge.t;
+  latency_us : Histogram.t;  (* submit-to-response, microseconds *)
+  ios : Histogram.t;         (* EM-model I/Os per query *)
+  batch : Histogram.t;       (* jobs popped per worker wakeup *)
+}
+
+let create () =
+  {
+    started = Unix.gettimeofday ();
+    submitted = Counter.create ();
+    completed = Counter.create ();
+    rejected = Counter.create ();
+    failed = Counter.create ();
+    cutoff_budget = Counter.create ();
+    cutoff_deadline = Counter.create ();
+    queue_depth = Gauge.create ();
+    inflight = Gauge.create ();
+    latency_us = Histogram.create ();
+    ios = Histogram.create ();
+    batch = Histogram.create ();
+  }
+
+let uptime t = Unix.gettimeofday () -. t.started
+
+let qps t =
+  let dt = uptime t in
+  if dt <= 0. then 0. else float_of_int (Counter.get t.completed) /. dt
+
+let cutoff_rate t =
+  let n = Counter.get t.completed in
+  if n = 0 then 0.
+  else
+    float_of_int (Counter.get t.cutoff_budget + Counter.get t.cutoff_deadline)
+    /. float_of_int n
+
+(* Text exposition, one metric per line ([name value]), followed by
+   histogram summaries — ready to be scraped or read by a human. *)
+let report t =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let histo name h =
+    line "%s_count %d" name (Histogram.count h);
+    line "%s_sum %d" name (Histogram.sum h);
+    line "%s_mean %.1f" name (Histogram.mean h);
+    line "%s_p50 %d" name (Histogram.percentile h 0.50);
+    line "%s_p95 %d" name (Histogram.percentile h 0.95);
+    line "%s_p99 %d" name (Histogram.percentile h 0.99);
+    line "%s_max %d" name (Histogram.max_value h)
+  in
+  line "topk_uptime_seconds %.3f" (uptime t);
+  line "topk_queries_submitted %d" (Counter.get t.submitted);
+  line "topk_queries_completed %d" (Counter.get t.completed);
+  line "topk_queries_rejected %d" (Counter.get t.rejected);
+  line "topk_queries_failed %d" (Counter.get t.failed);
+  line "topk_queries_cutoff_budget %d" (Counter.get t.cutoff_budget);
+  line "topk_queries_cutoff_deadline %d" (Counter.get t.cutoff_deadline);
+  line "topk_cutoff_rate %.4f" (cutoff_rate t);
+  line "topk_qps %.1f" (qps t);
+  line "topk_queue_depth %d" (Gauge.get t.queue_depth);
+  line "topk_inflight %d" (Gauge.get t.inflight);
+  histo "topk_latency_us" t.latency_us;
+  histo "topk_ios" t.ios;
+  histo "topk_batch_size" t.batch;
+  Buffer.contents buf

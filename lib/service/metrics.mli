@@ -1,0 +1,85 @@
+(** Lock-free serving metrics.
+
+    All recording paths use [Atomic] read-modify-write operations only —
+    no locks — so many worker domains can record concurrently without
+    contending.  Histograms use power-of-two buckets (bucket [i] holds
+    values in [[2^(i-1), 2^i)]), giving percentile estimates whose
+    relative error is bounded by the bucket width; exact count, sum and
+    max are tracked on the side. *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+
+  val incr : t -> unit
+
+  val add : t -> int -> unit
+
+  val get : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val create : unit -> t
+
+  val incr : t -> unit
+
+  val decr : t -> unit
+
+  val get : t -> int
+end
+
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+
+  val observe : t -> int -> unit
+  (** Record a non-negative observation (negatives clamp to [0]). *)
+
+  val count : t -> int
+
+  val sum : t -> int
+
+  val mean : t -> float
+
+  val max_value : t -> int
+
+  val percentile : t -> float -> int
+  (** [percentile t q] for [q] in [[0,1]]: the upper edge of the first
+      bucket whose cumulative count reaches rank [ceil (q * count)],
+      clamped by the exact maximum.  [0] on an empty histogram. *)
+end
+
+(** The registry carried by one {!Executor} pool. *)
+type t = {
+  started : float;
+  submitted : Counter.t;
+  completed : Counter.t;
+  rejected : Counter.t;       (** admission control: queue-full rejections *)
+  failed : Counter.t;         (** queries that raised an exception *)
+  cutoff_budget : Counter.t;  (** partial answers due to I/O budget *)
+  cutoff_deadline : Counter.t;(** partial answers due to deadline *)
+  queue_depth : Gauge.t;      (** requests waiting in the queue *)
+  inflight : Gauge.t;         (** requests being executed right now *)
+  latency_us : Histogram.t;   (** submit-to-response latency, in µs *)
+  ios : Histogram.t;          (** EM-model I/Os per query *)
+  batch : Histogram.t;        (** jobs popped per worker wakeup *)
+}
+
+val create : unit -> t
+
+val uptime : t -> float
+
+val qps : t -> float
+(** Completed queries per second of uptime. *)
+
+val cutoff_rate : t -> float
+(** Fraction of completed queries that were cut off (budget or
+    deadline). *)
+
+val report : t -> string
+(** Text exposition: one [name value] line per scalar metric, plus
+    [count/sum/mean/p50/p95/p99/max] lines per histogram. *)

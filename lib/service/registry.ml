@@ -1,0 +1,127 @@
+module Sigs = Topk_core.Sigs
+module Stats = Topk_em.Stats
+
+type info = {
+  name : string;
+  structure : string;
+  size : int;
+  space_words : int;
+}
+
+(* The typed side of an instance.  The closure hides the structure's
+   existential type: requests erase to closures, the registry erases to
+   [info], and the two meet only here, where the types are known. *)
+type ('q, 'e) handle = {
+  h_info : info;
+  h_exec :
+    'q ->
+    k:int ->
+    budget:int option ->
+    deadline:float option ->
+    'e list * Response.status * Stats.snapshot * int;
+}
+
+type t = {
+  mutex : Mutex.t;
+  mutable entries : info list;  (* registration order, newest first *)
+}
+
+let create () = { mutex = Mutex.create (); entries = [] }
+
+let now () = Unix.gettimeofday ()
+
+(* Staged execution under a cost budget and/or deadline.
+
+   An unconstrained query runs the structure's top-k directly.  A
+   constrained query runs rounds of exact top-k' queries for doubling
+   k' — each round's answer is the exact set of the k' heaviest
+   matching elements, i.e. a *certified prefix* of the true top-k
+   (Section 3.2's cost-monitoring idea lifted from prioritized
+   reporting to the serving layer).  Between rounds we compare the
+   I/Os charged so far against the budget and the wall clock against
+   the deadline; on violation the freshest prefix is returned, flagged,
+   instead of letting an expensive query stall its worker.  Doubling
+   keeps the total cost within a constant factor of the final round. *)
+let exec (type s q e)
+    (module T : Sigs.TOPK
+      with type t = s and type P.query = q and type P.elem = e)
+    (structure : s) (q : q) ~k ~budget ~deadline =
+  (* Bracket the query with [round_carry] so its scan cost is charged
+     in full ([ceil (t / B)]) on this domain: per-query costs are then
+     independent of scheduling, and per-domain totals are exactly the
+     sum of the costs of the queries each worker ran. *)
+  Stats.round_carry ();
+  let before = Stats.snapshot () in
+  let cost () =
+    Stats.round_carry ();
+    Stats.diff (Stats.snapshot ()) before
+  in
+  match (budget, deadline) with
+  | None, None ->
+      let answers = T.query structure q ~k in
+      (answers, Response.Complete, cost (), 1)
+  | _ ->
+      let over_budget () =
+        match budget with
+        | None -> false
+        | Some b -> (Stats.snapshot ()).Stats.ios - before.Stats.ios >= b
+      in
+      let over_deadline () =
+        match deadline with None -> false | Some d -> now () > d
+      in
+      if over_deadline () then ([], Response.Cutoff_deadline, cost (), 0)
+      else if (match budget with Some b -> b <= 0 | None -> false) then
+        ([], Response.Cutoff_budget, cost (), 0)
+      else begin
+        let rec round k' rounds =
+          let answers = T.query structure q ~k:k' in
+          if k' >= k || List.length answers < k' then
+            (answers, Response.Complete, rounds)
+          else if over_budget () then (answers, Response.Cutoff_budget, rounds)
+          else if over_deadline () then
+            (answers, Response.Cutoff_deadline, rounds)
+          else round (min k (2 * k')) (rounds + 1)
+        in
+        let answers, status, rounds = round 1 1 in
+        (answers, status, cost (), rounds)
+      end
+
+let register (type s q e) t ~name
+    (module T : Sigs.TOPK
+      with type t = s and type P.query = q and type P.elem = e)
+    (structure : s) : (q, e) handle =
+  let info =
+    {
+      name;
+      structure = T.name;
+      size = T.size structure;
+      space_words = T.space_words structure;
+    }
+  in
+  Mutex.protect t.mutex (fun () ->
+      if List.exists (fun i -> String.equal i.name name) t.entries then
+        invalid_arg
+          (Printf.sprintf "Registry.register: duplicate instance %S" name);
+      t.entries <- info :: t.entries);
+  {
+    h_info = info;
+    h_exec =
+      (fun q ~k ~budget ~deadline ->
+        exec (module T) structure q ~k ~budget ~deadline);
+  }
+
+let info h = h.h_info
+
+let h_exec h = h.h_exec
+
+let list t = Mutex.protect t.mutex (fun () -> List.rev t.entries)
+
+let find t name =
+  Mutex.protect t.mutex (fun () ->
+      List.find_opt (fun i -> String.equal i.name name) t.entries)
+
+let mem t name = Option.is_some (find t name)
+
+let pp_info ppf i =
+  Format.fprintf ppf "@[<h>%s: %s, n=%d, %d words@]" i.name i.structure i.size
+    i.space_words

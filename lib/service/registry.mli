@@ -1,0 +1,74 @@
+(** Named, immutable index instances available to the serving layer.
+
+    Registration takes any structure implementing
+    {!Topk_core.Sigs.TOPK} — the outputs of the Theorem 1 / Theorem 2
+    functors for interval, range, dominance, enclosure or halfspace
+    problems all qualify — and returns a {e typed handle} used to
+    create requests.  The registry itself stores only erased {!info}
+    records, so heterogeneous instances coexist under one registry; the
+    query/element types live in the handle, which hides the existential
+    in a closure. *)
+
+type info = {
+  name : string;       (** the registration name *)
+  structure : string;  (** e.g. ["theorem2(seg_stab+slab_max)"] *)
+  size : int;          (** elements indexed *)
+  space_words : int;   (** space in words *)
+}
+
+type ('q, 'e) handle
+(** A typed capability to query one registered instance: ['q] is the
+    problem's query type, ['e] its element type. *)
+
+type t
+
+val create : unit -> t
+
+val register :
+  t ->
+  name:string ->
+  (module Topk_core.Sigs.TOPK
+     with type t = 's
+      and type P.query = 'q
+      and type P.elem = 'e) ->
+  's ->
+  ('q, 'e) handle
+(** Register a built structure under [name].  Thread-safe.
+    @raise Invalid_argument on a duplicate name. *)
+
+val info : ('q, 'e) handle -> info
+
+val list : t -> info list
+(** In registration order. *)
+
+val find : t -> string -> info option
+
+val mem : t -> string -> bool
+
+val pp_info : Format.formatter -> info -> unit
+
+(**/**)
+
+val exec :
+  (module Topk_core.Sigs.TOPK
+     with type t = 's
+      and type P.query = 'q
+      and type P.elem = 'e) ->
+  's ->
+  'q ->
+  k:int ->
+  budget:int option ->
+  deadline:float option ->
+  'e list * Response.status * Topk_em.Stats.snapshot * int
+(** Exposed for {!Request}: run one query on the calling domain with
+    staged budget/deadline cutoff; returns
+    [(answers, status, cost, rounds)].  On a cutoff the answers are a
+    certified prefix (the exact heaviest elements reported so far). *)
+
+val h_exec :
+  ('q, 'e) handle ->
+  'q ->
+  k:int ->
+  budget:int option ->
+  deadline:float option ->
+  'e list * Response.status * Topk_em.Stats.snapshot * int

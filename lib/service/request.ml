@@ -1,0 +1,66 @@
+module Stats = Topk_em.Stats
+
+type spec = {
+  instance : string;
+  k : int;
+  budget : int option;
+  deadline : float option;  (* absolute wall-clock time *)
+  submitted : float;
+}
+
+type outcome = {
+  o_status : Response.status;
+  o_ios : int;
+  o_latency : float;  (* seconds, submit to response *)
+}
+
+(* The erased form carried by the executor's queue: the typed query and
+   the typed future are captured in [run]'s closure.  [run] executes on
+   a worker domain, fills the future, and hands back an [outcome] for
+   the pool's metrics. *)
+type t = {
+  spec : spec;
+  run : worker:int -> outcome;
+}
+
+let spec t = t.spec
+
+let make (type q e) (handle : (q, e) Registry.handle) ?budget ?timeout
+    (q : q) ~k : t * e Response.t Future.t =
+  if k <= 0 then
+    invalid_arg (Printf.sprintf "Request.make: k must be positive (got %d)" k);
+  (match budget with
+  | Some b when b < 0 ->
+      invalid_arg
+        (Printf.sprintf "Request.make: budget must be >= 0 (got %d)" b)
+  | _ -> ());
+  let submitted = Unix.gettimeofday () in
+  let deadline = Option.map (fun s -> submitted +. s) timeout in
+  let info = Registry.info handle in
+  let spec =
+    { instance = info.Registry.name; k; budget; deadline; submitted }
+  in
+  let fut = Future.create () in
+  let run ~worker =
+    let answers, status, cost, rounds =
+      try Registry.h_exec handle q ~k ~budget ~deadline
+      with e ->
+        ([], Response.Failed (Printexc.to_string e), Stats.zero_snapshot, 0)
+    in
+    let latency = Unix.gettimeofday () -. submitted in
+    Future.fill fut
+      {
+        Response.answers;
+        status;
+        cost;
+        rounds;
+        latency;
+        worker;
+        instance = spec.instance;
+        k;
+      };
+    { o_status = status; o_ios = cost.Stats.ios; o_latency = latency }
+  in
+  ({ spec; run }, fut)
+
+let run t ~worker = t.run ~worker

@@ -1,0 +1,43 @@
+(** Typed query descriptors.
+
+    A request pairs a registered instance with a query, a result size
+    [k], and optional service constraints: an I/O [budget] (EM-model
+    I/Os this query may spend before being cut off) and a [timeout]
+    (seconds from submission; converted to an absolute deadline).  The
+    element/query types are erased into the [run] closure so requests
+    for heterogeneous instances travel through one queue; the matching
+    typed {!Future.t} is returned to the submitter. *)
+
+type spec = {
+  instance : string;
+  k : int;
+  budget : int option;      (** max EM-model I/Os, [None] = unlimited *)
+  deadline : float option;  (** absolute wall-clock deadline *)
+  submitted : float;        (** wall-clock submission time *)
+}
+
+(** What the executor needs to know for metrics, with types erased. *)
+type outcome = {
+  o_status : Response.status;
+  o_ios : int;
+  o_latency : float;
+}
+
+type t
+
+val spec : t -> spec
+
+val make :
+  ('q, 'e) Registry.handle ->
+  ?budget:int ->
+  ?timeout:float ->
+  'q ->
+  k:int ->
+  t * 'e Response.t Future.t
+(** Build a request and the future its response will be delivered on.
+    @raise Invalid_argument if [k <= 0] or [budget < 0]. *)
+
+val run : t -> worker:int -> outcome
+(** Execute on the calling domain (normally a pool worker), filling the
+    future.  Never raises: a query exception becomes
+    {!Response.Failed}. *)

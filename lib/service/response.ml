@@ -1,0 +1,38 @@
+module Stats = Topk_em.Stats
+
+type status =
+  | Complete
+  | Cutoff_budget
+  | Cutoff_deadline
+  | Failed of string
+
+type 'e t = {
+  answers : 'e list;
+  status : status;
+  cost : Stats.snapshot;
+  rounds : int;
+  latency : float;
+  worker : int;
+  instance : string;
+  k : int;
+}
+
+let is_partial r =
+  match r.status with
+  | Cutoff_budget | Cutoff_deadline -> true
+  | Complete | Failed _ -> false
+
+let status_string = function
+  | Complete -> "complete"
+  | Cutoff_budget -> "cutoff:budget"
+  | Cutoff_deadline -> "cutoff:deadline"
+  | Failed msg -> "failed:" ^ msg
+
+let pp_status ppf s = Format.pp_print_string ppf (status_string s)
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<h>%s k=%d -> %d answer(s) [%a] cost=(%a) rounds=%d worker=%d \
+     latency=%.0fus@]"
+    r.instance r.k (List.length r.answers) pp_status r.status Stats.pp r.cost
+    r.rounds r.worker (r.latency *. 1e6)

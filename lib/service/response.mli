@@ -1,0 +1,32 @@
+(** Typed results of a served query: the answers plus the per-query
+    cost, outcome flag, and placement information. *)
+
+type status =
+  | Complete          (** the full top-k answer *)
+  | Cutoff_budget     (** I/O budget exhausted: a certified prefix *)
+  | Cutoff_deadline   (** deadline passed: a certified prefix *)
+  | Failed of string  (** the query raised; answers is [[]] *)
+
+type 'e t = {
+  answers : 'e list;
+      (** sorted by decreasing weight.  On a cutoff this is a
+          {e certified prefix} of the true top-k: the heaviest
+          [List.length answers] matching elements, exactly. *)
+  status : status;
+  cost : Topk_em.Stats.snapshot;  (** I/Os charged by this query alone *)
+  rounds : int;  (** doubling rounds executed (1 when unbudgeted) *)
+  latency : float;  (** submit-to-completion wall time, seconds *)
+  worker : int;     (** index of the worker that served it *)
+  instance : string;  (** registry name the query ran against *)
+  k : int;            (** requested k *)
+}
+
+val is_partial : 'e t -> bool
+(** [true] on either cutoff status. *)
+
+val status_string : status -> string
+
+val pp_status : Format.formatter -> status -> unit
+
+val pp : Format.formatter -> 'e t -> unit
+(** Summary line (does not print the answers themselves). *)

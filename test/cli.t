@@ -1,0 +1,42 @@
+Invalid argument combinations exit with status 2 and a one-line error
+instead of an uncaught exception.
+
+  $ topk interval -n 0
+  topk: n must be positive (got 0)
+  [2]
+
+  $ topk interval -k 0
+  topk: k must be positive (got 0)
+  [2]
+
+  $ topk dominance -n-5
+  topk: n must be positive (got -5)
+  [2]
+
+  $ topk enclosure -k-3
+  topk: k must be positive (got -3)
+  [2]
+
+  $ topk circular -r 0
+  topk: r must be positive (got 0)
+  [2]
+
+  $ topk sample-check -n 10 -k 100
+  topk: k must be <= n (got k=100, n=10)
+  [2]
+
+  $ topk sample-check --trials 0
+  topk: trials must be positive (got 0)
+  [2]
+
+  $ topk serve-bench --workers 0
+  topk: workers must be positive (got 0)
+  [2]
+
+  $ topk serve-bench --queries 0
+  topk: queries must be positive (got 0)
+  [2]
+
+A valid run exits 0.
+
+  $ topk sample-check -n 64 -k 4 --delta 0.5 --trials 8 > /dev/null

@@ -1,0 +1,267 @@
+(* Tests for the concurrent serving subsystem: a multi-domain pool must
+   agree answer-for-answer with the sequential oracle, its per-domain
+   EM accounting must aggregate to the single-threaded totals, and
+   under-budgeted queries must degrade to flagged certified prefixes. *)
+
+module Rng = Topk_util.Rng
+module Gen = Topk_util.Gen
+module Stats = Topk_em.Stats
+module I = Topk_interval.Interval
+module IInst = Topk_interval.Instances
+module W = Topk_range.Wpoint
+module RInst = Topk_range.Instances
+module Registry = Topk_service.Registry
+module Executor = Topk_service.Executor
+module Response = Topk_service.Response
+module Future = Topk_service.Future
+module Metrics = Topk_service.Metrics
+
+let interval_ids = List.map (fun (e : I.t) -> e.I.id)
+
+let wpoint_ids = List.map (fun (e : W.t) -> e.W.id)
+
+(* One mixed workload shared by the tests: interval stabbing and 1D
+   range reporting instances behind one registry, plus their Naive
+   oracles. *)
+type fixture = {
+  registry : Registry.t;
+  itv_h : (float, I.t) Registry.handle;
+  rng_h : (float * float, W.t) Registry.handle;
+  itv_naive : IInst.Topk_naive.t;
+  rng_naive : RInst.Topk_naive.t;
+  stabs : float array;
+  ranges : (float * float) array;
+}
+
+let make_fixture ?(n = 3000) ?(queries = 120) ~seed () =
+  let rng = Rng.create seed in
+  let elems =
+    I.of_spans rng (Gen.intervals rng ~shape:Gen.Mixed_intervals ~n)
+  in
+  let pts = W.of_positions rng (Array.init n (fun _ -> Rng.uniform rng)) in
+  let registry = Registry.create () in
+  let itv_h =
+    Registry.register registry ~name:"intervals"
+      (module IInst.Topk_t2)
+      (IInst.Topk_t2.build ~params:(IInst.params ()) elems)
+  in
+  let rng_h =
+    Registry.register registry ~name:"range1d"
+      (module RInst.Topk_t2)
+      (RInst.Topk_t2.build ~params:(RInst.params ()) pts)
+  in
+  let stabs = Gen.stab_queries rng ~n:queries in
+  let ranges =
+    Array.init queries (fun _ ->
+        let a = Rng.uniform rng and b = Rng.uniform rng in
+        (Float.min a b, Float.max a b))
+  in
+  {
+    registry;
+    itv_h;
+    rng_h;
+    itv_naive = IInst.Topk_naive.build elems;
+    rng_naive = RInst.Topk_naive.build pts;
+    stabs;
+    ranges;
+  }
+
+(* (a) A 4-worker pool over the mixed workload returns exactly the
+   sequential oracle's answers for every request. *)
+let test_pool_matches_oracle () =
+  let fx = make_fixture ~seed:11 () in
+  let k = 10 in
+  let pool = Executor.create ~workers:4 ~queue_capacity:64 () in
+  let itv_futs =
+    Array.map (fun q -> Executor.submit pool fx.itv_h q ~k) fx.stabs
+  in
+  let rng_futs =
+    Array.map (fun q -> Executor.submit pool fx.rng_h q ~k) fx.ranges
+  in
+  Array.iteri
+    (fun i fut ->
+      let r = Future.await fut in
+      Alcotest.(check string)
+        "status" "complete"
+        (Response.status_string r.Response.status);
+      Alcotest.(check (list int))
+        (Printf.sprintf "stab query %d" i)
+        (interval_ids (IInst.Topk_naive.query fx.itv_naive fx.stabs.(i) ~k))
+        (interval_ids r.Response.answers))
+    itv_futs;
+  Array.iteri
+    (fun i fut ->
+      let r = Future.await fut in
+      Alcotest.(check (list int))
+        (Printf.sprintf "range query %d" i)
+        (wpoint_ids (RInst.Topk_naive.query fx.rng_naive fx.ranges.(i) ~k))
+        (wpoint_ids r.Response.answers))
+    rng_futs;
+  let m = Executor.metrics pool in
+  Alcotest.(check int)
+    "completed counter" (2 * Array.length fx.stabs)
+    (Metrics.Counter.get m.Metrics.completed);
+  Executor.shutdown pool;
+  Alcotest.check_raises "submit after shutdown" Executor.Shut_down (fun () ->
+      ignore (Executor.submit pool fx.itv_h 0.5 ~k))
+
+(* (b) Per-domain I/O counters aggregated across the pool's workers
+   equal the single-threaded totals for the same workload. *)
+let test_aggregated_counters_match_sequential () =
+  let fx = make_fixture ~seed:23 () in
+  let k = 8 in
+  (* Sequential reference on this domain, through the same execution
+     path as the workers (including per-query carry rounding). *)
+  let (), seq =
+    Stats.measure (fun () ->
+        Array.iter
+          (fun q ->
+            ignore (Registry.h_exec fx.itv_h q ~k ~budget:None ~deadline:None))
+          fx.stabs;
+        Array.iter
+          (fun q ->
+            ignore (Registry.h_exec fx.rng_h q ~k ~budget:None ~deadline:None))
+          fx.ranges)
+  in
+  let pool = Executor.create ~workers:4 ~queue_capacity:32 () in
+  let futs =
+    Array.to_list
+      (Array.map
+         (fun q ->
+           let f = Executor.submit pool fx.itv_h q ~k in
+           fun () -> ignore (Future.await f))
+         fx.stabs)
+    @ Array.to_list
+        (Array.map
+           (fun q ->
+             let f = Executor.submit pool fx.rng_h q ~k in
+             fun () -> ignore (Future.await f))
+           fx.ranges)
+  in
+  List.iter (fun wait -> wait ()) futs;
+  Executor.drain pool;
+  Executor.shutdown pool;
+  let par = Executor.aggregate_stats pool in
+  Alcotest.(check int) "ios" seq.Stats.ios par.Stats.ios;
+  Alcotest.(check int) "scanned" seq.Stats.scanned par.Stats.scanned;
+  Alcotest.(check int) "queries" seq.Stats.queries par.Stats.queries;
+  (* The work is actually spread over several workers. *)
+  Alcotest.(check bool)
+    "more than one worker charged" true
+    (List.length (Executor.worker_stats pool) > 1)
+
+(* (c) An under-budgeted query is flagged and carries a certified
+   prefix of the true top-k; the pool keeps serving afterwards. *)
+let test_budget_cutoff_certified_prefix () =
+  let rng = Rng.create 37 in
+  let n = 20_000 in
+  (* Nested intervals: the stabbing set at the centre has size Θ(n),
+     so a generous k forces real reporting work. *)
+  let elems =
+    I.of_spans rng (Gen.intervals rng ~shape:Gen.Nested_intervals ~n)
+  in
+  let registry = Registry.create () in
+  let h =
+    Registry.register registry ~name:"nested"
+      (module IInst.Topk_t2)
+      (IInst.Topk_t2.build ~params:(IInst.params ()) elems)
+  in
+  let naive = IInst.Topk_naive.build elems in
+  let k = 64 in
+  let pool = Executor.create ~workers:2 ~queue_capacity:8 () in
+  let starved = Future.await (Executor.submit pool h 0.5 ~k ~budget:2) in
+  Alcotest.(check bool) "flagged partial" true (Response.is_partial starved);
+  Alcotest.(check string)
+    "status" "cutoff:budget"
+    (Response.status_string starved.Response.status);
+  let got = List.length starved.Response.answers in
+  Alcotest.(check bool) "nonempty prefix" true (got >= 1);
+  Alcotest.(check bool) "shorter than k" true (got < k);
+  let oracle = IInst.Topk_naive.query naive 0.5 ~k in
+  Alcotest.(check (list int))
+    "certified prefix of the true top-k"
+    (interval_ids (List.filteri (fun i _ -> i < got) oracle))
+    (interval_ids starved.Response.answers);
+  (* The pool is still healthy: the same query unbudgeted is complete
+     and exact. *)
+  let full = Future.await (Executor.submit pool h 0.5 ~k) in
+  Alcotest.(check bool) "complete" false (Response.is_partial full);
+  Alcotest.(check (list int))
+    "full answer" (interval_ids oracle)
+    (interval_ids full.Response.answers);
+  let m = Executor.metrics pool in
+  Alcotest.(check int)
+    "cutoff counter" 1
+    (Metrics.Counter.get m.Metrics.cutoff_budget);
+  Executor.shutdown pool
+
+(* Registry bookkeeping. *)
+let test_registry () =
+  let fx = make_fixture ~n:500 ~queries:1 ~seed:5 () in
+  let infos = Registry.list fx.registry in
+  Alcotest.(check (list string))
+    "names in registration order" [ "intervals"; "range1d" ]
+    (List.map (fun (i : Registry.info) -> i.Registry.name) infos);
+  Alcotest.(check bool) "mem" true (Registry.mem fx.registry "range1d");
+  Alcotest.(check bool) "not mem" false (Registry.mem fx.registry "nope");
+  (match Registry.find fx.registry "intervals" with
+  | None -> Alcotest.fail "find"
+  | Some i -> Alcotest.(check int) "size" 500 i.Registry.size);
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Registry.register: duplicate instance \"intervals\"")
+    (fun () ->
+      ignore
+        (Registry.register fx.registry ~name:"intervals"
+           (module IInst.Topk_naive)
+           (IInst.Topk_naive.build [||])))
+
+(* Request validation. *)
+let test_request_validation () =
+  let fx = make_fixture ~n:100 ~queries:1 ~seed:3 () in
+  Alcotest.check_raises "k = 0"
+    (Invalid_argument "Request.make: k must be positive (got 0)") (fun () ->
+      ignore (Topk_service.Request.make fx.itv_h 0.5 ~k:0));
+  Alcotest.check_raises "negative budget"
+    (Invalid_argument "Request.make: budget must be >= 0 (got -1)") (fun () ->
+      ignore (Topk_service.Request.make fx.itv_h ~budget:(-1) 0.5 ~k:1))
+
+(* Metrics histogram math, single-threaded. *)
+let test_metrics_histogram () =
+  let h = Metrics.Histogram.create () in
+  for v = 1 to 100 do
+    Metrics.Histogram.observe h v
+  done;
+  Alcotest.(check int) "count" 100 (Metrics.Histogram.count h);
+  Alcotest.(check int) "sum" 5050 (Metrics.Histogram.sum h);
+  Alcotest.(check int) "max" 100 (Metrics.Histogram.max_value h);
+  let p50 = Metrics.Histogram.percentile h 0.50 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p50 within bucket (got %d)" p50)
+    true
+    (p50 >= 50 && p50 <= 127);
+  Alcotest.(check int) "p100 clamps to max" 100
+    (Metrics.Histogram.percentile h 1.0);
+  Alcotest.(check int) "empty" 0
+    (Metrics.Histogram.percentile (Metrics.Histogram.create ()) 0.99)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "executor",
+        [
+          Alcotest.test_case "pool matches sequential oracle" `Quick
+            test_pool_matches_oracle;
+          Alcotest.test_case "per-domain counters aggregate exactly" `Quick
+            test_aggregated_counters_match_sequential;
+          Alcotest.test_case "budget cutoff yields certified prefix" `Quick
+            test_budget_cutoff_certified_prefix;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "registration and lookup" `Quick test_registry;
+          Alcotest.test_case "request validation" `Quick
+            test_request_validation;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "histogram" `Quick test_metrics_histogram ] );
+    ]
