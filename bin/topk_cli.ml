@@ -457,6 +457,255 @@ let serve_bench_cmd =
       const run $ n_arg $ k_arg $ seed_arg $ queries_arg $ workers_arg
       $ capacity_arg $ batch_arg $ mixed_arg $ block_arg)
 
+(* --- chaos-bench --- *)
+
+let chaos_bench_cmd =
+  let module Svc = Topk_service in
+  let module Stats = Topk_em.Stats in
+  let module Fault = Topk_em.Fault in
+  let queries_arg =
+    Arg.(
+      value & opt int 2_000
+      & info [ "queries" ] ~docv:"Q" ~doc:"Number of queries to serve.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"W" ~doc:"Worker domains in the pool.")
+  in
+  let fault_rate_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "fault-rate" ] ~docv:"P"
+          ~doc:"Probability of a transient fault per block-fetch miss.")
+  in
+  let latency_rate_arg =
+    Arg.(
+      value & opt float 0.01
+      & info [ "latency-rate" ] ~docv:"P"
+          ~doc:"Probability of a latency spike per block-fetch miss.")
+  in
+  let latency_us_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "latency-us" ] ~docv:"US" ~doc:"Spike duration, microseconds.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "max-retries" ] ~docv:"R"
+          ~doc:"Retry attempts per transient fault.")
+  in
+  let no_kill_arg =
+    Arg.(
+      value & flag
+      & info [ "no-kill" ]
+          ~doc:"Don't kill (and respawn) a worker domain mid-run.")
+  in
+  let require_rate name v =
+    if not (v >= 0. && v <= 1.) then
+      die "%s must be in [0,1] (got %g)" name v
+  in
+  let run n k seed queries workers fault_rate latency_rate latency_us
+      max_retries no_kill block =
+    validate_common ~n ~k;
+    require_pos "queries" queries;
+    require_pos "workers" workers;
+    require_rate "fault-rate" fault_rate;
+    require_rate "latency-rate" latency_rate;
+    if latency_us < 0 then die "latency-us must be >= 0 (got %d)" latency_us;
+    if max_retries < 0 then die "max-retries must be >= 0 (got %d)" max_retries;
+    with_model block (fun () ->
+        let rng = Topk_util.Rng.create seed in
+        Printf.printf
+          "chaos-bench: n=%d queries=%d workers=%d k=%d fault-rate=%g \
+           latency-rate=%g/%dus retries=%d%s\n%!"
+          n queries workers k fault_rate latency_rate latency_us max_retries
+          (if no_kill then "" else " (+1 injected worker crash)");
+        (* Mixed interval-stabbing + 1D-range workload behind one
+           registry, with RAM-model naive oracles for ground truth. *)
+        let elems =
+          Topk_interval.Interval.of_spans rng
+            (Topk_util.Gen.intervals rng ~shape:Topk_util.Gen.Mixed_intervals
+               ~n)
+        in
+        let module IInst = Topk_interval.Instances in
+        let module RInst = Topk_range.Instances in
+        let pts =
+          Topk_range.Wpoint.of_positions rng
+            (Array.init n (fun _ -> Topk_util.Rng.uniform rng))
+        in
+        let registry = Svc.Registry.create () in
+        let itv_h =
+          Svc.Registry.register registry ~name:"intervals"
+            (module IInst.Topk_t2)
+            (IInst.Topk_t2.build ~params:(IInst.params ()) elems)
+        in
+        let rng_h =
+          Svc.Registry.register registry ~name:"range1d"
+            (module RInst.Topk_t2)
+            (RInst.Topk_t2.build ~params:(RInst.params ()) pts)
+        in
+        let itv_naive = IInst.Topk_naive.build elems in
+        let rng_naive = RInst.Topk_naive.build pts in
+        let stabs = Topk_util.Gen.stab_queries rng ~n:queries in
+        let ranges =
+          Array.init queries (fun _ ->
+              let a = Topk_util.Rng.uniform rng
+              and b = Topk_util.Rng.uniform rng in
+              (Float.min a b, Float.max a b))
+        in
+        (* Sequential oracle answers, computed before any fault is
+           armed. *)
+        let itv_ids l = List.map (fun (e : Topk_interval.Interval.t) -> e.id) l in
+        let rng_ids l = List.map (fun (e : Topk_range.Wpoint.t) -> e.id) l in
+        let oracle =
+          Array.init queries (fun i ->
+              if i land 1 = 1 then
+                `R (rng_ids (RInst.Topk_naive.query rng_naive ranges.(i) ~k))
+              else
+                `I (itv_ids (IInst.Topk_naive.query itv_naive stabs.(i) ~k)))
+        in
+        (* Arm the seeded fault plan and serve the whole workload. *)
+        let plan =
+          Fault.plan ~io_fault_rate:fault_rate ~latency_rate
+            ~latency_s:(float_of_int latency_us *. 1e-6)
+            ~seed ()
+        in
+        Format.printf "armed %a@." Fault.pp_plan plan;
+        Fault.install plan;
+        let pool =
+          Svc.Executor.create ~workers
+            ~retry:
+              {
+                Svc.Executor.default_retry_policy with
+                max_retries;
+              }
+              (* The bench asserts the resolution / retry / respawn
+                 invariants, so the breaker must not shed the workload
+                 it is trying to measure: at high fault rates the
+                 *final* failure fraction legitimately exceeds the
+                 default threshold and the default breaker would
+                 (correctly) reject mid-submission.  Trip only on a
+                 full window of failures — all-but-impossible while
+                 any retries succeed.  Admission control itself is
+                 exercised in test_service.ml. *)
+            ~breaker:
+              {
+                Svc.Breaker.default_policy with
+                Svc.Breaker.window = 256;
+                min_samples = 256;
+                failure_threshold = 1.0;
+              }
+            ()
+        in
+        let t0 = Unix.gettimeofday () in
+        let classify i status answers =
+          match status with
+          | Svc.Response.Failed _ -> `Failed
+          | _ -> if answers = oracle.(i) then `Ok else `Mismatch
+        in
+        (* At extreme fault rates (~1.0) nothing ever succeeds, the
+           full-window breaker legitimately trips, and [submit] sheds
+           load — turn that into a one-line diagnosis instead of an
+           uncaught exception. *)
+        let submit h q =
+          try Svc.Executor.submit pool h q ~k
+          with Svc.Executor.Overloaded ->
+            die
+              "circuit breaker opened mid-run: the armed fault plan leaves \
+               (almost) no query succeeding; lower --fault-rate or raise \
+               --max-retries"
+        in
+        let futures =
+          List.init queries (fun i ->
+              if i land 1 = 1 then
+                let f = submit rng_h ranges.(i) in
+                fun () ->
+                  let r = Svc.Future.await f in
+                  classify i r.Svc.Response.status
+                    (`R (rng_ids r.Svc.Response.answers))
+              else
+                let f = submit itv_h stabs.(i) in
+                fun () ->
+                  let r = Svc.Future.await f in
+                  classify i r.Svc.Response.status
+                    (`I (itv_ids r.Svc.Response.answers)))
+        in
+        (* Kill a worker mid-run; the supervisor must respawn it. *)
+        if not no_kill then Svc.Executor.inject_worker_crash pool 0;
+        (* Every future must resolve — a hang here is the bug this
+           bench exists to catch. *)
+        let ok = ref 0 and failed = ref 0 and mismatched = ref 0 in
+        List.iter
+          (fun wait ->
+            match wait () with
+            | `Ok -> incr ok
+            | `Failed -> incr failed
+            | `Mismatch -> incr mismatched)
+          futures;
+        let elapsed = Unix.gettimeofday () -. t0 in
+        Svc.Executor.drain pool;
+        (* Wait (bounded) for the respawn to be recorded. *)
+        let m = Svc.Executor.metrics pool in
+        if not no_kill then begin
+          let deadline = Unix.gettimeofday () +. 5. in
+          while
+            Svc.Metrics.Counter.get m.Svc.Metrics.respawns = 0
+            && Unix.gettimeofday () < deadline
+          do
+            Unix.sleepf 0.005
+          done
+        end;
+        Svc.Executor.shutdown pool;
+        Fault.clear ();
+        let retries = Svc.Metrics.Counter.get m.Svc.Metrics.retries in
+        let faults_seen =
+          Svc.Metrics.Counter.get m.Svc.Metrics.faults_injected
+        in
+        let respawns = Svc.Metrics.Counter.get m.Svc.Metrics.respawns in
+        Printf.printf
+          "served %d queries in %.3fs (%.0f qps): %d exact, %d failed, %d \
+           mismatched\n"
+          queries elapsed
+          (float_of_int queries /. Float.max 1e-9 elapsed)
+          !ok !failed !mismatched;
+        Printf.printf
+          "faults injected (EM layer): %d; escaped to serving layer: %d; \
+           retries: %d; spikes: %d; respawns: %d; breaker: %s\n"
+          (Fault.injected_total ()) faults_seen retries
+          (Fault.spikes_total ()) respawns
+          (Svc.Breaker.state_string (Svc.Executor.breaker_state pool));
+        Printf.printf "\nmetrics:\n%s" (Svc.Metrics.report m);
+        (* Assertions: degradation must be graceful, not silent. *)
+        if !mismatched > 0 then
+          die "%d non-faulted answers disagree with the sequential oracle"
+            !mismatched;
+        if fault_rate > 0. && retries = 0 && Fault.injected_total () = 0 then
+          die "fault plan was armed but nothing was injected";
+        if (not no_kill) && respawns = 0 then
+          die "killed worker 0 but the supervisor never respawned it";
+        if !ok + !failed + !mismatched <> queries then
+          die "resolved %d of %d futures" (!ok + !failed + !mismatched)
+            queries;
+        Printf.printf
+          "chaos-bench: OK (all %d futures resolved; exact answers under \
+           injected faults; pool self-healed)\n"
+          queries)
+  in
+  Cmd.v
+    (Cmd.info "chaos-bench"
+       ~doc:
+         "Serve a mixed workload under a seeded EM fault plan (transient \
+          block faults, latency spikes, one worker kill) and assert the \
+          pool degrades gracefully: every future resolves, non-faulted \
+          answers match the sequential oracle, transients are retried, \
+          and the killed worker is respawned.")
+    Term.(
+      const run $ n_arg $ k_arg $ seed_arg $ queries_arg $ workers_arg
+      $ fault_rate_arg $ latency_rate_arg $ latency_us_arg $ retries_arg
+      $ no_kill_arg $ block_arg)
+
 (* --- sample-check --- *)
 
 let sample_check_cmd =
@@ -512,4 +761,5 @@ let () =
             circular_cmd;
             sample_check_cmd;
             serve_bench_cmd;
+            chaos_bench_cmd;
           ]))

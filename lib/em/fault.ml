@@ -1,0 +1,174 @@
+(* Seeded, deterministic fault injection for the EM layer.
+
+   A [plan] is installed globally (one atomic cell); every domain that
+   touches a block while a plan is active draws from its own
+   [Domain.DLS]-backed splitmix64 stream, seeded from the plan seed and
+   a stable per-domain stream index — so a single-domain run replays
+   the exact same fault sequence for the same plan, and a pool run is
+   reproducible per (plan, stream).  Faults are charged to the
+   per-domain counters in {!Stats} ([charge_fault] / [charge_spike]).
+
+   Hooked into {!Stats.io_fault_hook}, so {e every} charged block I/O
+   — cache misses, direct [charge_ios] node visits, scans crossing a
+   block boundary — can raise a transient [Em_fault] or stall in a
+   simulated latency spike, whichever structure charged it; and from
+   {!Io_array.get} / {!Io_array.iter_range} (per-element probes, off by
+   default).  The fast path — no plan installed — is a single atomic
+   load. *)
+
+exception Em_fault of string
+
+type plan = {
+  seed : int;
+  io_fault_rate : float;
+  access_fault_rate : float;
+  latency_rate : float;
+  latency_s : float;
+  max_faults : int option;
+}
+
+let check_rate name r =
+  if not (r >= 0. && r <= 1.) then
+    invalid_arg (Printf.sprintf "Fault.plan: %s must be in [0,1] (got %g)" name r)
+
+let plan ?(io_fault_rate = 0.05) ?(access_fault_rate = 0.)
+    ?(latency_rate = 0.) ?(latency_s = 1e-4) ?max_faults ~seed () =
+  check_rate "io_fault_rate" io_fault_rate;
+  check_rate "access_fault_rate" access_fault_rate;
+  check_rate "latency_rate" latency_rate;
+  if latency_s < 0. then
+    invalid_arg
+      (Printf.sprintf "Fault.plan: latency_s must be >= 0 (got %g)" latency_s);
+  (match max_faults with
+  | Some m when m < 0 ->
+      invalid_arg
+        (Printf.sprintf "Fault.plan: max_faults must be >= 0 (got %d)" m)
+  | _ -> ());
+  { seed; io_fault_rate; access_fault_rate; latency_rate; latency_s;
+    max_faults }
+
+(* The installed plan, tagged with an epoch so per-domain streams
+   reseed whenever a plan is (re)installed. *)
+let current : (int * plan) option Atomic.t = Atomic.make None
+
+let epochs = Atomic.make 0
+
+(* Global count of injected faults, for the [max_faults] cap. *)
+let injected_cap_count = Atomic.make 0
+
+let install p =
+  let e = 1 + Atomic.fetch_and_add epochs 1 in
+  Atomic.set injected_cap_count 0;
+  Atomic.set current (Some (e, p))
+
+let clear () = Atomic.set current None
+
+let active () = Option.map snd (Atomic.get current)
+
+let with_plan p f =
+  let saved = Atomic.get current in
+  install p;
+  Fun.protect ~finally:(fun () -> Atomic.set current saved) f
+
+(* --- per-domain deterministic streams --- *)
+
+type dls = {
+  stream : int;  (* stable per-domain stream index, in DLS-init order *)
+  mutable epoch : int;
+  mutable rng : int64;
+}
+
+let stream_counter = Atomic.make 0
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      {
+        stream = Atomic.fetch_and_add stream_counter 1;
+        epoch = -1;
+        rng = 0L;
+      })
+
+(* splitmix64: tiny, seedable, and dependency-free. *)
+let next_u64 d =
+  let open Int64 in
+  d.rng <- add d.rng 0x9E3779B97F4A7C15L;
+  let z = d.rng in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Uniform draw in [0,1): top 53 bits of the next word. *)
+let uniform d =
+  Int64.to_float (Int64.shift_right_logical (next_u64 d) 11) /. 9007199254740992.
+
+let seed_for p d = Int64.of_int (p.seed lxor ((d.stream + 1) * 0x9E3779B9))
+
+let local (e, p) =
+  let d = Domain.DLS.get key in
+  if d.epoch <> e then begin
+    d.epoch <- e;
+    d.rng <- seed_for p d
+  end;
+  d
+
+let busy_wait s =
+  if s > 0. then begin
+    let until = Unix.gettimeofday () +. s in
+    while Unix.gettimeofday () < until do
+      Domain.cpu_relax ()
+    done
+  end
+
+let under_cap p =
+  match p.max_faults with
+  | None -> true
+  | Some m -> Atomic.get injected_cap_count < m
+
+let maybe_fault p d rate what =
+  if rate > 0. && uniform d < rate && under_cap p then begin
+    Atomic.incr injected_cap_count;
+    Stats.charge_fault ();
+    raise (Em_fault what)
+  end
+
+(* Hook for {!Lru_cache.access} on a block-fetch miss: a latency spike
+   and/or a transient fault, in that order. *)
+let tick_io () =
+  match Atomic.get current with
+  | None -> ()
+  | Some ((_, p) as cur) ->
+      let d = local cur in
+      if p.latency_rate > 0. && uniform d < p.latency_rate then begin
+        Stats.charge_spike ();
+        busy_wait p.latency_s
+      end;
+      maybe_fault p d p.io_fault_rate "transient block I/O fault"
+
+(* Hook for {!Io_array} element probes. *)
+let tick_access () =
+  match Atomic.get current with
+  | None -> ()
+  | Some ((_, p) as cur) ->
+      if p.access_fault_rate > 0. then
+        maybe_fault p (local cur) p.access_fault_rate
+          "transient block access fault"
+
+(* Install the forward hook in {!Stats}: every charged block I/O —
+   whether from a cache miss, a direct [charge_ios] (tree node visits)
+   or a scan crossing a block boundary — draws from the plan once per
+   I/O.  This is the universal fetch point: structures that never go
+   through {!Lru_cache} still face the fault model. *)
+let () = Stats.io_fault_hook := fun n -> for _ = 1 to n do tick_io () done
+
+let injected_total () = Stats.faults_total ()
+
+let spikes_total () = Stats.spikes_total ()
+
+let pp_plan ppf p =
+  Format.fprintf ppf
+    "@[<h>fault-plan{seed=%d io=%.3g access=%.3g latency=%.3g/%.0fus%s}@]"
+    p.seed p.io_fault_rate p.access_fault_rate p.latency_rate
+    (p.latency_s *. 1e6)
+    (match p.max_faults with
+    | None -> ""
+    | Some m -> Printf.sprintf " cap=%d" m)

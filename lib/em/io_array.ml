@@ -22,7 +22,13 @@ let block_of t i =
   let c = Config.current () in
   t.base + (i / c.Config.b)
 
+(* Both access paths consult the fault plan: [Fault.tick_access]
+   injects per-element probe faults (off by default), and the cache
+   access itself goes through [Fault.tick_io] on every block-fetch
+   miss.  With no plan installed each hook is one atomic load. *)
+
 let get t i =
+  Fault.tick_access ();
   ignore (Lru_cache.access t.cache (block_of t i));
   t.data.(i)
 
@@ -31,6 +37,7 @@ let unsafe_payload t = t.data
 let iter_range t ~lo ~hi f =
   let lo = max 0 lo and hi = min hi (Array.length t.data) in
   for i = lo to hi - 1 do
+    Fault.tick_access ();
     ignore (Lru_cache.access t.cache (block_of t i));
     f t.data.(i)
   done

@@ -14,7 +14,8 @@ val of_array : ?cache:Lru_cache.t -> 'a array -> 'a t
 val length : 'a t -> int
 
 val get : 'a t -> int -> 'a
-(** Charged access. *)
+(** Charged access.  Consults the active {!Fault} plan: may raise
+    {!Fault.Em_fault} (transient, retryable) when one is installed. *)
 
 val unsafe_payload : 'a t -> 'a array
 (** The underlying array, for cost-free bookkeeping (e.g. rebuilds).
@@ -23,7 +24,8 @@ val unsafe_payload : 'a t -> 'a array
 val iter_range : 'a t -> lo:int -> hi:int -> ('a -> unit) -> unit
 (** [iter_range t ~lo ~hi f] applies [f] to elements [lo..hi-1] as one
     sequential scan (charged via block accesses, benefiting from the
-    cache like any other access). *)
+    cache like any other access).  Like {!get}, each probe consults
+    the active {!Fault} plan and may raise {!Fault.Em_fault}. *)
 
 val space_words : 'a t -> int
 (** Words occupied: one per element. *)

@@ -64,6 +64,13 @@ let access t block =
       true
   | None ->
       t.misses <- t.misses + 1;
+      (* The simulated block fetch: [Stats.charge_ios] consults the
+         installed fault plan (via {!Stats.io_fault_hook}), so this
+         miss may stall in a latency spike or abort with a transient
+         [Fault.Em_fault].  The I/O is charged either way — the fetch
+         was attempted — and the cache is not yet mutated, so a raised
+         fault leaves the LRU structure consistent and a retry simply
+         misses (and is charged) again. *)
       Stats.charge_ios 1;
       if Hashtbl.length t.table >= t.cap then evict_lru t;
       let node = { block; prev = None; next = None } in

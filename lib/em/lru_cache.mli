@@ -15,7 +15,11 @@ val capacity : t -> int
 val access : t -> int -> bool
 (** [access t blk] touches block [blk]; returns [true] on a hit.  On a
     miss, one I/O is charged to {!Stats} and the least recently used
-    block is evicted if the cache is full. *)
+    block is evicted if the cache is full.  The miss path consults the
+    active {!Fault} plan — the simulated fetch may stall (latency
+    spike) or raise {!Fault.Em_fault} (transient, retryable); a raised
+    fault leaves the cache unmutated, so retrying the access is safe
+    and is charged again. *)
 
 val clear : t -> unit
 

@@ -26,6 +26,8 @@ type state = {
   mutable s_scanned : int;
   mutable s_queries : int;
   mutable s_carry : int;  (* scanned elements not yet filling a block *)
+  mutable s_faults : int;  (* transient Em_faults injected on this domain *)
+  mutable s_spikes : int;  (* latency spikes injected on this domain *)
 }
 
 (* Every domain that ever charges work registers its counter record
@@ -44,6 +46,8 @@ let fresh_state () =
       s_scanned = 0;
       s_queries = 0;
       s_carry = 0;
+      s_faults = 0;
+      s_spikes = 0;
     }
   in
   Mutex.protect registry_mutex (fun () -> registry := s :: !registry);
@@ -60,7 +64,9 @@ let reset () =
   state.s_ios <- 0;
   state.s_scanned <- 0;
   state.s_queries <- 0;
-  state.s_carry <- 0
+  state.s_carry <- 0;
+  state.s_faults <- 0;
+  state.s_spikes <- 0
 
 let snapshot_of s = { ios = s.s_ios; scanned = s.s_scanned; queries = s.s_queries }
 
@@ -68,10 +74,20 @@ let snapshot () = snapshot_of (state ())
 
 let ios () = (state ()).s_ios
 
+(* Fault-injection wiring: {!Fault} installs itself here at link time
+   (a forward reference breaks the Stats <-> Fault module cycle).  The
+   hook is consulted once per *charged block I/O* — the universal
+   block-fetch point every structure goes through — and may raise
+   {!Fault.Em_fault} or stall for a simulated latency spike.  Counters
+   are updated before the hook runs, so accounting stays consistent
+   even when the access "fails".  The default hook is a no-op. *)
+let io_fault_hook : (int -> unit) ref = ref (fun _ -> ())
+
 let charge_ios n =
   if n < 0 then invalid_arg "Stats.charge_ios: negative";
   let state = state () in
-  state.s_ios <- state.s_ios + n
+  state.s_ios <- state.s_ios + n;
+  if n > 0 then !io_fault_hook n
 
 let charge_scan t =
   if t < 0 then invalid_arg "Stats.charge_scan: negative";
@@ -79,14 +95,30 @@ let charge_scan t =
     let state = state () in
     let b = (Config.current ()).Config.b in
     let total = state.s_carry + t in
-    state.s_ios <- state.s_ios + (total / b);
+    let added = total / b in
+    state.s_ios <- state.s_ios + added;
     state.s_carry <- total mod b;
-    state.s_scanned <- state.s_scanned + t
+    state.s_scanned <- state.s_scanned + t;
+    if added > 0 then !io_fault_hook added
   end
 
 let mark_query () =
   let state = state () in
   state.s_queries <- state.s_queries + 1
+
+(* --- fault-injection accounting (charged by {!Fault}) --- *)
+
+let charge_fault () =
+  let state = state () in
+  state.s_faults <- state.s_faults + 1
+
+let charge_spike () =
+  let state = state () in
+  state.s_spikes <- state.s_spikes + 1
+
+let faults () = (state ()).s_faults
+
+let spikes () = (state ()).s_spikes
 
 let round_carry () =
   let state = state () in
@@ -99,12 +131,16 @@ let measure f =
   let state = state () in
   let saved = snapshot_of state in
   let saved_carry = state.s_carry in
+  let saved_faults = state.s_faults in
+  let saved_spikes = state.s_spikes in
   reset ();
   let restore () =
     state.s_ios <- saved.ios;
     state.s_scanned <- saved.scanned;
     state.s_queries <- saved.queries;
-    state.s_carry <- saved_carry
+    state.s_carry <- saved_carry;
+    state.s_faults <- saved_faults;
+    state.s_spikes <- saved_spikes
   in
   match f () with
   | x ->
@@ -133,8 +169,16 @@ let reset_all () =
       s.s_ios <- 0;
       s.s_scanned <- 0;
       s.s_queries <- 0;
-      s.s_carry <- 0)
+      s.s_carry <- 0;
+      s.s_faults <- 0;
+      s.s_spikes <- 0)
     (registered ())
+
+let faults_total () =
+  List.fold_left (fun acc s -> acc + s.s_faults) 0 (registered ())
+
+let spikes_total () =
+  List.fold_left (fun acc s -> acc + s.s_spikes) 0 (registered ())
 
 let pp ppf s =
   Format.fprintf ppf "ios=%d scanned=%d queries=%d" s.ios s.scanned s.queries

@@ -54,6 +54,45 @@ val charge_scan : int -> unit
 val mark_query : unit -> unit
 (** Record that one query was answered (for averaging). *)
 
+(** {1 Fault-injection accounting}
+
+    {!Fault} charges every injected transient fault and latency spike
+    here, per-domain like the I/O counters, so serving-layer tests can
+    assert on how much chaos actually reached each worker.  Cleared by
+    {!reset} / {!reset_all} and isolated by {!measure} like the other
+    counters. *)
+
+val io_fault_hook : (int -> unit) ref
+(** Internal wiring point, installed by {!Fault} at link time (a
+    forward reference that breaks the [Stats] <-> [Fault] module
+    cycle).  Consulted once per {!charge_ios} / {!charge_scan} call
+    that charges at least one block I/O, with the number of I/Os just
+    charged; it may raise {!Fault.Em_fault} or stall in a simulated
+    latency spike.  Counters are updated {e before} the hook runs, so
+    accounting stays consistent even when the access "fails".  The
+    default is a no-op; user code should not touch this. *)
+
+val charge_fault : unit -> unit
+(** Record one injected transient fault on the calling domain
+    (charged by {!Fault}; structures never call this directly). *)
+
+val charge_spike : unit -> unit
+(** Record one injected latency spike on the calling domain. *)
+
+val faults : unit -> int
+(** Transient faults injected on the calling domain since its last
+    {!reset}. *)
+
+val spikes : unit -> int
+(** Latency spikes injected on the calling domain since its last
+    {!reset}. *)
+
+val faults_total : unit -> int
+(** Sum of injected transient faults across every domain. *)
+
+val spikes_total : unit -> int
+(** Sum of injected latency spikes across every domain. *)
+
 val round_carry : unit -> unit
 (** Close the current partial scan block: if scanned elements are
     pending below a block boundary, charge one I/O for them and clear

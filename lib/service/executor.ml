@@ -1,24 +1,62 @@
 module Stats = Topk_em.Stats
 
+(* --- retry policy --- *)
+
+type retry_policy = {
+  max_retries : int;
+  base_backoff : float;
+  max_backoff : float;
+  jitter : float;
+}
+
+let default_retry_policy =
+  { max_retries = 3; base_backoff = 0.001; max_backoff = 0.05; jitter = 0.5 }
+
+(* --- worker slots ---
+
+   One slot per worker index.  The domain occupying a slot changes over
+   the pool's lifetime: a crashed worker is replaced by the supervisor,
+   and [ids] accumulates the Domain.ids of every domain that ever
+   served the slot, so per-worker EM accounting survives respawns. *)
+
+type slot = {
+  mutable dom : unit Domain.t option;  (* mutated by supervisor/shutdown only *)
+  mutable ids : int list;              (* under [t.mutex] *)
+  alive : bool Atomic.t;
+  crashed : bool Atomic.t;  (* exited abnormally; supervisor will respawn *)
+  kill : bool Atomic.t;     (* chaos hook: die at the next queue pop *)
+}
+
 type t = {
   mutex : Mutex.t;
-  not_empty : Condition.t;  (* signalled on enqueue / shutdown *)
+  not_empty : Condition.t;  (* signalled on enqueue / kill / shutdown *)
   not_full : Condition.t;   (* signalled when queue space frees up *)
   idle : Condition.t;       (* signalled when the pool fully drains *)
   queue : Request.t Queue.t;
+  mutable parked : (float * Request.t) list;  (* backoff: (ready_at, req) *)
   capacity : int;
   batch_max : int;
+  retry : retry_policy;
+  rand : Random.State.t;  (* backoff jitter; under [mutex] *)
   mutable stopping : bool;
-  mutable pending : int;  (* queued + in-flight requests *)
-  mutable domains : unit Domain.t list;
-  worker_ids : int array;  (* Domain ids, written once by each worker *)
+  mutable pending : int;  (* queued + parked + in-flight requests *)
+  slots : slot array;
+  mutable supervisor : unit Domain.t option;
   n_workers : int;
   metrics : Metrics.t;
+  breaker : Breaker.t;
 }
 
 let default_workers () = max 1 (Domain.recommended_domain_count () - 1)
 
+let now () = Unix.gettimeofday ()
+
 (* --- worker side --- *)
+
+(* Raised (on purpose) by a worker whose [kill] flag is set: simulates
+   a worker domain dying between jobs.  It escapes every guard so the
+   domain really terminates; the supervisor respawns it. *)
+exception Killed
 
 let record_outcome metrics (o : Request.outcome) =
   let open Metrics in
@@ -32,45 +70,185 @@ let record_outcome metrics (o : Request.outcome) =
     (int_of_float (o.Request.o_latency *. 1e6));
   Histogram.observe metrics.ios o.Request.o_ios
 
-let pop_batch t =
+let finish_pending t =
   Mutex.protect t.mutex (fun () ->
-      while Queue.is_empty t.queue && not t.stopping do
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.broadcast t.idle)
+
+(* A request reached its final resolution: metrics, breaker, pending. *)
+let record_final t (o : Request.outcome) =
+  record_outcome t.metrics o;
+  let ok =
+    match o.Request.o_status with Response.Failed _ -> false | _ -> true
+  in
+  Breaker.record t.breaker ~now:(now ()) ~ok;
+  finish_pending t
+
+(* Capped exponential backoff with jitter: attempt [a] (1-based) waits
+   [min max_backoff (base * 2^(a-1))], scaled by a uniform factor in
+   [1-jitter, 1+jitter] so retried requests don't reconverge in
+   lockstep on a struggling resource. *)
+let backoff_delay t attempt =
+  let p = t.retry in
+  let d =
+    Float.min p.max_backoff (p.base_backoff *. (2. ** float_of_int (attempt - 1)))
+  in
+  if p.jitter <= 0. then d
+  else
+    let r = Mutex.protect t.mutex (fun () -> Random.State.float t.rand 1.) in
+    Float.max 0. (d *. (1. -. p.jitter +. (2. *. p.jitter *. r)))
+
+(* Park a request for retry; if the pool is stopping, resolve it now. *)
+let park t job delay =
+  let decision =
+    Mutex.protect t.mutex (fun () ->
+        if t.stopping then `Abort
+        else begin
+          t.parked <- (now () +. delay, job) :: t.parked;
+          `Parked
+        end)
+  in
+  match decision with
+  | `Parked -> ()
+  | `Abort ->
+      Metrics.Counter.incr t.metrics.aborted;
+      record_final t (Request.abort job ~worker:(-1) ~reason:"shutdown")
+
+let process_job t idx job =
+  Metrics.Gauge.decr t.metrics.queue_depth;
+  Metrics.Gauge.incr t.metrics.inflight;
+  let res =
+    (* Supervision guard: *nothing* a handler raises may kill the
+       worker domain or leak [pending] — a broken query becomes a
+       [Failed] response.  (Request.run already converts handler
+       exceptions; this net also covers failures in the response path
+       itself.) *)
+    try Request.run job ~worker:idx
+    with e ->
+      Request.Completed
+        (Request.abort job ~worker:idx
+           ~reason:("uncaught: " ^ Printexc.to_string e))
+  in
+  Metrics.Gauge.decr t.metrics.inflight;
+  match res with
+  | Request.Completed outcome -> record_final t outcome
+  | Request.Transient msg ->
+      Metrics.Counter.incr t.metrics.faults_injected;
+      let attempt = Request.attempts job in
+      if attempt > t.retry.max_retries then begin
+        let reason =
+          Printf.sprintf "transient fault persisted after %d attempts: %s"
+            attempt msg
+        in
+        record_final t (Request.abort job ~worker:idx ~reason)
+      end
+      else begin
+        Metrics.Counter.incr t.metrics.retries;
+        park t job (backoff_delay t attempt)
+      end
+
+let pop_batch t idx =
+  let slot = t.slots.(idx) in
+  Mutex.protect t.mutex (fun () ->
+      while
+        Queue.is_empty t.queue && not t.stopping && not (Atomic.get slot.kill)
+      do
         Condition.wait t.not_empty t.mutex
       done;
-      let n = min t.batch_max (Queue.length t.queue) in
-      let rec pop acc n =
-        if n = 0 then List.rev acc else pop (Queue.pop t.queue :: acc) (n - 1)
-      in
-      let jobs = pop [] n in
-      if n > 0 then Condition.broadcast t.not_full;
-      jobs)
+      if Atomic.get slot.kill then raise Killed;
+      if t.stopping then []
+        (* New backlog is not served once stopping: the shutdown sweep
+           resolves whatever is still queued as [Failed "shutdown"]. *)
+      else begin
+        let n = min t.batch_max (Queue.length t.queue) in
+        let rec pop acc n =
+          if n = 0 then List.rev acc else pop (Queue.pop t.queue :: acc) (n - 1)
+        in
+        let jobs = pop [] n in
+        if n > 0 then Condition.broadcast t.not_full;
+        jobs
+      end)
 
 let rec worker_loop t idx =
-  match pop_batch t with
-  | [] -> ()  (* stopping and queue drained: exit *)
+  match pop_batch t idx with
+  | [] -> ()  (* stopping: exit cleanly *)
   | jobs ->
-      let open Metrics in
-      Histogram.observe t.metrics.batch (List.length jobs);
-      List.iter
-        (fun job ->
-          Gauge.decr t.metrics.queue_depth;
-          Gauge.incr t.metrics.inflight;
-          let outcome = Request.run job ~worker:idx in
-          Gauge.decr t.metrics.inflight;
-          record_outcome t.metrics outcome;
-          Mutex.protect t.mutex (fun () ->
-              t.pending <- t.pending - 1;
-              if t.pending = 0 then Condition.broadcast t.idle))
-        jobs;
+      Metrics.Histogram.observe t.metrics.batch (List.length jobs);
+      List.iter (process_job t idx) jobs;
       worker_loop t idx
 
 let worker_main t idx =
-  t.worker_ids.(idx) <- (Domain.self () :> int);
-  worker_loop t idx
+  let slot = t.slots.(idx) in
+  Mutex.protect t.mutex (fun () ->
+      slot.ids <- (Domain.self () :> int) :: slot.ids);
+  match worker_loop t idx with
+  | () ->
+      (* Clean exit (pool stopping). *)
+      Atomic.set slot.alive false
+  | exception _ ->
+      (* Abnormal exit — [Killed] or a defect in the loop itself.
+         Publish the crash; the supervisor joins this domain and
+         spawns a replacement into the same slot. *)
+      Atomic.set slot.crashed true;
+      Atomic.set slot.alive false
+
+(* --- supervisor ---
+
+   A dedicated domain that (a) moves parked retries whose backoff has
+   elapsed back onto the queue and (b) respawns crashed workers.  It
+   polls at sub-millisecond cadence; both duties are rare, so the cost
+   is one mutex acquisition per tick. *)
+
+let supervisor_tick t =
+  let due =
+    Mutex.protect t.mutex (fun () ->
+        if t.parked = [] then 0
+        else begin
+          let ts = now () in
+          let due, later =
+            List.partition (fun (ready, _) -> ready <= ts) t.parked
+          in
+          t.parked <- later;
+          List.iter
+            (fun (_, job) ->
+              (* Retries bypass the capacity check: they already hold a
+                 pending slot, and blocking the supervisor on a full
+                 queue would stall respawns. *)
+              Queue.push job t.queue;
+              Metrics.Gauge.incr t.metrics.queue_depth;
+              Condition.signal t.not_empty)
+            due;
+          List.length due
+        end)
+  in
+  ignore (due : int);
+  Array.iteri
+    (fun idx slot ->
+      if Atomic.get slot.crashed && not (Atomic.get slot.alive) then begin
+        (match slot.dom with Some d -> Domain.join d | None -> ());
+        Atomic.set slot.crashed false;
+        Atomic.set slot.kill false;
+        Atomic.set slot.alive true;
+        Metrics.Counter.incr t.metrics.respawns;
+        slot.dom <- Some (Domain.spawn (fun () -> worker_main t idx))
+      end)
+    t.slots
+
+let supervisor_loop t =
+  let rec loop () =
+    if Mutex.protect t.mutex (fun () -> t.stopping) then ()
+    else begin
+      supervisor_tick t;
+      Unix.sleepf 5e-4;
+      loop ()
+    end
+  in
+  loop ()
 
 (* --- pool management --- *)
 
-let create ?workers ?(queue_capacity = 1024) ?(batch_max = 32) () =
+let create ?workers ?(queue_capacity = 1024) ?(batch_max = 32)
+    ?(retry = default_retry_policy) ?breaker ?(seed = 0x5EED) () =
   let n_workers =
     match workers with None -> default_workers () | Some w -> w
   in
@@ -78,6 +256,21 @@ let create ?workers ?(queue_capacity = 1024) ?(batch_max = 32) () =
   if queue_capacity < 1 then
     invalid_arg "Executor.create: queue_capacity must be >= 1";
   if batch_max < 1 then invalid_arg "Executor.create: batch_max must be >= 1";
+  if retry.max_retries < 0 then
+    invalid_arg "Executor.create: max_retries must be >= 0";
+  if not (retry.base_backoff >= 0. && retry.max_backoff >= 0.) then
+    invalid_arg "Executor.create: backoff must be >= 0";
+  if not (retry.jitter >= 0. && retry.jitter <= 1.) then
+    invalid_arg "Executor.create: jitter must be in [0,1]";
+  let metrics = Metrics.create () in
+  let breaker =
+    Breaker.create ?policy:breaker
+      ~on_transition:(fun st ->
+        Metrics.Gauge.set metrics.Metrics.breaker_state (Breaker.state_code st);
+        if st = Breaker.Open then
+          Metrics.Counter.incr metrics.Metrics.breaker_opens)
+      ()
+  in
   let t =
     {
       mutex = Mutex.create ();
@@ -85,33 +278,69 @@ let create ?workers ?(queue_capacity = 1024) ?(batch_max = 32) () =
       not_full = Condition.create ();
       idle = Condition.create ();
       queue = Queue.create ();
+      parked = [];
       capacity = queue_capacity;
       batch_max;
+      retry;
+      rand = Random.State.make [| seed |];
       stopping = false;
       pending = 0;
-      domains = [];
-      worker_ids = Array.make n_workers (-1);
+      slots =
+        Array.init n_workers (fun _ ->
+            {
+              dom = None;
+              ids = [];
+              alive = Atomic.make true;
+              crashed = Atomic.make false;
+              kill = Atomic.make false;
+            });
+      supervisor = None;
       n_workers;
-      metrics = Metrics.create ();
+      metrics;
+      breaker;
     }
   in
-  t.domains <-
-    List.init n_workers (fun i -> Domain.spawn (fun () -> worker_main t i));
+  Array.iteri
+    (fun i slot -> slot.dom <- Some (Domain.spawn (fun () -> worker_main t i)))
+    t.slots;
+  t.supervisor <- Some (Domain.spawn (fun () -> supervisor_loop t));
   t
 
 let worker_count t = t.n_workers
 
 let metrics t = t.metrics
 
+let breaker_state t = Breaker.state t.breaker
+
 let queue_depth t = Mutex.protect t.mutex (fun () -> Queue.length t.queue)
+
+let retry_policy t = t.retry
+
+(* --- chaos hook --- *)
+
+let inject_worker_crash t idx =
+  if idx < 0 || idx >= t.n_workers then
+    invalid_arg
+      (Printf.sprintf "Executor.inject_worker_crash: no worker %d" idx);
+  Atomic.set t.slots.(idx).kill true;
+  Mutex.protect t.mutex (fun () -> Condition.broadcast t.not_empty)
 
 (* --- submission --- *)
 
 exception Shut_down
 
+exception Overloaded
+
+let admit t =
+  if not (Breaker.admit t.breaker ~now:(now ())) then begin
+    Metrics.Counter.incr t.metrics.breaker_rejected;
+    raise Overloaded
+  end
+
 let enqueue_blocking t req =
   Mutex.protect t.mutex (fun () ->
       if t.stopping then raise Shut_down;
+      admit t;
       while Queue.length t.queue >= t.capacity && not t.stopping do
         Condition.wait t.not_full t.mutex
       done;
@@ -126,18 +355,26 @@ let enqueue_nonblocking t req =
   let accepted =
     Mutex.protect t.mutex (fun () ->
         if t.stopping then raise Shut_down;
-        if Queue.length t.queue >= t.capacity then false
+        if not (Breaker.admit t.breaker ~now:(now ())) then begin
+          Metrics.Counter.incr t.metrics.breaker_rejected;
+          `Breaker
+        end
+        else if Queue.length t.queue >= t.capacity then `Full
         else begin
           Queue.push req t.queue;
           t.pending <- t.pending + 1;
           Metrics.Gauge.incr t.metrics.queue_depth;
           Metrics.Counter.incr t.metrics.submitted;
           Condition.signal t.not_empty;
-          true
+          `Accepted
         end)
   in
-  if not accepted then Metrics.Counter.incr t.metrics.rejected;
-  accepted
+  match accepted with
+  | `Accepted -> true
+  | `Full ->
+      Metrics.Counter.incr t.metrics.rejected;
+      false
+  | `Breaker -> false
 
 let submit t handle ?budget ?timeout q ~k =
   let req, fut = Request.make handle ?budget ?timeout q ~k in
@@ -160,27 +397,72 @@ let drain t =
       done)
 
 let shutdown t =
-  let domains =
+  let sup =
     Mutex.protect t.mutex (fun () ->
         t.stopping <- true;
         Condition.broadcast t.not_empty;
         Condition.broadcast t.not_full;
-        let d = t.domains in
-        t.domains <- [];
-        d)
+        let s = t.supervisor in
+        t.supervisor <- None;
+        s)
   in
-  List.iter Domain.join domains
+  (* Join the supervisor first so no respawn or un-parking races the
+     sweep below. *)
+  Option.iter Domain.join sup;
+  (* Resolve every request that will never run: still-queued and
+     parked futures become [Failed "shutdown"] instead of hanging
+     their callers.  In-flight requests finish normally. *)
+  let queued, parked =
+    Mutex.protect t.mutex (fun () ->
+        let queued = List.of_seq (Queue.to_seq t.queue) in
+        Queue.clear t.queue;
+        let parked = List.map snd t.parked in
+        t.parked <- [];
+        let dropped = List.length queued + List.length parked in
+        t.pending <- t.pending - dropped;
+        if t.pending = 0 then Condition.broadcast t.idle;
+        Condition.broadcast t.not_empty;
+        (queued, parked))
+  in
+  let abort_job from_queue job =
+    if from_queue then Metrics.Gauge.decr t.metrics.queue_depth;
+    Metrics.Counter.incr t.metrics.aborted;
+    let o = Request.abort job ~worker:(-1) ~reason:"shutdown" in
+    record_outcome t.metrics o
+  in
+  List.iter (abort_job true) queued;
+  List.iter (abort_job false) parked;
+  (* Join the workers (they exit after finishing in-flight work). *)
+  Array.iter
+    (fun slot ->
+      match slot.dom with
+      | Some d ->
+          Domain.join d;
+          slot.dom <- None
+      | None -> ())
+    t.slots
 
 (* --- per-worker EM accounting --- *)
 
 let worker_stats t =
-  let ids = Array.to_list t.worker_ids in
-  List.filter_map
+  let slot_ids =
+    Mutex.protect t.mutex (fun () -> Array.map (fun s -> s.ids) t.slots)
+  in
+  let per_slot = Array.make t.n_workers Stats.zero_snapshot in
+  let seen = Array.make t.n_workers false in
+  List.iter
     (fun (d, s) ->
-      match List.find_index (Int.equal d) ids with
-      | Some idx -> Some (idx, s)
-      | None -> None)
-    (Stats.per_domain ())
+      Array.iteri
+        (fun idx ids ->
+          if List.mem d ids then begin
+            per_slot.(idx) <- Stats.add per_slot.(idx) s;
+            seen.(idx) <- true
+          end)
+        slot_ids)
+    (Stats.per_domain ());
+  List.filteri
+    (fun idx _ -> seen.(idx))
+    (List.mapi (fun idx s -> (idx, s)) (Array.to_list per_slot))
 
 let aggregate_stats t =
   List.fold_left

@@ -1,5 +1,5 @@
 (** The worker pool: OCaml 5 [Domain]-based workers behind one bounded
-    MPMC request queue.
+    MPMC request queue, under supervision.
 
     Index structures are immutable once built (the paper's structures
     are static or rebuilt wholesale), so a single snapshot is shared by
@@ -7,11 +7,32 @@
     state is the queue itself, and workers amortise that by popping
     requests in batches of up to [batch_max].
 
+    {b Supervision and self-healing.}  The pool is built to degrade
+    gracefully under the EM fault model ({!Topk_em.Fault}) instead of
+    hanging callers:
+
+    - Any exception escaping a job resolves that job's future as
+      {!Response.Failed} — a broken handler can neither kill a worker
+      domain nor leak the pending count (so {!drain} always returns).
+    - A transient {!Topk_em.Fault.Em_fault} is retried with capped
+      exponential backoff + jitter, up to [retry.max_retries] extra
+      attempts; the request keeps its future and its attempt counter
+      across retries.  Exhausted retries resolve the future as
+      [Failed].
+    - A supervisor domain respawns crashed worker domains into the
+      same slot (per-worker EM accounting follows the slot, not the
+      domain) and moves backed-off retries back onto the queue.
+    - {!shutdown} resolves {e every} unserved future as
+      [Failed "shutdown"] instead of dropping it.
+
     Admission control: {!submit} applies backpressure (blocks while the
     queue is at capacity), {!try_submit} sheds load instead (returns
-    [None] and counts a rejection).  Per-query graceful degradation —
-    budget and deadline cutoff with certified-prefix answers — is
-    handled in {!Registry.exec} on the worker.
+    [None] and counts a rejection), and a failure-rate-driven
+    {!Breaker} in front of both rejects new work while the pool is
+    persistently failing (closed → open → half-open).  Per-query
+    graceful degradation — budget and deadline cutoff with
+    certified-prefix answers — is handled in {!Registry.exec} on the
+    worker.
 
     Every worker charges the EM cost of the queries it runs to its own
     domain-local {!Topk_em.Stats} slot; {!worker_stats} and
@@ -22,14 +43,42 @@ type t
 exception Shut_down
 (** Raised by submission after {!shutdown}. *)
 
+exception Overloaded
+(** Raised by {!submit} when the circuit breaker is open (the pool has
+    been failing persistently; shed load and retry later). *)
+
+(** Retry policy for transient faults.  Attempt [a] (1-based) backs
+    off [min max_backoff (base_backoff * 2^(a-1))] seconds, scaled by
+    a uniform factor in [[1-jitter, 1+jitter]]. *)
+type retry_policy = {
+  max_retries : int;     (** extra attempts after the first (>= 0) *)
+  base_backoff : float;  (** seconds *)
+  max_backoff : float;   (** cap, seconds *)
+  jitter : float;        (** in [[0,1]]; 0 = deterministic backoff *)
+}
+
+val default_retry_policy : retry_policy
+(** 3 retries, 1ms base, 50ms cap, jitter 0.5. *)
+
 val default_workers : unit -> int
 (** [max 1 (Domain.recommended_domain_count () - 1)] — leave one core
     for the submitting thread. *)
 
-val create : ?workers:int -> ?queue_capacity:int -> ?batch_max:int -> unit -> t
-(** Spawn the pool.  Defaults: {!default_workers} workers, capacity
-    1024, batches of up to 32.
-    @raise Invalid_argument on non-positive parameters. *)
+val create :
+  ?workers:int ->
+  ?queue_capacity:int ->
+  ?batch_max:int ->
+  ?retry:retry_policy ->
+  ?breaker:Breaker.policy ->
+  ?seed:int ->
+  unit ->
+  t
+(** Spawn the pool (workers + one supervisor domain).  Defaults:
+    {!default_workers} workers, capacity 1024, batches of up to 32,
+    {!default_retry_policy}, {!Breaker.default_policy}; [seed] feeds
+    the backoff jitter.
+    @raise Invalid_argument on non-positive parameters or a malformed
+    retry/breaker policy. *)
 
 val submit :
   t ->
@@ -40,7 +89,8 @@ val submit :
   k:int ->
   'e Response.t Future.t
 (** Enqueue a query; blocks while the queue is full ({e backpressure}).
-    @raise Shut_down if the pool has been shut down. *)
+    @raise Shut_down if the pool has been shut down.
+    @raise Overloaded if the circuit breaker is open. *)
 
 val try_submit :
   t ->
@@ -50,8 +100,10 @@ val try_submit :
   'q ->
   k:int ->
   'e Response.t Future.t option
-(** Non-blocking admission: [None] (and a rejection count) when the
-    queue is at capacity. *)
+(** Non-blocking admission: [None] when the queue is at capacity (a
+    queue-full rejection is counted) or the breaker is open (a breaker
+    rejection is counted).
+    @raise Shut_down if the pool has been shut down. *)
 
 val submit_batch :
   t ->
@@ -64,11 +116,14 @@ val submit_batch :
 (** [submit] each query in order, returning the futures in order. *)
 
 val drain : t -> unit
-(** Block until no request is queued or in flight. *)
+(** Block until no request is queued, parked for retry, or in flight. *)
 
 val shutdown : t -> unit
-(** Stop accepting work, let the workers finish the backlog, and join
-    them.  Idempotent. *)
+(** Stop accepting work and stop the pool: in-flight requests finish
+    normally; every still-queued or backoff-parked request is resolved
+    as [Failed "shutdown"] (so no {!Future.await} ever hangs); the
+    supervisor and all workers are joined.  Idempotent.  Call {!drain}
+    first for a graceful "finish the backlog, then stop". *)
 
 val worker_count : t -> int
 
@@ -76,11 +131,24 @@ val queue_depth : t -> int
 
 val metrics : t -> Metrics.t
 
+val breaker_state : t -> Breaker.state
+
+val retry_policy : t -> retry_policy
+
+val inject_worker_crash : t -> int -> unit
+(** Chaos hook: make worker [idx]'s current domain terminate
+    abnormally at its next queue interaction (it finishes the batch it
+    is processing first, so no claimed request is lost).  The
+    supervisor respawns the slot within a tick; the pool keeps
+    serving.  Used by [topk chaos-bench] and the chaos tests.
+    @raise Invalid_argument if [idx] is not a worker index. *)
+
 val worker_stats : t -> (int * Topk_em.Stats.snapshot) list
 (** Per-worker EM accounting: [(worker index, counters)] for each
-    worker domain that has charged work.  Exact once the pool is
-    {!drain}ed (quiescent) or {!shutdown} (joined); a possibly-stale
-    reading while queries are still running. *)
+    worker slot that has charged work, summed over every domain that
+    ever occupied the slot (respawns included).  Exact once the pool
+    is {!drain}ed (quiescent) or {!shutdown} (joined); a
+    possibly-stale reading while queries are still running. *)
 
 val aggregate_stats : t -> Topk_em.Stats.snapshot
 (** Sum of {!worker_stats}. *)

@@ -6,13 +6,17 @@ type 'a t = {
 
 let create () = { mutex = Mutex.create (); cond = Condition.create (); cell = None }
 
-let fill t v =
+let try_fill t v =
   Mutex.protect t.mutex (fun () ->
       match t.cell with
-      | Some _ -> invalid_arg "Future.fill: already filled"
+      | Some _ -> false
       | None ->
           t.cell <- Some v;
-          Condition.broadcast t.cond)
+          Condition.broadcast t.cond;
+          true)
+
+let fill t v =
+  if not (try_fill t v) then invalid_arg "Future.fill: already filled"
 
 let await t =
   Mutex.protect t.mutex (fun () ->

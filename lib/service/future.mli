@@ -10,6 +10,12 @@ val fill : 'a t -> 'a -> unit
 (** Publish the value and wake all waiters.
     @raise Invalid_argument if already filled. *)
 
+val try_fill : 'a t -> 'a -> bool
+(** Like {!fill} but returns [false] instead of raising when the cell
+    is already filled.  Used by the supervision layer, where a request
+    may be resolved by either its worker or the shutdown path —
+    whichever gets there first wins, the other is a no-op. *)
+
 val await : 'a t -> 'a
 (** Block the calling thread until the value is available. *)
 

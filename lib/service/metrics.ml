@@ -23,6 +23,8 @@ module Gauge = struct
 
   let decr t = Atomic.decr t
 
+  let set t v = Atomic.set t v
+
   let get t = Atomic.get t
 end
 
@@ -103,6 +105,14 @@ type t = {
   failed : Counter.t;        (* queries that raised *)
   cutoff_budget : Counter.t;
   cutoff_deadline : Counter.t;
+  (* supervision / fault tolerance *)
+  faults_injected : Counter.t; (* transient EM faults that escaped a query *)
+  retries : Counter.t;         (* re-enqueues after a transient fault *)
+  respawns : Counter.t;        (* crashed worker domains replaced *)
+  aborted : Counter.t;         (* futures resolved Failed at shutdown *)
+  breaker_rejected : Counter.t;(* admissions refused by the open breaker *)
+  breaker_opens : Counter.t;   (* times the breaker tripped open *)
+  breaker_state : Gauge.t;     (* 0 closed / 1 half-open / 2 open *)
   queue_depth : Gauge.t;
   inflight : Gauge.t;
   latency_us : Histogram.t;  (* submit-to-response, microseconds *)
@@ -119,6 +129,13 @@ let create () =
     failed = Counter.create ();
     cutoff_budget = Counter.create ();
     cutoff_deadline = Counter.create ();
+    faults_injected = Counter.create ();
+    retries = Counter.create ();
+    respawns = Counter.create ();
+    aborted = Counter.create ();
+    breaker_rejected = Counter.create ();
+    breaker_opens = Counter.create ();
+    breaker_state = Gauge.create ();
     queue_depth = Gauge.create ();
     inflight = Gauge.create ();
     latency_us = Histogram.create ();
@@ -160,6 +177,13 @@ let report t =
   line "topk_queries_failed %d" (Counter.get t.failed);
   line "topk_queries_cutoff_budget %d" (Counter.get t.cutoff_budget);
   line "topk_queries_cutoff_deadline %d" (Counter.get t.cutoff_deadline);
+  line "topk_faults_injected %d" (Counter.get t.faults_injected);
+  line "topk_retries %d" (Counter.get t.retries);
+  line "topk_worker_respawns %d" (Counter.get t.respawns);
+  line "topk_queries_aborted %d" (Counter.get t.aborted);
+  line "topk_breaker_rejected %d" (Counter.get t.breaker_rejected);
+  line "topk_breaker_opens %d" (Counter.get t.breaker_opens);
+  line "topk_breaker_state %d" (Gauge.get t.breaker_state);
   line "topk_cutoff_rate %.4f" (cutoff_rate t);
   line "topk_qps %.1f" (qps t);
   line "topk_queue_depth %d" (Gauge.get t.queue_depth);

@@ -28,6 +28,8 @@ module Gauge : sig
 
   val decr : t -> unit
 
+  val set : t -> int -> unit
+
   val get : t -> int
 end
 
@@ -62,6 +64,13 @@ type t = {
   failed : Counter.t;         (** queries that raised an exception *)
   cutoff_budget : Counter.t;  (** partial answers due to I/O budget *)
   cutoff_deadline : Counter.t;(** partial answers due to deadline *)
+  faults_injected : Counter.t;(** transient EM faults that escaped a query *)
+  retries : Counter.t;        (** re-enqueues after a transient fault *)
+  respawns : Counter.t;       (** crashed worker domains replaced *)
+  aborted : Counter.t;        (** futures resolved [Failed] at shutdown *)
+  breaker_rejected : Counter.t;(** admissions refused while the breaker was open *)
+  breaker_opens : Counter.t;  (** times the breaker tripped open *)
+  breaker_state : Gauge.t;    (** 0 closed / 1 half-open / 2 open *)
   queue_depth : Gauge.t;      (** requests waiting in the queue *)
   inflight : Gauge.t;         (** requests being executed right now *)
   latency_us : Histogram.t;   (** submit-to-response latency, in µs *)

@@ -1,4 +1,5 @@
 module Stats = Topk_em.Stats
+module Fault = Topk_em.Fault
 
 type spec = {
   instance : string;
@@ -14,16 +15,29 @@ type outcome = {
   o_latency : float;  (* seconds, submit to response *)
 }
 
+(* One execution attempt, classified for the supervisor.
+
+   [Completed] means the future has been filled (successfully or with a
+   permanent [Failed]) and the request is finished.  [Transient] means
+   a retryable [Fault.Em_fault] escaped the query: the future is *not*
+   filled, so the executor may re-enqueue the request (with backoff) or
+   give up via [abort]. *)
+type attempt = Completed of outcome | Transient of string
+
 (* The erased form carried by the executor's queue: the typed query and
-   the typed future are captured in [run]'s closure.  [run] executes on
-   a worker domain, fills the future, and hands back an [outcome] for
-   the pool's metrics. *)
+   the typed future are captured in the closures.  [run_] executes on a
+   worker domain; [abort_] resolves the future with a permanent
+   failure from any domain (worker, supervisor, or the shutdown path). *)
 type t = {
   spec : spec;
-  run : worker:int -> outcome;
+  mutable attempts : int;  (* executions started, including retries *)
+  run_ : worker:int -> attempt;
+  abort_ : worker:int -> reason:string -> outcome;
 }
 
 let spec t = t.spec
+
+let attempts t = t.attempts
 
 let make (type q e) (handle : (q, e) Registry.handle) ?budget ?timeout
     (q : q) ~k : t * e Response.t Future.t =
@@ -41,26 +55,46 @@ let make (type q e) (handle : (q, e) Registry.handle) ?budget ?timeout
     { instance = info.Registry.name; k; budget; deadline; submitted }
   in
   let fut = Future.create () in
-  let run ~worker =
-    let answers, status, cost, rounds =
-      try Registry.h_exec handle q ~k ~budget ~deadline
-      with e ->
-        ([], Response.Failed (Printexc.to_string e), Stats.zero_snapshot, 0)
-    in
+  (* [try_fill]: a request can race between its worker and the
+     shutdown sweep; the first resolution wins and the other becomes a
+     no-op instead of an exception that could kill a worker domain. *)
+  let finish ~worker answers status cost rounds =
     let latency = Unix.gettimeofday () -. submitted in
-    Future.fill fut
-      {
-        Response.answers;
-        status;
-        cost;
-        rounds;
-        latency;
-        worker;
-        instance = spec.instance;
-        k;
-      };
+    ignore
+      (Future.try_fill fut
+         {
+           Response.answers;
+           status;
+           cost;
+           rounds;
+           latency;
+           worker;
+           instance = spec.instance;
+           k;
+         }
+        : bool);
     { o_status = status; o_ios = cost.Stats.ios; o_latency = latency }
   in
-  ({ spec; run }, fut)
+  let run_ ~worker =
+    match Registry.h_exec handle q ~k ~budget ~deadline with
+    | answers, status, cost, rounds ->
+        Completed (finish ~worker answers status cost rounds)
+    | exception Fault.Em_fault msg ->
+        (* Retryable: the future stays empty for the next attempt. *)
+        Transient msg
+    | exception e ->
+        Completed
+          (finish ~worker []
+             (Response.Failed (Printexc.to_string e))
+             Stats.zero_snapshot 0)
+  in
+  let abort_ ~worker ~reason =
+    finish ~worker [] (Response.Failed reason) Stats.zero_snapshot 0
+  in
+  ({ spec; attempts = 0; run_; abort_ }, fut)
 
-let run t ~worker = t.run ~worker
+let run t ~worker =
+  t.attempts <- t.attempts + 1;
+  t.run_ ~worker
+
+let abort t ~worker ~reason = t.abort_ ~worker ~reason

@@ -4,9 +4,15 @@
     [k], and optional service constraints: an I/O [budget] (EM-model
     I/Os this query may spend before being cut off) and a [timeout]
     (seconds from submission; converted to an absolute deadline).  The
-    element/query types are erased into the [run] closure so requests
-    for heterogeneous instances travel through one queue; the matching
-    typed {!Future.t} is returned to the submitter. *)
+    element/query types are erased into closures so requests for
+    heterogeneous instances travel through one queue; the matching
+    typed {!Future.t} is returned to the submitter.
+
+    Execution is {e attempt}-based for the supervision layer: a
+    transient {!Topk_em.Fault.Em_fault} escaping the query leaves the
+    future unresolved so the executor can retry the request with
+    backoff, while any other exception (and normal completion) resolves
+    the future immediately. *)
 
 type spec = {
   instance : string;
@@ -23,9 +29,20 @@ type outcome = {
   o_latency : float;
 }
 
+(** Result of one execution attempt.  [Completed o] — the future has
+    been resolved (with an answer or a permanent {!Response.Failed}).
+    [Transient msg] — a retryable fault; the future is {e not}
+    resolved, and the caller must either {!run} the request again or
+    {!abort} it. *)
+type attempt = Completed of outcome | Transient of string
+
 type t
 
 val spec : t -> spec
+
+val attempts : t -> int
+(** Number of execution attempts started so far (including the one in
+    progress, once {!run} has been entered). *)
 
 val make :
   ('q, 'e) Registry.handle ->
@@ -37,7 +54,15 @@ val make :
 (** Build a request and the future its response will be delivered on.
     @raise Invalid_argument if [k <= 0] or [budget < 0]. *)
 
-val run : t -> worker:int -> outcome
-(** Execute on the calling domain (normally a pool worker), filling the
-    future.  Never raises: a query exception becomes
-    {!Response.Failed}. *)
+val run : t -> worker:int -> attempt
+(** Execute one attempt on the calling domain (normally a pool
+    worker), incrementing {!attempts}.  A query exception becomes
+    {!Response.Failed} ([Completed]) — except a transient
+    {!Topk_em.Fault.Em_fault}, which is reported as [Transient] with
+    the future left unresolved for a retry. *)
+
+val abort : t -> worker:int -> reason:string -> outcome
+(** Resolve the future with [Failed reason] (no-op on the future if it
+    is already resolved — resolution races are benign) and return the
+    outcome for metrics.  Used when retries are exhausted and when
+    {!Executor.shutdown} drops still-queued requests. *)

@@ -37,6 +37,30 @@ instead of an uncaught exception.
   topk: queries must be positive (got 0)
   [2]
 
+  $ topk chaos-bench --fault-rate 1.5
+  topk: fault-rate must be in [0,1] (got 1.5)
+  [2]
+
+  $ topk chaos-bench --latency-rate=-0.1
+  topk: latency-rate must be in [0,1] (got -0.1)
+  [2]
+
+  $ topk chaos-bench --latency-us=-1
+  topk: latency-us must be >= 0 (got -1)
+  [2]
+
+  $ topk chaos-bench --max-retries=-2
+  topk: max-retries must be >= 0 (got -2)
+  [2]
+
+  $ topk chaos-bench --queries 0
+  topk: queries must be positive (got 0)
+  [2]
+
+  $ topk chaos-bench --workers 0
+  topk: workers must be positive (got 0)
+  [2]
+
 A valid run exits 0.
 
   $ topk sample-check -n 64 -k 4 --delta 0.5 --trials 8 > /dev/null

@@ -4,6 +4,7 @@ module Config = Topk_em.Config
 module Stats = Topk_em.Stats
 module Lru = Topk_em.Lru_cache
 module Io_array = Topk_em.Io_array
+module Fault = Topk_em.Fault
 
 let test_config_validation () =
   Alcotest.check_raises "b too small"
@@ -99,6 +100,130 @@ let test_lru_recency_updates () =
   Alcotest.(check bool) "1 survived" true (Lru.access c 1);
   Alcotest.(check bool) "2 evicted" false (Lru.access c 2)
 
+let test_lru_capacity_one () =
+  Config.with_model (Config.em ~b:64 ()) (fun () ->
+      Stats.reset ();
+      let c = Lru.create ~capacity:1 () in
+      Alcotest.(check bool) "cold access misses" false (Lru.access c 1);
+      Alcotest.(check bool) "immediate re-access hits" true (Lru.access c 1);
+      Alcotest.(check bool) "2 misses (evicts 1)" false (Lru.access c 2);
+      Alcotest.(check bool) "1 was evicted" false (Lru.access c 1);
+      Alcotest.(check bool) "2 was evicted in turn" false (Lru.access c 2);
+      Alcotest.(check int) "one io per miss" 4 (Stats.ios ());
+      Alcotest.(check int) "hits" 1 (Lru.hits c);
+      Alcotest.(check int) "misses" 4 (Lru.misses c))
+
+let test_lru_repeated_hits () =
+  let c = Lru.create ~capacity:2 () in
+  ignore (Lru.access c 7);
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "resident block keeps hitting" true (Lru.access c 7)
+  done;
+  Alcotest.(check int) "a single miss" 1 (Lru.misses c);
+  Alcotest.(check int) "a hundred hits" 100 (Lru.hits c)
+
+(* Two arrays sharing one cache must not alias each other's blocks:
+   the same element index maps to distinct block ids per array. *)
+let test_io_array_block_id_isolation () =
+  Config.with_model (Config.em ~b:8 ()) (fun () ->
+      Stats.reset ();
+      let data = Array.init 8 (fun i -> i) in
+      let shared = Lru.create ~capacity:8 () in
+      let a = Io_array.of_array ~cache:shared data in
+      let b = Io_array.of_array ~cache:shared data in
+      ignore (Io_array.get a 0);
+      ignore (Io_array.get b 0);
+      Alcotest.(check int)
+        "same index, distinct arrays: two misses" 2 (Stats.ios ());
+      (* Both blocks are now resident; re-probing either is free. *)
+      ignore (Io_array.get a 7);
+      ignore (Io_array.get b 7);
+      Alcotest.(check int) "both stay resident" 2 (Stats.ios ()))
+
+(* [round_carry] closes each domain's partial scan block on that
+   domain: two domains each scanning below a block boundary are charged
+   one I/O each, not a shared rounding. *)
+let test_round_carry_multi_domain () =
+  Config.with_model (Config.em ~b:64 ()) (fun () ->
+      Stats.reset ();
+      let before = Stats.aggregate () in
+      let work () =
+        Stats.charge_scan 32;  (* below a block: carry only, no io *)
+        Stats.round_carry ()   (* close the partial block: one io *)
+      in
+      let d1 = Domain.spawn work and d2 = Domain.spawn work in
+      Domain.join d1;
+      Domain.join d2;
+      let d = Stats.diff (Stats.aggregate ()) before in
+      Alcotest.(check int) "one io per domain" 2 d.Stats.ios;
+      Alcotest.(check int) "raw elements recorded" 64 d.Stats.scanned;
+      (* A round_carry with no pending carry charges nothing. *)
+      Stats.round_carry ();
+      let d' = Stats.diff (Stats.aggregate ()) before in
+      Alcotest.(check int) "no-op on a closed block" 2 d'.Stats.ios)
+
+(* --- fault injection --- *)
+
+let count_faults n =
+  let faults = ref 0 in
+  for _ = 1 to n do
+    match Stats.charge_ios 1 with
+    | () -> ()
+    | exception Fault.Em_fault _ -> incr faults
+  done;
+  !faults
+
+let test_fault_determinism () =
+  Fault.clear ();
+  Stats.reset ();
+  let p = Fault.plan ~seed:9 ~io_fault_rate:0.2 () in
+  Fault.install p;
+  let a = count_faults 500 in
+  Fault.clear ();
+  Alcotest.(check int)
+    "ios charged even when the fetch faults" 500 (Stats.ios ());
+  Alcotest.(check bool) "faults actually injected" true (a > 0);
+  Alcotest.(check bool) "but not on every io" true (a < 500);
+  Alcotest.(check int) "charged to the domain's counter" a (Stats.faults ());
+  (* Reinstalling the same plan reseeds the stream: the exact same
+     fault sequence replays. *)
+  Fault.install p;
+  let b = count_faults 500 in
+  Fault.clear ();
+  Alcotest.(check int) "same plan, same fault sequence" a b
+
+let test_fault_rate_one_and_cap () =
+  Fault.clear ();
+  Stats.reset ();
+  Fault.with_plan
+    (Fault.plan ~seed:1 ~io_fault_rate:1.0 ())
+    (fun () ->
+      Alcotest.(check int) "rate 1: every io faults" 100 (count_faults 100));
+  Alcotest.(check bool)
+    "with_plan restored the previous (absent) plan" true
+    (Fault.active () = None);
+  Fault.install (Fault.plan ~seed:1 ~io_fault_rate:1.0 ~max_faults:5 ());
+  Alcotest.(check int) "max_faults caps injection" 5 (count_faults 100);
+  Fault.clear ();
+  Alcotest.(check int) "cleared: no injection" 0 (count_faults 50)
+
+let test_fault_latency_spikes_charged () =
+  Fault.clear ();
+  Stats.reset ();
+  Fault.with_plan
+    (Fault.plan ~seed:3 ~io_fault_rate:0. ~latency_rate:1.0 ~latency_s:0. ())
+    (fun () -> Stats.charge_ios 10);
+  Alcotest.(check int) "every io spiked" 10 (Stats.spikes ());
+  Alcotest.(check int) "no fault injected" 0 (Stats.faults ())
+
+let test_fault_plan_validation () =
+  Alcotest.check_raises "rate out of range"
+    (Invalid_argument "Fault.plan: io_fault_rate must be in [0,1] (got 1.5)")
+    (fun () -> ignore (Fault.plan ~io_fault_rate:1.5 ~seed:0 ()));
+  Alcotest.check_raises "negative cap"
+    (Invalid_argument "Fault.plan: max_faults must be >= 0 (got -1)")
+    (fun () -> ignore (Fault.plan ~max_faults:(-1) ~seed:0 ()))
+
 let test_io_array_sequential_vs_random () =
   Config.with_model (Config.em ~b:8 ~m:16 ()) (fun () ->
       let data = Array.init 64 (fun i -> i) in
@@ -133,15 +258,32 @@ let () =
           Alcotest.test_case "charge_ios" `Quick test_charge_ios;
           Alcotest.test_case "scan carry" `Quick test_charge_scan_carry;
           Alcotest.test_case "measure isolates" `Quick test_measure_isolates;
+          Alcotest.test_case "round_carry across domains" `Quick
+            test_round_carry_multi_domain;
         ] );
       ( "lru",
         [
           Alcotest.test_case "hits and misses" `Quick test_lru_hits_and_misses;
           Alcotest.test_case "recency" `Quick test_lru_recency_updates;
+          Alcotest.test_case "capacity one" `Quick test_lru_capacity_one;
+          Alcotest.test_case "repeated hits" `Quick test_lru_repeated_hits;
         ] );
       ( "io_array",
         [
           Alcotest.test_case "sequential vs random" `Quick
             test_io_array_sequential_vs_random;
+          Alcotest.test_case "block-id isolation" `Quick
+            test_io_array_block_id_isolation;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "deterministic injection" `Quick
+            test_fault_determinism;
+          Alcotest.test_case "rate one and cap" `Quick
+            test_fault_rate_one_and_cap;
+          Alcotest.test_case "latency spikes charged" `Quick
+            test_fault_latency_spikes_charged;
+          Alcotest.test_case "plan validation" `Quick
+            test_fault_plan_validation;
         ] );
     ]

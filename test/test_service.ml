@@ -12,6 +12,7 @@ module W = Topk_range.Wpoint
 module RInst = Topk_range.Instances
 module Registry = Topk_service.Registry
 module Executor = Topk_service.Executor
+module Breaker = Topk_service.Breaker
 module Response = Topk_service.Response
 module Future = Topk_service.Future
 module Metrics = Topk_service.Metrics
@@ -195,6 +196,198 @@ let test_budget_cutoff_certified_prefix () =
     (Metrics.Counter.get m.Metrics.cutoff_budget);
   Executor.shutdown pool
 
+(* --- supervision ---
+
+   A controllable toy instance: its behaviour is selected through an
+   atomic, so a test can make the handler succeed, raise, or stall at
+   will — the failure modes the supervision layer must contain. *)
+
+module Toy_problem = struct
+  type elem = int
+
+  type query = unit
+
+  let weight e = float_of_int e
+
+  let id e = e
+
+  let matches () _ = true
+
+  let pp_elem = Format.pp_print_int
+
+  let pp_query ppf () = Format.pp_print_string ppf "()"
+end
+
+let toy_behaviour : [ `Ok | `Raise | `Sleep of float ] Atomic.t =
+  Atomic.make `Ok
+
+module Toy = struct
+  module P = Toy_problem
+
+  type t = int list  (* sorted by decreasing weight *)
+
+  let name = "toy"
+
+  let build ?params:_ elems =
+    List.sort (fun a b -> compare b a) (Array.to_list elems)
+
+  let size = List.length
+
+  let space_words = List.length
+
+  let query t () ~k =
+    (match Atomic.get toy_behaviour with
+    | `Ok -> ()
+    | `Raise -> failwith "toy handler exploded"
+    | `Sleep s -> Unix.sleepf s);
+    List.filteri (fun i _ -> i < k) t
+end
+
+let toy_handle () =
+  let registry = Registry.create () in
+  Registry.register registry ~name:"toy"
+    (module Toy)
+    (Toy.build (Array.init 16 (fun i -> i)))
+
+let string_contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+  n = 0 || at 0
+
+(* Regression: an exception escaping a handler must neither kill the
+   worker domain nor leak the pending count — the query resolves as
+   [Failed], [drain] returns, and the pool keeps serving. *)
+let test_raising_handler_is_contained () =
+  Atomic.set toy_behaviour `Raise;
+  let h = toy_handle () in
+  let pool = Executor.create ~workers:2 ~queue_capacity:16 () in
+  let futs = List.init 8 (fun _ -> Executor.submit pool h () ~k:3) in
+  List.iter
+    (fun f ->
+      match (Future.await f).Response.status with
+      | Response.Failed msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "failure names the exception (got %S)" msg)
+            true
+            (string_contains ~needle:"toy handler exploded" msg)
+      | s ->
+          Alcotest.failf "expected Failed, got %s" (Response.status_string s))
+    futs;
+  (* [drain] must return: a leaked pending count would hang here. *)
+  Executor.drain pool;
+  let m = Executor.metrics pool in
+  Alcotest.(check int) "failed counter" 8 (Metrics.Counter.get m.Metrics.failed);
+  (* Both workers survived the exceptions: the pool still serves. *)
+  Atomic.set toy_behaviour `Ok;
+  let r = Future.await (Executor.submit pool h () ~k:3) in
+  Alcotest.(check string)
+    "healthy again" "complete"
+    (Response.status_string r.Response.status);
+  Alcotest.(check (list int)) "exact answer" [ 15; 14; 13 ] r.Response.answers;
+  Executor.shutdown pool
+
+(* Regression: [shutdown] must resolve every still-queued future as
+   [Failed "shutdown"] instead of dropping it — a caller blocked in
+   [Future.await] is released, not hung forever. *)
+let test_shutdown_resolves_queued_futures () =
+  Atomic.set toy_behaviour `Ok;
+  let h = toy_handle () in
+  let pool = Executor.create ~workers:1 ~batch_max:1 ~queue_capacity:16 () in
+  (* One slow request occupies the single worker... *)
+  Atomic.set toy_behaviour (`Sleep 0.4);
+  let inflight = Executor.submit pool h () ~k:2 in
+  Unix.sleepf 0.1;
+  (* ...so these four stay queued behind it. *)
+  Atomic.set toy_behaviour `Ok;
+  let queued = List.init 4 (fun _ -> Executor.submit pool h () ~k:2) in
+  let blocked =
+    Domain.spawn (fun () ->
+        (Future.await (List.nth queued 3)).Response.status)
+  in
+  Executor.shutdown pool;
+  List.iter
+    (fun f ->
+      Alcotest.(check string)
+        "queued future resolved by shutdown" "failed:shutdown"
+        (Response.status_string (Future.await f).Response.status))
+    queued;
+  Alcotest.(check string)
+    "blocked awaiter released" "failed:shutdown"
+    (Response.status_string (Domain.join blocked));
+  Alcotest.(check string)
+    "in-flight request finished normally" "complete"
+    (Response.status_string (Future.await inflight).Response.status);
+  let m = Executor.metrics pool in
+  Alcotest.(check int)
+    "aborted counter" 4
+    (Metrics.Counter.get m.Metrics.aborted)
+
+(* The circuit breaker: persistent failures trip it open (submissions
+   shed load), the open window expires into half-open probing, and
+   probe successes close it again. *)
+let test_breaker_admission_control () =
+  Atomic.set toy_behaviour `Ok;
+  let h = toy_handle () in
+  let policy =
+    {
+      Breaker.window = 16;
+      min_samples = 8;
+      failure_threshold = 0.5;
+      open_duration = 0.3;
+      half_open_probes = 2;
+    }
+  in
+  let pool = Executor.create ~workers:1 ~queue_capacity:32 ~breaker:policy () in
+  Alcotest.(check string)
+    "starts closed" "closed"
+    (Breaker.state_string (Executor.breaker_state pool));
+  Atomic.set toy_behaviour `Raise;
+  let futs = List.init 8 (fun _ -> Executor.submit pool h () ~k:1) in
+  List.iter (fun f -> ignore (Future.await f)) futs;
+  (* Outcomes are recorded before the pending count is released, so
+     after [drain] the breaker has seen all eight failures. *)
+  Executor.drain pool;
+  Alcotest.(check string)
+    "tripped open" "open"
+    (Breaker.state_string (Executor.breaker_state pool));
+  Alcotest.check_raises "submit sheds load" Executor.Overloaded (fun () ->
+      ignore (Executor.submit pool h () ~k:1));
+  Alcotest.(check bool)
+    "try_submit sheds load" true
+    (Executor.try_submit pool h () ~k:1 = None);
+  let m = Executor.metrics pool in
+  Alcotest.(check bool)
+    "rejections counted" true
+    (Metrics.Counter.get m.Metrics.breaker_rejected >= 2);
+  Alcotest.(check int)
+    "one trip recorded" 1
+    (Metrics.Counter.get m.Metrics.breaker_opens);
+  (* After the open window a probe is admitted (half-open); enough
+     probe successes close the breaker. *)
+  Atomic.set toy_behaviour `Ok;
+  Unix.sleepf 0.35;
+  let p1 = Executor.submit pool h () ~k:1 in
+  Alcotest.(check string)
+    "probe admitted: half-open" "half-open"
+    (Breaker.state_string (Executor.breaker_state pool));
+  Alcotest.(check string)
+    "probe 1 succeeds" "complete"
+    (Response.status_string (Future.await p1).Response.status);
+  Executor.drain pool;
+  let p2 = Executor.submit pool h () ~k:1 in
+  Alcotest.(check string)
+    "probe 2 succeeds" "complete"
+    (Response.status_string (Future.await p2).Response.status);
+  Executor.drain pool;
+  Alcotest.(check string)
+    "closed again" "closed"
+    (Breaker.state_string (Executor.breaker_state pool));
+  let r = Future.await (Executor.submit pool h () ~k:3) in
+  Alcotest.(check string)
+    "serving normally" "complete"
+    (Response.status_string r.Response.status);
+  Executor.shutdown pool
+
 (* Registry bookkeeping. *)
 let test_registry () =
   let fx = make_fixture ~n:500 ~queries:1 ~seed:5 () in
@@ -255,6 +448,15 @@ let () =
             test_aggregated_counters_match_sequential;
           Alcotest.test_case "budget cutoff yields certified prefix" `Quick
             test_budget_cutoff_certified_prefix;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "raising handler is contained" `Quick
+            test_raising_handler_is_contained;
+          Alcotest.test_case "shutdown resolves queued futures" `Quick
+            test_shutdown_resolves_queued_futures;
+          Alcotest.test_case "breaker admission control" `Quick
+            test_breaker_admission_control;
         ] );
       ( "registry",
         [
