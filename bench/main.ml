@@ -30,6 +30,7 @@ let experiments =
     ("e14", "Reductions in the RAM model", E14_ram.run);
     ("e15", "Ablations: coreset_scale and sigma", E15_ablation.run);
     ("e16", "Top-k 2D orthogonal range reporting", E16_ortho.run);
+    ("e17", "Sharded planner with max-query pruning", E17_shard.run);
   ]
 
 let () =

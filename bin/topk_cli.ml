@@ -706,6 +706,180 @@ let chaos_bench_cmd =
       $ fault_rate_arg $ latency_rate_arg $ latency_us_arg $ retries_arg
       $ no_kill_arg $ block_arg)
 
+(* --- shard-bench --- *)
+
+let shard_bench_cmd =
+  let module Svc = Topk_service in
+  let module Stats = Topk_em.Stats in
+  let module Shard = Topk_shard in
+  let module IInst = Topk_interval.Instances in
+  let module IP = Topk_interval.Problem in
+  let queries_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "queries" ] ~docv:"Q" ~doc:"Number of logical queries.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"W" ~doc:"Worker domains in the pool.")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "shards" ] ~docv:"S" ~doc:"Number of index shards.")
+  in
+  (* Pruning saves a shard's Q_top + O(k/B) per skipped shard and pays
+     one max query per shard; a larger default k than the point-lookup
+     commands makes that trade visible at the default n. *)
+  let shard_k_arg =
+    Arg.(
+      value & opt int 1000 & info [ "k" ] ~docv:"K" ~doc:"Result size.")
+  in
+  let strategy_arg =
+    Arg.(
+      value
+      & opt (enum [ ("range-weight", `Range_weight); ("hash", `Hash); ("balanced", `Balanced) ]) `Range_weight
+      & info [ "strategy" ] ~docv:"STRAT"
+          ~doc:
+            "Partitioning: range-weight (weight-skewed shard maxima; the \
+             pruning showcase), hash, or balanced.")
+  in
+  let run n k seed queries workers shards strategy block =
+    require_pos "n" n;
+    require_pos "k" k;
+    require_pos "queries" queries;
+    require_pos "workers" workers;
+    require_pos "shards" shards;
+    if shards > n then die "shards must be <= n (got shards=%d, n=%d)" shards n;
+    with_model block (fun () ->
+        let module SSet =
+          Shard.Shard_set.Make (IInst.Topk_t2) (Topk_interval.Slab_max)
+        in
+        let module Planner = Shard.Planner.Make (SSet) in
+        let module Scatter = Shard.Scatter.Make (SSet) (IInst.Topk_t2) in
+        let rng = Topk_util.Rng.create seed in
+        let strategy_name, strategy =
+          match strategy with
+          | `Range_weight -> ("range-weight", Shard.Partitioner.Range IP.weight)
+          | `Hash -> ("hash", Shard.Partitioner.Hash IP.id)
+          | `Balanced -> ("balanced", Shard.Partitioner.Balanced)
+        in
+        Printf.printf
+          "shard-bench: n=%d queries=%d workers=%d shards=%d k=%d \
+           strategy=%s\n%!"
+          n queries workers shards k strategy_name;
+        let elems =
+          Topk_interval.Interval.of_spans rng
+            (Topk_util.Gen.intervals rng ~shape:Topk_util.Gen.Mixed_intervals
+               ~n)
+        in
+        let params = IInst.params () in
+        (* The unsharded reference index: sharded answers must match it
+           query for query. *)
+        let flat = IInst.Topk_t2.build ~params elems in
+        let set = SSet.of_elems ~params ~strategy ~shards elems in
+        Format.printf "%a@." SSet.pp set;
+        let stabs = Topk_util.Gen.stab_queries rng ~n:queries in
+        let reference = Array.map (fun q -> IInst.Topk_t2.query flat q ~k) stabs in
+        let ids l = List.map IP.id l in
+        (* Phase 1: sequential planner on this domain — pruning
+           economics vs visiting every shard. *)
+        let seq_mismatch = ref 0 and seq_pruned = ref 0 in
+        let (), cost_planner =
+          Stats.measure (fun () ->
+              Array.iteri
+                (fun i q ->
+                  let answers, report = Planner.query_report set q ~k in
+                  if ids answers <> ids reference.(i) then incr seq_mismatch;
+                  seq_pruned := !seq_pruned + report.Planner.pruned)
+                stabs)
+        in
+        let (), cost_all =
+          Stats.measure (fun () ->
+              Array.iter (fun q -> ignore (Planner.query_all set q ~k)) stabs)
+        in
+        Printf.printf
+          "sequential planner: %d/%d exact, %d shards pruned, %d I/Os \
+           (visit-all: %d I/Os)\n%!"
+          (queries - !seq_mismatch) queries !seq_pruned cost_planner.Stats.ios
+          cost_all.Stats.ios;
+        (* Phase 2: the same logical queries fanned out through the
+           worker pool. *)
+        let pool = Svc.Executor.create ~workers () in
+        let registry = Svc.Registry.create () in
+        let sc = Scatter.create pool registry ~name:"intervals" set in
+        Stats.reset_all ();
+        let t0 = Unix.gettimeofday () in
+        let par_mismatch = ref 0
+        and par_pruned = ref 0
+        and fanout = ref 0
+        and total = ref Stats.zero_snapshot in
+        Array.iteri
+          (fun i q ->
+            let r = Scatter.query sc q ~k in
+            if
+              ids r.Scatter.answers <> ids reference.(i)
+              || r.Scatter.status <> Svc.Response.Complete
+            then incr par_mismatch;
+            par_pruned := !par_pruned + r.Scatter.pruned;
+            fanout := !fanout + r.Scatter.fanout;
+            total := Stats.add !total r.Scatter.cost)
+          stabs;
+        let elapsed = Unix.gettimeofday () -. t0 in
+        Svc.Executor.drain pool;
+        let agg = Stats.aggregate () in
+        Printf.printf
+          "scatter-gather: %d/%d exact in %.3fs (%.0f q/s), fanout=%d \
+           pruned=%d\n"
+          (queries - !par_mismatch) queries elapsed
+          (float_of_int queries /. Float.max 1e-9 elapsed)
+          !fanout !par_pruned;
+        Printf.printf
+          "EM accounting: sum of per-query costs=%d I/Os, \
+           Stats.aggregate=%d I/Os (%s)\n"
+          !total.Stats.ios agg.Stats.ios
+          (if !total.Stats.ios = agg.Stats.ios then "exact match"
+           else "MISMATCH");
+        let m = Svc.Executor.metrics pool in
+        Printf.printf
+          "metrics: sharded_queries=%d shards_pruned=%d fanout_mean=%.1f \
+           shard_ios_p95=%d\n"
+          (Svc.Metrics.Counter.get m.Svc.Metrics.sharded_queries)
+          (Svc.Metrics.Counter.get m.Svc.Metrics.shards_pruned)
+          (Svc.Metrics.Histogram.mean m.Svc.Metrics.fanout)
+          (Svc.Metrics.Histogram.percentile m.Svc.Metrics.shard_ios 0.95);
+        Svc.Executor.shutdown pool;
+        (* Hard acceptance checks; any failure exits non-zero. *)
+        if !seq_mismatch > 0 || !par_mismatch > 0 then
+          die "sharded answers diverged from the unsharded index (%d seq, %d \
+               scatter)"
+            !seq_mismatch !par_mismatch;
+        if !total.Stats.ios <> agg.Stats.ios then
+          die "EM accounting mismatch (summed=%d aggregate=%d)"
+            !total.Stats.ios agg.Stats.ios;
+        if String.equal strategy_name "range-weight" then begin
+          if !seq_pruned = 0 || !par_pruned = 0 then
+            die "no shards pruned on a weight-skewed partition";
+          if cost_planner.Stats.ios >= cost_all.Stats.ios then
+            die "pruning did not reduce I/O (planner=%d visit-all=%d)"
+              cost_planner.Stats.ios cost_all.Stats.ios
+        end;
+        Printf.printf
+          "shard-bench: OK (%d queries exact; ios accounted; pruned=%d; \
+           planner %d < visit-all %d I/Os)\n"
+          queries !par_pruned cost_planner.Stats.ios cost_all.Stats.ios)
+  in
+  Cmd.v
+    (Cmd.info "shard-bench"
+       ~doc:
+         "Shard an interval index, serve scatter-gather top-k queries \
+          through the worker pool, and verify exactness, per-shard EM \
+          accounting and max-query pruning against the unsharded index.")
+    Term.(
+      const run $ n_arg $ shard_k_arg $ seed_arg $ queries_arg $ workers_arg
+      $ shards_arg $ strategy_arg $ block_arg)
+
 (* --- sample-check --- *)
 
 let sample_check_cmd =
@@ -762,4 +936,5 @@ let () =
             sample_check_cmd;
             serve_bench_cmd;
             chaos_bench_cmd;
+            shard_bench_cmd;
           ]))

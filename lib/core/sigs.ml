@@ -108,7 +108,10 @@ module type TOPK = sig
   val space_words : t -> int
 
   val query : t -> P.query -> k:int -> P.elem list
-  (** Sorted by decreasing weight. *)
+  (** Sorted by decreasing weight.  Edge cases are uniform across all
+      implementations: [k <= 0] answers [[]] without touching (or
+      charging for) the data, and [k] at least the number of matches
+      answers every matching element, still sorted. *)
 end
 
 (** Prioritized reporting with insertions and deletions, for the

@@ -376,17 +376,17 @@ let enqueue_nonblocking t req =
       false
   | `Breaker -> false
 
-let submit t handle ?budget ?timeout q ~k =
-  let req, fut = Request.make handle ?budget ?timeout q ~k in
+let submit t handle ?budget ?timeout ?deadline q ~k =
+  let req, fut = Request.make handle ?budget ?timeout ?deadline q ~k in
   enqueue_blocking t req;
   fut
 
-let try_submit t handle ?budget ?timeout q ~k =
-  let req, fut = Request.make handle ?budget ?timeout q ~k in
+let try_submit t handle ?budget ?timeout ?deadline q ~k =
+  let req, fut = Request.make handle ?budget ?timeout ?deadline q ~k in
   if enqueue_nonblocking t req then Some fut else None
 
-let submit_batch t handle ?budget ?timeout queries ~k =
-  List.map (fun q -> submit t handle ?budget ?timeout q ~k) queries
+let submit_batch t handle ?budget ?timeout ?deadline queries ~k =
+  List.map (fun q -> submit t handle ?budget ?timeout ?deadline q ~k) queries
 
 (* --- lifecycle --- *)
 

@@ -85,10 +85,14 @@ val submit :
   ('q, 'e) Registry.handle ->
   ?budget:int ->
   ?timeout:float ->
+  ?deadline:float ->
   'q ->
   k:int ->
   'e Response.t Future.t
 (** Enqueue a query; blocks while the queue is full ({e backpressure}).
+    [timeout] is relative, [deadline] absolute (at most one of the
+    two); fan-out layers ({!Topk_shard.Scatter}) pass [deadline] so
+    every per-shard leg of a logical query races the same clock.
     @raise Shut_down if the pool has been shut down.
     @raise Overloaded if the circuit breaker is open. *)
 
@@ -97,6 +101,7 @@ val try_submit :
   ('q, 'e) Registry.handle ->
   ?budget:int ->
   ?timeout:float ->
+  ?deadline:float ->
   'q ->
   k:int ->
   'e Response.t Future.t option
@@ -110,6 +115,7 @@ val submit_batch :
   ('q, 'e) Registry.handle ->
   ?budget:int ->
   ?timeout:float ->
+  ?deadline:float ->
   'q list ->
   k:int ->
   'e Response.t Future.t list

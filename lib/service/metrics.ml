@@ -118,6 +118,12 @@ type t = {
   latency_us : Histogram.t;  (* submit-to-response, microseconds *)
   ios : Histogram.t;         (* EM-model I/Os per query *)
   batch : Histogram.t;       (* jobs popped per worker wakeup *)
+  (* shard fan-out (recorded by Topk_shard.Scatter) *)
+  sharded_queries : Counter.t;   (* logical queries fanned out *)
+  shards_pruned : Counter.t;     (* shard legs skipped by max-query bound *)
+  fanout : Histogram.t;          (* shard jobs submitted per logical query *)
+  shard_latency_us : Histogram.t;(* per-shard leg latency *)
+  shard_ios : Histogram.t;       (* per-shard leg EM I/Os *)
 }
 
 let create () =
@@ -141,6 +147,11 @@ let create () =
     latency_us = Histogram.create ();
     ios = Histogram.create ();
     batch = Histogram.create ();
+    sharded_queries = Counter.create ();
+    shards_pruned = Counter.create ();
+    fanout = Histogram.create ();
+    shard_latency_us = Histogram.create ();
+    shard_ios = Histogram.create ();
   }
 
 let uptime t = Unix.gettimeofday () -. t.started
@@ -191,4 +202,9 @@ let report t =
   histo "topk_latency_us" t.latency_us;
   histo "topk_ios" t.ios;
   histo "topk_batch_size" t.batch;
+  line "topk_sharded_queries %d" (Counter.get t.sharded_queries);
+  line "topk_shards_pruned %d" (Counter.get t.shards_pruned);
+  histo "topk_fanout" t.fanout;
+  histo "topk_shard_latency_us" t.shard_latency_us;
+  histo "topk_shard_ios" t.shard_ios;
   Buffer.contents buf

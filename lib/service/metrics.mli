@@ -76,6 +76,11 @@ type t = {
   latency_us : Histogram.t;   (** submit-to-response latency, in µs *)
   ios : Histogram.t;          (** EM-model I/Os per query *)
   batch : Histogram.t;        (** jobs popped per worker wakeup *)
+  sharded_queries : Counter.t;(** logical queries fanned out over shards *)
+  shards_pruned : Counter.t;  (** shard legs skipped by the max-query bound *)
+  fanout : Histogram.t;       (** shard jobs submitted per logical query *)
+  shard_latency_us : Histogram.t;(** per-shard leg latency, in µs *)
+  shard_ios : Histogram.t;    (** per-shard leg EM I/Os *)
 }
 
 val create : unit -> t

@@ -99,9 +99,14 @@ let register (type s q e) t ~name
     }
   in
   Mutex.protect t.mutex (fun () ->
-      if List.exists (fun i -> String.equal i.name name) t.entries then
-        invalid_arg
-          (Printf.sprintf "Registry.register: duplicate instance %S" name);
+      (match List.find_opt (fun i -> String.equal i.name name) t.entries with
+      | Some prev ->
+          invalid_arg
+            (Printf.sprintf
+               "Registry.register: duplicate instance %S (already registered \
+                as %s, n=%d)"
+               name prev.structure prev.size)
+      | None -> ());
       t.entries <- info :: t.entries);
   {
     h_info = info;
@@ -121,6 +126,19 @@ let find t name =
       List.find_opt (fun i -> String.equal i.name name) t.entries)
 
 let mem t name = Option.is_some (find t name)
+
+let find_exn t name =
+  match find t name with
+  | Some i -> i
+  | None ->
+      let known =
+        match list t with
+        | [] -> "none"
+        | l -> String.concat ", " (List.map (fun i -> i.name) l)
+      in
+      invalid_arg
+        (Printf.sprintf "Registry.find_exn: unknown instance %S (registered: %s)"
+           name known)
 
 let pp_info ppf i =
   Format.fprintf ppf "@[<h>%s: %s, n=%d, %d words@]" i.name i.structure i.size

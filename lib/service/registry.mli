@@ -34,7 +34,8 @@ val register :
   's ->
   ('q, 'e) handle
 (** Register a built structure under [name].  Thread-safe.
-    @raise Invalid_argument on a duplicate name. *)
+    @raise Invalid_argument on a duplicate name; the message names the
+    structure already registered under it. *)
 
 val info : ('q, 'e) handle -> info
 
@@ -42,6 +43,11 @@ val list : t -> info list
 (** In registration order. *)
 
 val find : t -> string -> info option
+
+val find_exn : t -> string -> info
+(** Like {!find}, but raises on a miss with a message listing every
+    registered instance name.
+    @raise Invalid_argument on an unknown name. *)
 
 val mem : t -> string -> bool
 

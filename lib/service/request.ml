@@ -40,7 +40,7 @@ let spec t = t.spec
 let attempts t = t.attempts
 
 let make (type q e) (handle : (q, e) Registry.handle) ?budget ?timeout
-    (q : q) ~k : t * e Response.t Future.t =
+    ?deadline (q : q) ~k : t * e Response.t Future.t =
   if k <= 0 then
     invalid_arg (Printf.sprintf "Request.make: k must be positive (got %d)" k);
   (match budget with
@@ -49,7 +49,13 @@ let make (type q e) (handle : (q, e) Registry.handle) ?budget ?timeout
         (Printf.sprintf "Request.make: budget must be >= 0 (got %d)" b)
   | _ -> ());
   let submitted = Unix.gettimeofday () in
-  let deadline = Option.map (fun s -> submitted +. s) timeout in
+  let deadline =
+    match (timeout, deadline) with
+    | Some _, Some _ ->
+        invalid_arg "Request.make: pass either ~timeout or ~deadline, not both"
+    | Some s, None -> Some (submitted +. s)
+    | None, d -> d
+  in
   let info = Registry.info handle in
   let spec =
     { instance = info.Registry.name; k; budget; deadline; submitted }

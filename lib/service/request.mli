@@ -48,11 +48,17 @@ val make :
   ('q, 'e) Registry.handle ->
   ?budget:int ->
   ?timeout:float ->
+  ?deadline:float ->
   'q ->
   k:int ->
   t * 'e Response.t Future.t
 (** Build a request and the future its response will be delivered on.
-    @raise Invalid_argument if [k <= 0] or [budget < 0]. *)
+    [timeout] is relative (seconds from now); [deadline] is an absolute
+    wall-clock time — fan-out layers use it so every per-shard leg of
+    one logical query shares a single deadline instead of restarting
+    the clock per leg.
+    @raise Invalid_argument if [k <= 0], [budget < 0], or both
+    [timeout] and [deadline] are given. *)
 
 val run : t -> worker:int -> attempt
 (** Execute one attempt on the calling domain (normally a pool

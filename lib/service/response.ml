@@ -22,6 +22,14 @@ let is_partial r =
   | Cutoff_budget | Cutoff_deadline -> true
   | Complete | Failed _ -> false
 
+let severity = function
+  | Complete -> 0
+  | Cutoff_budget -> 1
+  | Cutoff_deadline -> 2
+  | Failed _ -> 3
+
+let combine_status a b = if severity b > severity a then b else a
+
 let status_string = function
   | Complete -> "complete"
   | Cutoff_budget -> "cutoff:budget"

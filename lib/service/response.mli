@@ -24,6 +24,12 @@ type 'e t = {
 val is_partial : 'e t -> bool
 (** [true] on either cutoff status. *)
 
+val combine_status : status -> status -> status
+(** The worse of two statuses, for joining fan-out responses (e.g. the
+    per-shard legs of one sharded query): severity increases
+    [Complete < Cutoff_budget < Cutoff_deadline < Failed _].  Between
+    two [Failed] the left message wins. *)
+
 val status_string : status -> string
 
 val pp_status : Format.formatter -> status -> unit

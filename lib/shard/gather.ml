@@ -1,0 +1,71 @@
+module Stats = Topk_em.Stats
+module Heap = Topk_util.Heap
+
+(* One cursor per (non-empty) input list; the heap orders cursors by
+   their head, largest first ([cmp] ascending order reversed). *)
+let merge ~cmp ~k lists =
+  if k <= 0 then []
+  else begin
+    let heap =
+      Heap.create
+        ~cmp:(fun (a, _) (b, _) -> cmp b a)  (* max-heap on heads *)
+        ()
+    in
+    List.iter
+      (fun l -> match l with [] -> () | x :: rest -> Heap.push heap (x, rest))
+      lists;
+    let out = ref [] and taken = ref 0 in
+    while !taken < k && not (Heap.is_empty heap) do
+      let x, rest = Heap.pop_exn heap in
+      (* Consuming one element of a sorted shard answer is one step of
+         the O(k/B) output scan. *)
+      Stats.charge_scan 1;
+      out := x :: !out;
+      incr taken;
+      match rest with [] -> () | y :: rest' -> Heap.push heap (y, rest')
+    done;
+    List.rev !out
+  end
+
+(* Uncharged two-way top-k union on resident lists (see .mli). *)
+let union ~cmp ~k a b =
+  let rec go taken a b =
+    if taken >= k then []
+    else
+      match (a, b) with
+      | [], [] -> []
+      | x :: a', [] -> x :: go (taken + 1) a' []
+      | [], y :: b' -> y :: go (taken + 1) [] b'
+      | x :: a', y :: b' ->
+          if cmp x y >= 0 then x :: go (taken + 1) a' b
+          else y :: go (taken + 1) a b'
+  in
+  if k <= 0 then [] else go 0 a b
+
+let merge_certified ~cmp ~weight ~k answers =
+  let all_complete = List.for_all snd answers in
+  let merged = merge ~cmp ~k (List.map fst answers) in
+  if all_complete then (merged, true)
+  else begin
+    (* A truncated shard [l] certifies only that its unreported
+       elements are strictly lighter than [l]'s last reported weight.
+       A merged element is therefore provably in the global prefix iff
+       it is at least as heavy as {e every} incomplete shard's last
+       weight — the threshold is the {e max} of those weights.  An
+       empty truncated answer certifies nothing (threshold [+inf]:
+       that shard could be hiding arbitrarily heavy elements). *)
+    let threshold =
+      List.fold_left
+        (fun acc (l, complete) ->
+          if complete then acc
+          else
+            match l with
+            | [] -> Float.infinity
+            | l -> Float.max acc (weight (List.nth l (List.length l - 1))))
+        Float.neg_infinity answers
+    in
+    let prefix = List.filter (fun e -> weight e >= threshold) merged in
+    (* If the certified prefix already holds k elements the cutoffs
+       were harmless: the global top-k is exact. *)
+    (prefix, List.length prefix >= k)
+  end

@@ -1,0 +1,82 @@
+module Stats = Topk_em.Stats
+
+module Make (SS : Shard_set.S) = struct
+  module P = SS.P
+  module W = Topk_core.Sigs.Weight_order (P)
+
+  type report = {
+    max_queries : int;
+    visited : int;
+    pruned : int;
+    empty : int;
+  }
+
+  let zero_report = { max_queries = 0; visited = 0; pruned = 0; empty = 0 }
+
+  (* Weight of the k-th (i.e. last) candidate once we hold k of them;
+     -inf while the candidate list is still short, so nothing is pruned
+     before the heap is full. *)
+  let kth_weight ~k acc =
+    if List.length acc < k then Float.neg_infinity
+    else P.weight (List.nth acc (k - 1))
+
+  let query_report t q ~k =
+    Stats.mark_query ();
+    if k <= 0 then ([], zero_report)
+    else begin
+      let s = SS.shard_count t in
+      (* Scatter phase 1: exact per-shard upper bounds (one max query
+         each).  [None] means the shard has no matching element at all
+         — pruned before any top-k work. *)
+      let bounded = ref [] and empty = ref 0 in
+      for i = s - 1 downto 0 do
+        match SS.upper_bound t i q with
+        | None -> incr empty
+        | Some ub -> bounded := (i, ub) :: !bounded
+      done;
+      let order =
+        List.sort (fun (_, a) (_, b) -> Float.compare b a) !bounded
+      in
+      (* Phase 2: visit in decreasing upper-bound order, maintaining
+         the global k best; stop as soon as the next bound cannot beat
+         the current k-th candidate.  Bounds are exact maxima of
+         disjoint shards, so [ub < kth] proves the whole shard (and,
+         since bounds are sorted, every later shard) is out. *)
+      (* The running candidate list is resident data whose reporting
+         cost was already charged by [SS.topk_query]; maintaining it
+         between visits uses the uncharged {!Gather.union}.  The single
+         final {!Gather.merge} over the visited legs pays the one
+         [O(k/B)] output term of the gather phase. *)
+      let rec visit acc legs visited remaining =
+        match remaining with
+        | [] -> (legs, visited, 0)
+        | (i, ub) :: rest ->
+            if ub < kth_weight ~k acc then
+              (legs, visited, List.length remaining)
+            else begin
+              let answers = SS.topk_query t i q ~k in
+              let acc = Gather.union ~cmp:W.compare ~k acc answers in
+              visit acc (answers :: legs) (visited + 1) rest
+            end
+      in
+      let legs, visited, pruned = visit [] [] 0 order in
+      let answers = Gather.merge ~cmp:W.compare ~k legs in
+      (answers, { max_queries = s; visited; pruned; empty = !empty })
+    end
+
+  let query t q ~k = fst (query_report t q ~k)
+
+  let query_all t q ~k =
+    Stats.mark_query ();
+    if k <= 0 then []
+    else begin
+      let s = SS.shard_count t in
+      let per_shard = List.init s (fun i -> SS.topk_query t i q ~k) in
+      Gather.merge ~cmp:W.compare ~k per_shard
+    end
+
+  let pp_report ppf r =
+    Format.fprintf ppf
+      "@[<h>max_queries=%d visited=%d pruned=%d empty=%d@]" r.max_queries
+      r.visited r.pruned r.empty
+end

@@ -1,0 +1,101 @@
+module Make (SS : Shard_set.S) = struct
+  type report = {
+    rounds : int;
+    rebuilt : int;
+    reused : int;
+    before_skew : float;
+    after_skew : float;
+  }
+
+  let skew t = Partitioner.size_skew (SS.partition t)
+
+  (* Planning representation: either an untouched original shard
+     (structure reusable at assemble time) or a fresh element slice
+     (needs one build at the end).  Planning itself only slices and
+     concatenates arrays — no structure is built until the final
+     [assemble], so a slice created in round [r] and merged away in
+     round [r'] costs nothing. *)
+  type piece = Orig of int | Fresh of SS.P.elem array
+
+  let rebalance ?params ?(max_skew = 2.0) ?max_rounds t =
+    if max_skew < 2.0 then
+      invalid_arg
+        (Printf.sprintf "Rebalance.rebalance: max_skew must be >= 2.0 (got %g)"
+           max_skew);
+    let s = SS.shard_count t in
+    let max_rounds = match max_rounds with Some r -> r | None -> 2 * s in
+    let before_skew = skew t in
+    if s <= 1 || before_skew <= max_skew then
+      ( t,
+        {
+          rounds = 0;
+          rebuilt = 0;
+          reused = s;
+          before_skew;
+          after_skew = before_skew;
+        } )
+    else begin
+      let builts = SS.detach t in
+      let elems_of = function
+        | Orig i -> SS.built_elems builts.(i)
+        | Fresh arr -> arr
+      in
+      let size_of p = Array.length (elems_of p) in
+      let pieces_skew pieces =
+        let mx = List.fold_left (fun a p -> max a (size_of p)) 0 pieces in
+        let mn =
+          List.fold_left (fun a p -> min a (size_of p)) max_int pieces
+        in
+        float_of_int mx /. float_of_int (max 1 mn)
+      in
+      let pieces = ref (List.init s (fun i -> Orig i)) in
+      let rounds = ref 0 in
+      while !rounds < max_rounds && pieces_skew !pieces > max_skew do
+        incr rounds;
+        (* Split the largest piece into two halves, then merge the two
+           smallest pieces to restore the shard count. *)
+        match
+          List.sort (fun a b -> Int.compare (size_of b) (size_of a)) !pieces
+        with
+        | largest :: rest ->
+            let arr = elems_of largest in
+            let n = Array.length arr in
+            let half = n / 2 in
+            let halves =
+              [ Fresh (Array.sub arr 0 half);
+                Fresh (Array.sub arr half (n - half)) ]
+            in
+            (match
+               List.sort (fun a b -> Int.compare (size_of a) (size_of b))
+                 (halves @ rest)
+             with
+             | p1 :: p2 :: others ->
+                 pieces :=
+                   Fresh (Array.append (elems_of p1) (elems_of p2)) :: others
+             | short -> pieces := short)
+        | [] -> ()
+      done;
+      (* One assemble at the end: originals are reused structurally,
+         fresh slices are built exactly once each. *)
+      let t' =
+        SS.assemble ?params
+          (List.map
+             (function
+               | Orig i -> `Reuse builts.(i)
+               | Fresh arr -> `Build arr)
+             !pieces)
+      in
+      let rebuilt =
+        List.length
+          (List.filter (function Fresh _ -> true | Orig _ -> false) !pieces)
+      in
+      ( t',
+        {
+          rounds = !rounds;
+          rebuilt;
+          reused = s - rebuilt;
+          before_skew;
+          after_skew = skew t';
+        } )
+    end
+end

@@ -1,0 +1,41 @@
+(** Skew-driven shard splitting and merging.
+
+    A shard set stays healthy when shard sizes are within a constant
+    factor of each other: the planner's per-shard costs then stay
+    [Q_top(n/S)]-shaped and the pool's fan-out stays balanced.  When
+    ingest or deletion skews the partition past a threshold, we repair
+    it Bentley–Saxe-style: split the oversized shard in two, merge the
+    two smallest, and rebuild {e only} those structures — every other
+    shard is reused untouched through
+    {!Shard_set.S.detach}/{!Shard_set.S.assemble}. *)
+
+module Make (SS : Shard_set.S) : sig
+  type report = {
+    rounds : int;         (** split+merge repair rounds performed *)
+    rebuilt : int;        (** shard structures built anew *)
+    reused : int;         (** shard structures carried over *)
+    before_skew : float;  (** {!Partitioner.size_skew} going in *)
+    after_skew : float;   (** and coming out *)
+  }
+
+  val skew : SS.t -> float
+  (** Current size skew: [max size / max 1 (min size)]. *)
+
+  val rebalance :
+    ?params:Topk_core.Params.t ->
+    ?max_skew:float ->
+    ?max_rounds:int ->
+    SS.t ->
+    SS.t * report
+  (** [rebalance t] returns a new snapshot whose skew is at most
+      [max_skew] (default [2.0]; must be [>= 2.0] — a split halves a
+      shard, so no repair can promise better), or the best achievable
+      within [max_rounds] (default [2 * shard_count]) repair rounds.
+      Shard count is preserved: each round splits the largest shard and
+      merges the two smallest.  If the skew is already within bounds,
+      [t] itself is returned with a zero-work report.  All planning
+      happens on element arrays; structures are built once, at the end,
+      only for shards whose membership changed.
+
+      @raise Invalid_argument if [max_skew < 2.0]. *)
+end

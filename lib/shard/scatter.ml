@@ -1,0 +1,184 @@
+module Stats = Topk_em.Stats
+module Executor = Topk_service.Executor
+module Registry = Topk_service.Registry
+module Response = Topk_service.Response
+module Future = Topk_service.Future
+module Metrics = Topk_service.Metrics
+
+module Make
+    (SS : Shard_set.S)
+    (T : Topk_core.Sigs.TOPK with module P = SS.P and type t = SS.topk) =
+struct
+  module P = SS.P
+  module W = Topk_core.Sigs.Weight_order (P)
+
+  type t = {
+    pool : Executor.t;
+    set : SS.t;
+    handles : (P.query, P.elem) Registry.handle array;
+    wave : int;
+  }
+
+  type result = {
+    answers : P.elem list;
+    status : Response.status;
+    cost : Stats.snapshot;
+    latency : float;
+    fanout : int;
+    pruned : int;
+    empty : int;
+  }
+
+  let create ?wave pool registry ~name set =
+    let wave =
+      match wave with Some w -> w | None -> Executor.worker_count pool
+    in
+    if wave <= 0 then
+      invalid_arg
+        (Printf.sprintf "Scatter.create: wave must be positive (got %d)" wave);
+    let handles =
+      Array.map
+        (fun (sh : SS.shard) ->
+          Registry.register registry
+            ~name:(Printf.sprintf "%s#%d" name sh.SS.index)
+            (module T) sh.SS.topk)
+        (SS.shards set)
+    in
+    { pool; set; handles; wave }
+
+  let shard_set t = t.set
+
+  let wave t = t.wave
+
+  (* First [n] elements of [l] (or all of them), plus the rest. *)
+  let rec take n l =
+    match l with
+    | x :: rest when n > 0 ->
+        let hd, tl = take (n - 1) rest in
+        (x :: hd, tl)
+    | _ -> ([], l)
+
+  let query t ?budget ?timeout ?deadline q ~k =
+    if k <= 0 then
+      invalid_arg
+        (Printf.sprintf "Scatter.query: k must be positive (got %d)" k);
+    (match budget with
+    | Some b when b < 0 ->
+        invalid_arg
+          (Printf.sprintf "Scatter.query: budget must be >= 0 (got %d)" b)
+    | _ -> ());
+    let started = Unix.gettimeofday () in
+    let deadline =
+      match (timeout, deadline) with
+      | Some _, Some _ ->
+          invalid_arg
+            "Scatter.query: pass either ~timeout or ~deadline, not both"
+      | Some s, None -> Some (started +. s)
+      | None, d -> d
+    in
+    let m = Executor.metrics t.pool in
+    Metrics.Counter.incr m.Metrics.sharded_queries;
+    Stats.mark_query ();
+    (* Bracket the caller-side work (max queries + gathers) exactly like
+       Registry.exec brackets each leg on its worker, so the logical
+       query's total cost is the sum of independently-exact parts. *)
+    Stats.round_carry ();
+    let before = Stats.snapshot () in
+    (* Scatter phase 1, on the calling domain: exact per-shard upper
+       bounds, one MAX query each. *)
+    let s = SS.shard_count t.set in
+    let bounded = ref [] and empty = ref 0 in
+    for i = s - 1 downto 0 do
+      match SS.upper_bound t.set i q with
+      | None -> incr empty
+      | Some ub -> bounded := (i, ub) :: !bounded
+    done;
+    let order = List.sort (fun (_, a) (_, b) -> Float.compare b a) !bounded in
+    (* Phase 2: waves of per-shard jobs through the pool.  [candidates]
+       is the running global top-k over every element gathered so far —
+       each is a real matching element, so its k-th weight is a sound
+       pruning threshold whether or not legs were cut off.  [legs]
+       keeps the per-shard certified answers for the final join. *)
+    let legs = ref [] in
+    let candidates = ref [] in
+    let status = ref Response.Complete in
+    let leg_cost = ref Stats.zero_snapshot in
+    let fanout = ref 0 and pruned = ref 0 in
+    let kth_weight () =
+      if List.length !candidates < k then Float.neg_infinity
+      else P.weight (List.nth !candidates (k - 1))
+    in
+    let rec waves remaining =
+      (* Bounds are exact maxima of disjoint shards: [ub < kth] proves
+         the shard cannot contribute to the global top-k. *)
+      let th = kth_weight () in
+      let live, dead = List.partition (fun (_, ub) -> ub >= th) remaining in
+      pruned := !pruned + List.length dead;
+      match live with
+      | [] -> ()
+      | _ ->
+          let now_wave, rest = take t.wave live in
+          let futs =
+            List.map
+              (fun (i, _) ->
+                Executor.submit t.pool t.handles.(i) ?budget ?deadline q ~k)
+              now_wave
+          in
+          fanout := !fanout + List.length futs;
+          List.iter
+            (fun fut ->
+              let r = Future.await fut in
+              Metrics.Histogram.observe m.Metrics.shard_latency_us
+                (int_of_float (r.Response.latency *. 1e6));
+              Metrics.Histogram.observe m.Metrics.shard_ios
+                r.Response.cost.Stats.ios;
+              leg_cost := Stats.add !leg_cost r.Response.cost;
+              status := Response.combine_status !status r.Response.status;
+              (match r.Response.status with
+              | Response.Failed _ ->
+                  (* A failed leg certifies nothing about its shard. *)
+                  legs := ([], false) :: !legs
+              | Response.Complete -> legs := (r.Response.answers, true) :: !legs
+              | Response.Cutoff_budget | Response.Cutoff_deadline ->
+                  legs := (r.Response.answers, false) :: !legs);
+              (* Resident bookkeeping between waves: the leg's reporting
+                 cost was charged worker-side; [merge_certified] below is
+                 the single charged gather pass. *)
+              candidates :=
+                Gather.union ~cmp:W.compare ~k !candidates r.Response.answers)
+            futs;
+          waves rest
+    in
+    waves order;
+    let answers, complete =
+      Gather.merge_certified ~cmp:W.compare ~weight:P.weight ~k !legs
+    in
+    (* If the certified merge still proves the full top-k, per-leg
+       cutoffs were harmless: report the answer as complete. *)
+    let status =
+      match !status with
+      | (Response.Cutoff_budget | Response.Cutoff_deadline) when complete ->
+          Response.Complete
+      | st -> st
+    in
+    Stats.round_carry ();
+    let local = Stats.diff (Stats.snapshot ()) before in
+    Metrics.Counter.add m.Metrics.shards_pruned !pruned;
+    Metrics.Histogram.observe m.Metrics.fanout !fanout;
+    {
+      answers;
+      status;
+      cost = Stats.add local !leg_cost;
+      latency = Unix.gettimeofday () -. started;
+      fanout = !fanout;
+      pruned = !pruned;
+      empty = !empty;
+    }
+
+  let pp_result ppf r =
+    Format.fprintf ppf
+      "@[<h>%s: |answers|=%d fanout=%d pruned=%d empty=%d ios=%d %.3fms@]"
+      (Response.status_string r.status)
+      (List.length r.answers) r.fanout r.pruned r.empty r.cost.Stats.ios
+      (r.latency *. 1e3)
+end

@@ -1,0 +1,92 @@
+(** Parallel scatter-gather: one logical top-k query fanned out over a
+    {!Shard_set} through a {!Topk_service.Executor} worker pool.
+
+    {!Planner} is the sequential reference: it visits shards one at a
+    time in decreasing upper-bound order, so it can prune after every
+    shard.  Scatter trades a little pruning opportunity for
+    parallelism using {e waves}: after the caller-side max-query phase
+    ranks shards by their exact upper bounds, the top [wave] live
+    shards are submitted to the pool as independent per-shard jobs
+    (all racing one shared absolute deadline), their responses are
+    gathered, and the {e remaining} shards are re-pruned against the
+    k-th best candidate found so far before the next wave.  With
+    [wave = 1] this degenerates to the planner's fully-adaptive order;
+    with [wave = workers] every worker stays busy.
+
+    Answers are exact (the same argument as the planner's: disjoint
+    shards + exact per-shard maxima + pairwise-distinct weights), and
+    under budget/deadline cutoff the gathered answer is a certified
+    prefix combined by {!Gather.merge_certified} — truncated legs
+    never silently pollute the merged result.
+
+    Cost accounting matches the acceptance contract of the serving
+    layer: each per-shard leg's EM cost is charged to (and bracketed
+    on) the worker domain that ran it, the caller-side work (max
+    queries, merges) is bracketed on the calling domain, and
+    {!result.cost} is their sum — so summing [result.cost] over a
+    quiescent run reproduces {!Topk_em.Stats.aggregate} exactly.
+
+    Shard fan-out telemetry lands in the pool's {!Topk_service.Metrics}:
+    [sharded_queries], [shards_pruned], and the [fanout] /
+    [shard_latency_us] / [shard_ios] histograms. *)
+
+module Make
+    (SS : Shard_set.S)
+    (T : Topk_core.Sigs.TOPK with module P = SS.P and type t = SS.topk) : sig
+  type t
+
+  (** The joined answer of one logical query. *)
+  type result = {
+    answers : SS.P.elem list;
+        (** decreasing weight; exact top-k, or a certified prefix of
+            it when [status] is a cutoff *)
+    status : Topk_service.Response.status;
+        (** worst per-shard leg status — upgraded back to [Complete]
+            when the certified merge proves the full top-k anyway *)
+    cost : Topk_em.Stats.snapshot;
+        (** caller-side cost (max queries + merges) plus the sum of
+            every leg's cost *)
+    latency : float;  (** submit-to-answer wall time, seconds *)
+    fanout : int;  (** per-shard jobs actually submitted *)
+    pruned : int;  (** shards skipped by the max-query upper bound *)
+    empty : int;   (** shards with no matching element at all *)
+  }
+
+  val create :
+    ?wave:int ->
+    Topk_service.Executor.t ->
+    Topk_service.Registry.t ->
+    name:string ->
+    SS.t ->
+    t
+  (** Register every shard of the snapshot in [registry] as
+      ["name#i"] and return the fan-out front-end.  [wave] (default:
+      the pool's worker count) is the number of shard jobs in flight
+      per gathering round.
+      @raise Invalid_argument on [wave <= 0] or a duplicate name. *)
+
+  val shard_set : t -> SS.t
+
+  val wave : t -> int
+
+  val query :
+    t ->
+    ?budget:int ->
+    ?timeout:float ->
+    ?deadline:float ->
+    SS.P.query ->
+    k:int ->
+    result
+  (** Scatter, gather, and join one logical query (blocks the caller
+      until every submitted leg resolves).  [budget] is a per-leg
+      EM-I/O budget; [timeout] (relative) or [deadline] (absolute, at
+      most one of the two) becomes {e one} shared absolute deadline
+      raced by every leg — a late wave inherits the time its
+      predecessors spent.
+      @raise Invalid_argument if [k <= 0], [budget < 0], or both
+      [timeout] and [deadline] are given.
+      @raise Topk_service.Executor.Shut_down if the pool is down. *)
+
+  val pp_result : Format.formatter -> result -> unit
+  (** Summary line (does not print the answers). *)
+end

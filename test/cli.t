@@ -61,6 +61,21 @@ instead of an uncaught exception.
   topk: workers must be positive (got 0)
   [2]
 
+  $ topk shard-bench --shards 0
+  topk: shards must be positive (got 0)
+  [2]
+
+  $ topk shard-bench -n 100 --shards 200
+  topk: shards must be <= n (got shards=200, n=100)
+  [2]
+
 A valid run exits 0.
 
   $ topk sample-check -n 64 -k 4 --delta 0.5 --trials 8 > /dev/null
+
+The sharded scatter-gather path is deterministic for a fixed seed:
+exactness, EM accounting and pruning are all asserted inside the
+bench, which prints one stable summary line.
+
+  $ topk shard-bench -n 8000 --queries 20 --shards 4 --workers 2 -k 100 --seed 7 | tail -n 1
+  shard-bench: OK (20 queries exact; ios accounted; pruned=24; planner 2521 < visit-all 2530 I/Os)

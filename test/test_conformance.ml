@@ -150,6 +150,42 @@ module Conformance (I : INSTANCE) = struct
           (List.length got) (List.length uniq))
       queries
 
+  (* Uniform k edge cases (the satellite contract stated on
+     [Sigs.TOPK.query]): k <= 0 answers [] and charges nothing; k at
+     or beyond the number of matches answers every matching element,
+     sorted — for every registered TOPK implementation alike. *)
+  let test_k_edge_cases () =
+    let elems, oracle, queries = setup 715 200 in
+    let t = I.Topk.build ~params:I.params elems in
+    Array.iter
+      (fun q ->
+        List.iter
+          (fun k ->
+            let got, cost =
+              Topk_em.Stats.measure (fun () -> I.Topk.query t q ~k)
+            in
+            Alcotest.(check int)
+              (Printf.sprintf "%s: k=%d answers []" I.name k)
+              0 (List.length got);
+            Alcotest.(check int)
+              (Printf.sprintf "%s: k=%d charges no I/O" I.name k)
+              0 cost.Topk_em.Stats.ios;
+            Alcotest.(check int)
+              (Printf.sprintf "%s: k=%d scans nothing" I.name k)
+              0 cost.Topk_em.Stats.scanned)
+          [ 0; -1; -17 ];
+        let m = Oracle.count oracle q in
+        let all = List.map I.P.id (Oracle.top_k oracle q ~k:(m + 1)) in
+        List.iter
+          (fun k ->
+            Alcotest.(check (list int))
+              (Printf.sprintf "%s: k=%d >= matches reports all, sorted" I.name
+                 k)
+              all
+              (List.map I.P.id (I.Topk.query t q ~k)))
+          [ m; m + 1; m + 100 ])
+      queries
+
   let test_empty_input () =
     let t = I.Topk.build ~params:I.params [||] in
     let s = I.Pri.build [||] in
@@ -182,6 +218,8 @@ module Conformance (I : INSTANCE) = struct
         test_topk_prefix_monotone;
       Alcotest.test_case "top-k sorted, distinct" `Quick
         test_topk_sorted_and_distinct;
+      Alcotest.test_case "k edge cases (k <= 0, k >= matches)" `Quick
+        test_k_edge_cases;
       Alcotest.test_case "empty input" `Quick test_empty_input;
     ]
 end
@@ -341,7 +379,43 @@ module Ortho_instance = struct
         (Float.min x1 x2, Float.max x1 x2, Float.min y1 y2, Float.max y1 y2))
 end
 
+(* The same interval problem under the other TOPK reductions, so the
+   k-edge and ordering laws are checked against every implementation
+   family (Theorem 1, Theorem 2, restricted-jump baseline, counting
+   variant, naive scan), not just the default Theorem 2 build. *)
+module Interval_t1_instance = struct
+  include Interval_instance
+  module Topk = Topk_interval.Instances.Topk_t1
+
+  let name = "interval-t1"
+end
+
+module Interval_rj_instance = struct
+  include Interval_instance
+  module Topk = Topk_interval.Instances.Topk_rj
+
+  let name = "interval-rj"
+end
+
+module Interval_rjc_instance = struct
+  include Interval_instance
+  module Topk = Topk_interval.Instances.Topk_rj_counting
+
+  let name = "interval-rj-counting"
+end
+
+module Interval_naive_instance = struct
+  include Interval_instance
+  module Topk = Topk_interval.Instances.Topk_naive
+
+  let name = "interval-naive"
+end
+
 module C_interval = Conformance (Interval_instance)
+module C_interval_t1 = Conformance (Interval_t1_instance)
+module C_interval_rj = Conformance (Interval_rj_instance)
+module C_interval_rjc = Conformance (Interval_rjc_instance)
+module C_interval_naive = Conformance (Interval_naive_instance)
 module C_range = Conformance (Range_instance)
 module C_enclosure = Conformance (Enclosure_instance)
 module C_dominance = Conformance (Dominance_instance)
@@ -354,6 +428,10 @@ let () =
   Alcotest.run "topk_conformance"
     [
       ("interval", C_interval.suite);
+      ("interval-t1", C_interval_t1.suite);
+      ("interval-rj", C_interval_rj.suite);
+      ("interval-rj-counting", C_interval_rjc.suite);
+      ("interval-naive", C_interval_naive.suite);
       ("range", C_range.suite);
       ("enclosure", C_enclosure.suite);
       ("dominance", C_dominance.suite);

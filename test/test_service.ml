@@ -400,9 +400,19 @@ let test_registry () =
   (match Registry.find fx.registry "intervals" with
   | None -> Alcotest.fail "find"
   | Some i -> Alcotest.(check int) "size" 500 i.Registry.size);
+  (* Lookup miss: the error names every registered instance. *)
+  Alcotest.(check int)
+    "find_exn hit" 500
+    (Registry.find_exn fx.registry "intervals").Registry.size;
+  Alcotest.check_raises "find_exn miss lists registered names"
+    (Invalid_argument
+       "Registry.find_exn: unknown instance \"nope\" (registered: intervals, \
+        range1d)") (fun () -> ignore (Registry.find_exn fx.registry "nope"));
+  (* Duplicate registration: the error names the incumbent structure. *)
   Alcotest.check_raises "duplicate name"
-    (Invalid_argument "Registry.register: duplicate instance \"intervals\"")
-    (fun () ->
+    (Invalid_argument
+       "Registry.register: duplicate instance \"intervals\" (already \
+        registered as theorem2(seg-stab+slab-max), n=500)") (fun () ->
       ignore
         (Registry.register fx.registry ~name:"intervals"
            (module IInst.Topk_naive)
