@@ -22,7 +22,7 @@ module Fat_max = struct
 
   let name = "fat-slab-max"
 
-  let build elems =
+  let build ?params:_ elems =
     let n = max 1 (Array.length elems) in
     let l = Params.log2 n in
     { inner = Max.build elems;

@@ -31,6 +31,7 @@ let experiments =
     ("e15", "Ablations: coreset_scale and sigma", E15_ablation.run);
     ("e16", "Top-k 2D orthogonal range reporting", E16_ortho.run);
     ("e17", "Sharded planner with max-query pruning", E17_shard.run);
+    ("e18", "Tracing overhead on the sharded workload", E18_trace.run);
   ]
 
 let () =

@@ -438,7 +438,8 @@ let serve_bench_cmd =
            stalling a worker. *)
         let starved =
           Svc.Future.await
-            (Svc.Executor.submit pool itv_h stabs.(0) ~k:(max 64 k) ~budget:2)
+            (Svc.Executor.submit pool itv_h stabs.(0) ~k:(max 64 k)
+               ~limits:(Svc.Limits.make ~budget:2 ()))
         in
         Printf.printf "under-budgeted query (budget=2 I/Os): %s, %d answer(s)%s\n"
           (Svc.Response.status_string starved.Svc.Response.status)
@@ -880,6 +881,186 @@ let shard_bench_cmd =
       const run $ n_arg $ shard_k_arg $ seed_arg $ queries_arg $ workers_arg
       $ shards_arg $ strategy_arg $ block_arg)
 
+(* --- trace --- *)
+
+let trace_cmd =
+  let module Tr = Topk_trace.Trace in
+  let module Certify = Topk_trace.Certify in
+  let module Stats = Topk_em.Stats in
+  let module Svc = Topk_service in
+  let module Shard = Topk_shard in
+  let module IInst = Topk_interval.Instances in
+  let module IP = Topk_interval.Problem in
+  let queries_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "queries" ] ~docv:"Q"
+          ~doc:"Certified queries per reduction (3x this in total).")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"S" ~doc:"Shards for the scatter workload.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"W" ~doc:"Worker domains in the pool.")
+  in
+  let dump_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "dump" ] ~docv:"D"
+          ~doc:"Print the D most recent traces as JSON (one per line).")
+  in
+  let run n k seed queries shards workers dump block =
+    validate_common ~n ~k;
+    require_pos "queries" queries;
+    require_pos "shards" shards;
+    require_pos "workers" workers;
+    if dump < 0 then die "dump must be >= 0 (got %d)" dump;
+    if shards > n then die "shards must be <= n (got shards=%d, n=%d)" shards n;
+    with_model block (fun () ->
+        let rng = Topk_util.Rng.create seed in
+        let elems =
+          Topk_interval.Interval.of_spans rng
+            (Topk_util.Gen.intervals rng ~shape:Topk_util.Gen.Mixed_intervals
+               ~n)
+        in
+        let params = IInst.params () in
+        let t1 = IInst.Topk_t1.build ~params elems in
+        let t2 = IInst.Topk_t2.build ~params elems in
+        let module SSet =
+          Shard.Shard_set.Make (IInst.Topk_t2) (Topk_interval.Slab_max)
+        in
+        let module Scatter = Shard.Scatter.Make (SSet) (IInst.Topk_t2) in
+        let set =
+          SSet.of_elems ~params
+            ~strategy:(Shard.Partitioner.Range IP.weight)
+            ~shards elems
+        in
+        let pool = Svc.Executor.create ~workers () in
+        let registry = Svc.Registry.create () in
+        let sc = Scatter.create pool registry ~name:"intervals" set in
+        let stabs = Topk_util.Gen.stab_queries rng ~n:queries in
+        let cal = Topk_util.Gen.stab_queries rng ~n:32 in
+        Printf.printf "trace: n=%d queries=%d k=%d shards=%d workers=%d\n%!" n
+          queries k shards workers;
+        (* Phase 1 — calibration, tracing off: fit one cost model per
+           reduction from a small workload and register it. *)
+        let b = float_of_int (Topk_em.Config.current ()).Topk_em.Config.b in
+        let logb x =
+          Float.max 1. (log (Float.max 2. x) /. log (Float.max 2. b))
+        in
+        let ks =
+          List.sort_uniq Int.compare [ 1; max 1 (k / 10); max 1 (k / 2); k ]
+        in
+        let fit_direct instance theorem query =
+          let samples =
+            List.concat_map
+              (fun kc ->
+                Array.to_list cal
+                |> List.map (fun q ->
+                       let (_ : int), c =
+                         Stats.measure (fun () -> List.length (query q kc))
+                       in
+                       (kc, None, c.Stats.ios)))
+              ks
+          in
+          Certify.register
+            (Certify.fit ~instance ~theorem ~n ~q_pri:(logb (float_of_int n))
+               ~q_max:(logb (float_of_int n))
+               samples)
+        in
+        fit_direct "interval-t1" Certify.T1 (fun q kc ->
+            IInst.Topk_t1.query t1 q ~k:kc);
+        fit_direct "interval-t2" Certify.T2 (fun q kc ->
+            IInst.Topk_t2.query t2 q ~k:kc);
+        let n_shard = (n + shards - 1) / shards in
+        let shard_samples =
+          List.concat_map
+            (fun kc ->
+              Array.to_list cal
+              |> List.map (fun q ->
+                     let r = Scatter.query sc q ~k:kc in
+                     (kc, Some r.Scatter.fanout, r.Scatter.cost.Stats.ios)))
+            ks
+        in
+        Certify.register
+          (Certify.fit ~instance:"intervals" ~theorem:Certify.Sharded
+             ~n:n_shard ~shards ~margin:3.0
+             ~q_pri:(logb (float_of_int n_shard))
+             ~q_max:(logb (float_of_int n_shard))
+             shard_samples);
+        let model_line =
+          Certify.models ()
+          |> List.map (fun (m : Certify.model) ->
+                 Printf.sprintf "%s(%s)" m.Certify.instance
+                   (Certify.theorem_name m.Certify.theorem))
+          |> List.sort String.compare
+          |> String.concat " "
+        in
+        Printf.printf "models: %s\n%!" model_line;
+        (* Phase 2 — production run, tracing on: every query runs under
+           a root span and is checked against its registered model. *)
+        Certify.reset_counters ();
+        Tr.Store.clear ();
+        Tr.enable ();
+        let bad = ref 0 in
+        let spans = ref 0 in
+        let check = function
+          | Some (v : Certify.verdict) when not v.Certify.v_ok ->
+              incr bad;
+              Format.printf "  %a@." Certify.pp_verdict v
+          | _ -> ()
+        in
+        let traced instance query q =
+          let (_ : int), tr =
+            Tr.with_root "cli.query"
+              ~attrs:[ ("instance", Tr.Str instance); ("k", Tr.Int k) ]
+              (fun () -> List.length (query q))
+          in
+          match tr with
+          | None -> die "tracing enabled but no trace recorded"
+          | Some tr ->
+              spans := !spans + Tr.span_count tr;
+              check (Certify.certify_trace tr)
+        in
+        Array.iter
+          (fun q ->
+            traced "interval-t1" (fun q -> IInst.Topk_t1.query t1 q ~k) q;
+            traced "interval-t2" (fun q -> IInst.Topk_t2.query t2 q ~k) q;
+            (* The scattered query records its own root; its total cost
+               (caller + every leg) is certified from the result. *)
+            let r = Scatter.query sc q ~k in
+            check
+              (Certify.evaluate ~instance:"intervals" ~k
+                 ~visited:r.Scatter.fanout ~measured:r.Scatter.cost.Stats.ios
+                 ()))
+          stabs;
+        Tr.disable ();
+        Svc.Executor.shutdown pool;
+        Printf.printf "certified: %d checked, %d violations\n"
+          (Certify.checked ()) (Certify.violations ());
+        Printf.printf "store: %d traces recorded, %d held, %d spans on %d \
+                       direct traces\n"
+          (Tr.Store.total ()) (Tr.Store.length ()) !spans (2 * queries);
+        if dump > 0 then print_string (Tr.Store.export ~limit:dump ());
+        if !bad > 0 || Certify.violations () > 0 then
+          die "%d certified bound violations" (Certify.violations ());
+        Printf.printf "trace: OK (0 violations)\n")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Fit per-reduction cost models on a calibration workload, then \
+          run traced queries (Theorem 1, Theorem 2, scatter-gather) and \
+          certify every measured cost against the paper's bounds; exits \
+          non-zero on any violation.")
+    Term.(
+      const run $ n_arg $ k_arg $ seed_arg $ queries_arg $ shards_arg
+      $ workers_arg $ dump_arg $ block_arg)
+
 (* --- sample-check --- *)
 
 let sample_check_cmd =
@@ -937,4 +1118,5 @@ let () =
             serve_bench_cmd;
             chaos_bench_cmd;
             shard_bench_cmd;
+            trace_cmd;
           ]))

@@ -54,13 +54,15 @@ let () =
   Printf.printf "first response: %d answers, %s, %d I/Os, worker %d\n"
     (List.length r0.Svc.Response.answers)
     (Svc.Response.status_string r0.Svc.Response.status)
-    r0.Svc.Response.cost.Topk_em.Stats.ios r0.Svc.Response.worker;
+    (Svc.Response.cost r0).Topk_em.Stats.ios r0.Svc.Response.worker;
 
   (* 5. Graceful degradation: an absurdly under-budgeted query returns
         a flagged, certified prefix instead of blocking the pool. *)
   let starved =
     Svc.Future.await
-      (Svc.Executor.submit pool sessions_h ~budget:2 times.(0) ~k:100)
+      (Svc.Executor.submit pool sessions_h
+         ~limits:(Svc.Limits.make ~budget:2 ())
+         times.(0) ~k:100)
   in
   Printf.printf "under-budgeted query: %s, %d of 100 answers%s\n"
     (Svc.Response.status_string starved.Svc.Response.status)

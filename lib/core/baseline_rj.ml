@@ -14,11 +14,10 @@ module Make (S : Sigs.PRIORITIZED) = struct
   let name = "baseline-rj(" ^ S.name ^ ")"
 
   let build ?params elems =
-    ignore params;
     let elems = Array.copy elems in
     let weights_desc = Array.map P.weight elems in
     Array.sort (fun a b -> Float.compare b a) weights_desc;
-    { elems; pri = S.build elems; weights_desc; probe_count = 0 }
+    { elems; pri = S.build ?params elems; weights_desc; probe_count = 0 }
 
   let size t = Array.length t.elems
 

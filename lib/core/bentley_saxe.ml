@@ -13,16 +13,18 @@ module Make (S : Sigs.PRIORITIZED) = struct
     dead : (int, unit) Hashtbl.t;
     mutable live_count : int;
     mutable rebuild_count : int;
+    params : Params.t option;  (* threaded into every bucket rebuild *)
   }
 
   let name = "bentley-saxe(" ^ S.name ^ ")"
 
-  let empty () =
+  let empty ?params () =
     {
       buckets = Array.make 1 None;
       dead = Hashtbl.create 64;
       live_count = 0;
       rebuild_count = 0;
+      params;
     }
 
   let is_dead t (e : P.elem) = Hashtbl.mem t.dead (P.id e)
@@ -39,13 +41,14 @@ module Make (S : Sigs.PRIORITIZED) = struct
       let cap = 1 lsl i in
       if n - !offset >= cap then begin
         let part = Array.sub elems !offset cap in
-        t.buckets.(i) <- Some { structure = S.build part; elems = part };
+        t.buckets.(i) <-
+          Some { structure = S.build ?params:t.params part; elems = part };
         offset := !offset + cap
       end
     done
 
-  let build elems =
-    let t = empty () in
+  let build ?params elems =
+    let t = empty ?params () in
     let elems = Array.copy elems in
     t.live_count <- Array.length elems;
     fill t elems;
@@ -97,7 +100,8 @@ module Make (S : Sigs.PRIORITIZED) = struct
     let part = Array.of_list !merged in
     (* Tombstone purging during the merge may have shrunk the batch
        below this slot's capacity; that only helps. *)
-    t.buckets.(!slot) <- Some { structure = S.build part; elems = part };
+    t.buckets.(!slot) <-
+      Some { structure = S.build ?params:t.params part; elems = part };
     t.live_count <- t.live_count + 1
 
   let delete t e =

@@ -16,7 +16,7 @@
 module Make (S : Sigs.PRIORITIZED) : sig
   include Sigs.DYNAMIC_PRIORITIZED with module P = S.P
 
-  val of_elements : P.elem array -> t
+  val of_elements : ?params:Params.t -> P.elem array -> t
   (** Alias of [build]. *)
 
   val live : t -> int

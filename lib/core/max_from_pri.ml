@@ -9,10 +9,10 @@ module Make (S : Sigs.PRIORITIZED) = struct
 
   let name = "max-from-pri(" ^ S.name ^ ")"
 
-  let build elems =
+  let build ?params elems =
     let weights_desc = Array.map P.weight elems in
     Array.sort (fun a b -> Float.compare b a) weights_desc;
-    { pri = S.build elems; weights_desc; probe_count = 0 }
+    { pri = S.build ?params elems; weights_desc; probe_count = 0 }
 
   let size t = Array.length t.weights_desc
 

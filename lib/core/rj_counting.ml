@@ -22,27 +22,26 @@ struct
 
   let name = "rj-counting(" ^ S.name ^ "+" ^ C.name ^ ")"
 
-  let rec build_node sorted lo hi =
+  let rec build_node ?params sorted lo hi =
     if hi - lo = 1 then Leaf sorted.(lo)
     else begin
       let mid = (lo + hi) / 2 in
       let range = Array.sub sorted lo (hi - lo) in
       Node
         {
-          reporter = S.build range;
+          reporter = S.build ?params range;
           counter = C.build range;
-          left = build_node sorted lo mid;
-          right = build_node sorted mid hi;
+          left = build_node ?params sorted lo mid;
+          right = build_node ?params sorted mid hi;
         }
     end
 
   let build ?params elems =
-    ignore params;
     let sorted = Array.copy elems in
     Array.sort W.compare_desc sorted;
     let root =
       if Array.length sorted = 0 then None
-      else Some (build_node sorted 0 (Array.length sorted))
+      else Some (build_node ?params sorted 0 (Array.length sorted))
     in
     { root; elems = sorted; probe_count = 0 }
 

@@ -53,8 +53,12 @@ module type PRIORITIZED = sig
 
   val name : string
 
-  val build : P.elem array -> t
-  (** The elements must have pairwise distinct [id]s. *)
+  val build : ?params:Params.t -> P.elem array -> t
+  (** The elements must have pairwise distinct [id]s.  [params] is
+      accepted uniformly across {!PRIORITIZED}, {!MAX} and {!TOPK} so
+      that reductions and shard sets can thread one configuration
+      record through every layer; structures that have no tunables
+      ignore it. *)
 
   val size : t -> int
   (** Number of elements indexed. *)
@@ -80,7 +84,9 @@ module type MAX = sig
 
   val name : string
 
-  val build : P.elem array -> t
+  val build : ?params:Params.t -> P.elem array -> t
+  (** As in {!PRIORITIZED.build}: [params] is accepted uniformly and
+      ignored by structures without tunables. *)
 
   val size : t -> int
 

@@ -1,5 +1,6 @@
 module Stats = Topk_em.Stats
 module Rng = Topk_util.Rng
+module Tr = Topk_trace.Trace
 
 module Make (S : Sigs.PRIORITIZED) = struct
   module P = S.P
@@ -66,7 +67,9 @@ module Make (S : Sigs.PRIORITIZED) = struct
           List.rev ({ elems = current; pri = None; rank_target } :: acc)
         else begin
           let level =
-            { elems = current; pri = Some (S.build current); rank_target }
+            { elems = current;
+              pri = Some (S.build ~params current);
+              rank_target }
           in
           go (level :: acc) cs.Core_set.elems cs.Core_set.rank_target
         end
@@ -88,7 +91,7 @@ module Make (S : Sigs.PRIORITIZED) = struct
     let f_eq11 = ceil (8. *. params.Params.lambda *. Params.ln n) in
     let f = max 1 (int_of_float (ceil (Float.max f_eq9 f_eq11))) in
     let elems = Array.copy elems in
-    let pri_d = S.build elems in
+    let pri_d = S.build ~params elems in
     let chain = build_chain rng ~params ~f elems in
     let ladder =
       let rec rungs acc kk =
@@ -139,74 +142,105 @@ module Make (S : Sigs.PRIORITIZED) = struct
 
   let fallbacks t = t.fallback_count
 
+  (* Cost-monitored probe, reported to the active trace (if any) with
+     its limit and All/Truncated outcome; the span's Stats delta is the
+     probe's charged I/Os.  Tracing never charges Stats itself. *)
+  let probe name pri q ~tau ~limit =
+    Tr.with_span name ~attrs:[ ("limit", Tr.Int limit) ] (fun () ->
+        let r = S.query_monitored pri q ~tau ~limit in
+        if Tr.is_enabled () then begin
+          (match r with
+          | Sigs.All es ->
+              Tr.add_attr "outcome" (Tr.Str "all");
+              Tr.add_attr "reported" (Tr.Int (List.length es))
+          | Sigs.Truncated es ->
+              Tr.add_attr "outcome" (Tr.Str "truncated");
+              Tr.add_attr "reported" (Tr.Int (List.length es)));
+          Tr.add_attr "tau" (Tr.Float tau)
+        end;
+        r)
+
   (* Answer a top-f query on chain level [j]: returns the
      min (f, |q(R_j)|) heaviest elements of q(R_j), sorted descending. *)
-  let rec top_f (t : t) chain j q =
+  let rec top_f (t : t) (chain : level array) j q =
     let f = t.f in
     let lev = chain.(j) in
-    match lev.pri with
-    | None -> scan_filter_top ~k:f q lev.elems
-    | Some pri -> (
-        match S.query_monitored pri q ~tau:Float.neg_infinity ~limit:(4 * f) with
-        | Sigs.All elems -> select_top_k f elems
-        | Sigs.Truncated _ ->
-            (* |q(R_j)| > 4f: fetch a rank-[f,4f] threshold from the
-               next core-set (Lemma 2), then report above it. *)
-            let deeper = top_f t chain (j + 1) q in
-            let rt = chain.(j + 1).rank_target in
-            let threshold = List.nth_opt deeper (rt - 1) in
-            let fallback () =
-              t.fallback_count <- t.fallback_count + 1;
-              scan_filter_top ~k:f q lev.elems
-            in
-            (match threshold with
-             | None -> fallback ()
-             | Some e ->
-                 let cands = S.query pri q ~tau:(P.weight e) in
-                 if List.length cands >= f then select_top_k f cands
-                 else fallback ()))
+    Tr.with_span "t1.descend"
+      ~attrs:[ ("level", Tr.Int j); ("coreset_size", Tr.Int (Array.length lev.elems)) ]
+      (fun () ->
+        match lev.pri with
+        | None ->
+            Tr.add_attr "path" (Tr.Str "scan");
+            scan_filter_top ~k:f q lev.elems
+        | Some pri -> (
+            match probe "t1.probe" pri q ~tau:Float.neg_infinity ~limit:(4 * f) with
+            | Sigs.All elems -> select_top_k f elems
+            | Sigs.Truncated _ ->
+                (* |q(R_j)| > 4f: fetch a rank-[f,4f] threshold from the
+                   next core-set (Lemma 2), then report above it. *)
+                let deeper = top_f t chain (j + 1) q in
+                let rt = chain.(j + 1).rank_target in
+                let threshold = List.nth_opt deeper (rt - 1) in
+                let fallback () =
+                  t.fallback_count <- t.fallback_count + 1;
+                  Tr.event "t1.fallback" ~attrs:[ ("level", Tr.Int j) ];
+                  scan_filter_top ~k:f q lev.elems
+                in
+                (match threshold with
+                 | None -> fallback ()
+                 | Some e ->
+                     let cands = S.query pri q ~tau:(P.weight e) in
+                     if List.length cands >= f then select_top_k f cands
+                     else fallback ())))
 
   let query (t : t) q ~k =
     Stats.mark_query ();
     if k <= 0 then []
-    else begin
-      let n = Array.length t.elems in
-      if 2 * k >= n then scan_filter_top ~k q t.elems
-      else if k <= t.f then
-        let top = top_f t t.chain 0 q in
-        select_top_k k top
-      else begin
-        (* Large k: locate the ladder rung with K in [k, 2k). *)
-        let rung =
-          let found = ref None in
-          Array.iter
-            (fun r -> if !found = None && r.kk >= k then found := Some r)
-            t.ladder;
-          !found
-        in
-        match rung with
-        | None ->
-            (* k exceeds every rung (only possible on tiny inputs). *)
+    else
+      Tr.with_span "t1.query" ~attrs:[ ("k", Tr.Int k) ] (fun () ->
+          let n = Array.length t.elems in
+          if 2 * k >= n then begin
+            Tr.add_attr "path" (Tr.Str "scan");
             scan_filter_top ~k q t.elems
-        | Some rung -> (
-            let kk = rung.kk in
-            match
-              S.query_monitored t.pri_d q ~tau:Float.neg_infinity
-                ~limit:(4 * kk)
-            with
-            | Sigs.All elems -> select_top_k k elems
-            | Sigs.Truncated _ ->
-                let fallback () =
-                  t.fallback_count <- t.fallback_count + 1;
-                  scan_filter_top ~k q t.elems
-                in
-                let top = top_f t rung.chain 0 q in
-                (match List.nth_opt top (rung.rung_rank_target - 1) with
-                 | None -> fallback ()
-                 | Some e ->
-                     let cands = S.query t.pri_d q ~tau:(P.weight e) in
-                     if List.length cands >= k then select_top_k k cands
-                     else fallback ()))
-      end
-    end
+          end
+          else if k <= t.f then begin
+            Tr.add_attr "path" (Tr.Str "chain");
+            let top = top_f t t.chain 0 q in
+            select_top_k k top
+          end
+          else begin
+            Tr.add_attr "path" (Tr.Str "ladder");
+            (* Large k: locate the ladder rung with K in [k, 2k). *)
+            let rung =
+              let found = ref None in
+              Array.iter
+                (fun r -> if !found = None && r.kk >= k then found := Some r)
+                t.ladder;
+              !found
+            in
+            match rung with
+            | None ->
+                (* k exceeds every rung (only possible on tiny inputs). *)
+                scan_filter_top ~k q t.elems
+            | Some rung -> (
+                let kk = rung.kk in
+                match
+                  probe "t1.probe" t.pri_d q ~tau:Float.neg_infinity
+                    ~limit:(4 * kk)
+                with
+                | Sigs.All elems -> select_top_k k elems
+                | Sigs.Truncated _ ->
+                    let fallback () =
+                      t.fallback_count <- t.fallback_count + 1;
+                      Tr.event "t1.fallback" ~attrs:[ ("rung", Tr.Int kk) ];
+                      scan_filter_top ~k q t.elems
+                    in
+                    let top = top_f t rung.chain 0 q in
+                    (match List.nth_opt top (rung.rung_rank_target - 1) with
+                     | None -> fallback ()
+                     | Some e ->
+                         let cands = S.query t.pri_d q ~tau:(P.weight e) in
+                         if List.length cands >= k then select_top_k k cands
+                         else fallback ()))
+          end)
 end

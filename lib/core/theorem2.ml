@@ -1,5 +1,6 @@
 module Stats = Topk_em.Stats
 module Rng = Topk_util.Rng
+module Tr = Topk_trace.Trace
 
 module Make (S : Sigs.PRIORITIZED) (M : Sigs.MAX with module P = S.P) = struct
   module P = S.P
@@ -39,13 +40,13 @@ module Make (S : Sigs.PRIORITIZED) (M : Sigs.MAX with module P = S.P) = struct
     in
     let sigma = params.Params.sigma in
     let elems = Array.copy elems in
-    let pri_d = S.build elems in
+    let pri_d = S.build ~params elems in
     let rec rungs acc k_f =
       if k_f > float_of_int n /. 4. then List.rev acc
       else begin
         let ki = max 2 (int_of_float (ceil k_f)) in
         let sample = Rng.sample rng ~p:(1. /. k_f) elems in
-        let rung = { max_structure = M.build sample; ki } in
+        let rung = { max_structure = M.build ~params sample; ki } in
         rungs (rung :: acc) (k_f *. (1. +. sigma))
       end
     in
@@ -96,53 +97,78 @@ module Make (S : Sigs.PRIORITIZED) (M : Sigs.MAX with module P = S.P) = struct
   let query t q ~k =
     Stats.mark_query ();
     if k <= 0 then []
-    else begin
-      let h = Array.length t.ladder in
-      (* Queries below K_1 are answered as top-K_1 then k-selected. *)
-      let kk = max k t.k1 in
-      if h = 0 || kk > t.ladder.(h - 1).ki then
-        (* Past the ladder: k = Omega(n), scan D. *)
-        scan_filter_top ~k q t.elems
-      else begin
-        (* Smallest rung with K_j >= kk. *)
-        let start = ref 0 in
-        while t.ladder.(!start).ki < kk do incr start done;
-        let rec round j =
-          if j >= h then scan_filter_top ~k q t.elems
+    else
+      Tr.with_span "t2.query" ~attrs:[ ("k", Tr.Int k) ] (fun () ->
+          let h = Array.length t.ladder in
+          (* Queries below K_1 are answered as top-K_1 then k-selected. *)
+          let kk = max k t.k1 in
+          if h = 0 || kk > t.ladder.(h - 1).ki then begin
+            (* Past the ladder: k = Omega(n), scan D. *)
+            Tr.add_attr "path" (Tr.Str "scan");
+            scan_filter_top ~k q t.elems
+          end
           else begin
-            t.rounds_run <- t.rounds_run + 1;
-            let rung = t.ladder.(j) in
-            let kj = rung.ki in
-            match
-              S.query_monitored t.pri_d q ~tau:Float.neg_infinity
-                ~limit:(4 * kj)
-            with
-            | Sigs.All s ->
-                (* Step 1: |q(D)| <= 4 K_j — solved outright. *)
-                select_top_k k s
-            | Sigs.Truncated _ -> (
-                (* Step 2: threshold from the max element of q(R_j). *)
-                match M.query rung.max_structure q with
-                | None ->
-                    (* q(R_j) empty: dummy threshold, round fails. *)
-                    t.rounds_failed <- t.rounds_failed + 1;
-                    round (j + 1)
-                | Some e -> (
-                    (* Step 3: candidates above the threshold. *)
+            Tr.add_attr "path" (Tr.Str "ladder");
+            (* Smallest rung with K_j >= kk. *)
+            let start = ref 0 in
+            while t.ladder.(!start).ki < kk do incr start done;
+            let rec round j =
+              if j >= h then begin
+                Tr.event "t2.ladder_exhausted";
+                scan_filter_top ~k q t.elems
+              end
+              else begin
+                t.rounds_run <- t.rounds_run + 1;
+                let rung = t.ladder.(j) in
+                let kj = rung.ki in
+                Tr.with_span "t2.round"
+                  ~attrs:[ ("rung", Tr.Int j); ("ki", Tr.Int kj) ]
+                  (fun () ->
                     match
-                      S.query_monitored t.pri_d q ~tau:(P.weight e)
+                      S.query_monitored t.pri_d q ~tau:Float.neg_infinity
                         ~limit:(4 * kj)
                     with
-                    | Sigs.All s when List.length s > kj ->
-                        (* Step 5: success. *)
-                        select_top_k k s
-                    | Sigs.All _ | Sigs.Truncated _ ->
-                        (* Step 4: threshold rank missed (K_j, 4 K_j]. *)
-                        t.rounds_failed <- t.rounds_failed + 1;
-                        round (j + 1)))
-          end
-        in
-        round !start
-      end
-    end
+                    | Sigs.All s ->
+                        (* Step 1: |q(D)| <= 4 K_j — solved outright. *)
+                        Tr.add_attr "outcome" (Tr.Str "solved");
+                        Some (select_top_k k s)
+                    | Sigs.Truncated _ -> (
+                        (* Step 2: threshold from the max of q(R_j). *)
+                        match M.query rung.max_structure q with
+                        | None ->
+                            (* q(R_j) empty: dummy threshold, fail. *)
+                            Tr.add_attr "outcome" (Tr.Str "empty_sample");
+                            t.rounds_failed <- t.rounds_failed + 1;
+                            None
+                        | Some e -> (
+                            (* Step 3: candidates above the threshold. *)
+                            Tr.add_attr "threshold" (Tr.Float (P.weight e));
+                            match
+                              S.query_monitored t.pri_d q ~tau:(P.weight e)
+                                ~limit:(4 * kj)
+                            with
+                            | Sigs.All s when List.length s > kj ->
+                                (* Step 5: success. *)
+                                Tr.add_attr "outcome" (Tr.Str "success");
+                                Tr.add_attr "rank_observed"
+                                  (Tr.Int (List.length s));
+                                Some (select_top_k k s)
+                            | Sigs.All s ->
+                                (* Step 4: rank missed (K_j, 4 K_j]. *)
+                                Tr.add_attr "outcome" (Tr.Str "rank_missed");
+                                Tr.add_attr "rank_observed"
+                                  (Tr.Int (List.length s));
+                                t.rounds_failed <- t.rounds_failed + 1;
+                                None
+                            | Sigs.Truncated _ ->
+                                Tr.add_attr "outcome" (Tr.Str "rank_missed");
+                                t.rounds_failed <- t.rounds_failed + 1;
+                                None)))
+                |> function
+                | Some answer -> answer
+                | None -> round (j + 1)
+              end
+            in
+            round !start
+          end)
 end

@@ -49,7 +49,7 @@ struct
     let rungs =
       List.map
         (fun k_f ->
-          { max_structure = M.build [||];
+          { max_structure = M.build ~params:t.params [||];
             ki = max 2 (int_of_float (ceil k_f));
             rate = 1. /. k_f })
         rates
@@ -75,7 +75,7 @@ struct
       {
         params;
         rng = Rng.create (params.Params.seed + 2);
-        pri = S.build elems;
+        pri = S.build ~params elems;
         elems = Hashtbl.create (max 16 (Array.length elems));
         memberships = Hashtbl.create 64;
         ladder = [||];

@@ -27,7 +27,7 @@ let rec build_node sorted lo hi =
     (Node { empt; left; right }, wl + wr + Minz.space_words empt)
   end
 
-let build pts =
+let build ?params:_ pts =
   let sorted = Array.copy pts in
   Array.sort (fun a b -> Point3.compare_weight b a) sorted;
   let n = Array.length sorted in

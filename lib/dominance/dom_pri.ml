@@ -10,7 +10,7 @@ type t = {
 
 let name = "dom3-rangetree"
 
-let build pts =
+let build ?params:_ pts =
   let sorted = Array.copy pts in
   Array.sort (fun a b -> Point3.compare_weight b a) sorted;
   let n = Array.length sorted in

@@ -18,7 +18,7 @@ let make_node rects =
   Array.iter (fun (r : Rect.t) -> Hashtbl.replace by_id r.Rect.id r) rects;
   { ystab = Seg.build (Array.map Rect.y_interval rects); by_id }
 
-let build rects = { tree = Xtree.build ~make_node rects; n = Array.length rects }
+let build ?params:_ rects = { tree = Xtree.build ~make_node rects; n = Array.length rects }
 
 let size t = t.n
 

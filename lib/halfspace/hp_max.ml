@@ -30,7 +30,7 @@ let rec build_node sorted lo hi =
     (Node { hull; left; right }, wl + wr + Chull.space_words hull)
   end
 
-let build elems =
+let build ?params:_ elems =
   let sorted = Array.copy elems in
   Array.sort (fun a b -> P2.compare_weight b a) sorted;
   let n = Array.length sorted in

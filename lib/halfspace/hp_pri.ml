@@ -13,7 +13,7 @@ type t = {
 
 let name = "hp-onion"
 
-let build elems =
+let build ?params:_ elems =
   let sorted = Array.copy elems in
   Array.sort (fun a b -> P2.compare_weight b a) sorted;
   let n = Array.length sorted in

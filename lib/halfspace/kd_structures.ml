@@ -10,7 +10,7 @@ struct
 
   let name = "kd-" ^ Q.name
 
-  let build = Kd_tree.build
+  let build ?params:_ pts = Kd_tree.build pts
 
   let size = Kd_tree.size
 
@@ -54,7 +54,7 @@ struct
 
   let name = "kd-max-" ^ Q.name
 
-  let build = Kd_tree.build
+  let build ?params:_ pts = Kd_tree.build pts
 
   let size = Kd_tree.size
 

@@ -86,7 +86,7 @@ let fill t elems =
     end
   done
 
-let build elems =
+let build ?params:_ elems =
   let t = empty () in
   t.live_count <- Array.length elems;
   fill t (Array.copy elems);

@@ -61,7 +61,7 @@ let rec build_node intervals =
       1 + max dl dr )
   end
 
-let build elems =
+let build ?params:_ elems =
   let root, depth = build_node (Array.copy elems) in
   { root; n = Array.length elems; depth }
 

@@ -28,7 +28,7 @@ let assign lists leaves itv l r =
   in
   go 1 0 leaves
 
-let build elems =
+let build ?params:_ elems =
   let n = Array.length elems in
   let endpoints = Array.make (2 * n) 0. in
   Array.iteri

@@ -10,7 +10,7 @@ type t = {
 
 let name = "slab-max"
 
-let build elems =
+let build ?params:_ elems =
   let n = Array.length elems in
   let endpoints = Array.make (2 * n) 0. in
   Array.iteri

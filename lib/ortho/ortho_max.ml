@@ -26,7 +26,7 @@ let make_node pts =
   in
   { ymax = Range_max.build ypoints; by_id }
 
-let build pts = { tree = Xtree.build ~make_node pts; n = Array.length pts }
+let build ?params:_ pts = { tree = Xtree.build ~make_node pts; n = Array.length pts }
 
 let size t = t.n
 

@@ -15,7 +15,7 @@ let name = "range-segtree"
 
 let rec next_pow2 x k = if k >= x then k else next_pow2 x (2 * k)
 
-let build elems =
+let build ?params:_ elems =
   let sorted = Array.copy elems in
   Array.sort Wpoint.compare_pos sorted;
   let n = Array.length sorted in

@@ -66,6 +66,11 @@ let record_outcome metrics (o : Request.outcome) =
   | Response.Cutoff_budget -> Counter.incr metrics.cutoff_budget
   | Response.Cutoff_deadline -> Counter.incr metrics.cutoff_deadline
   | Response.Failed _ -> Counter.incr metrics.failed);
+  (match o.Request.o_verdict with
+  | Some ok ->
+      Counter.incr metrics.cert_checked;
+      if not ok then Counter.incr metrics.cert_violations
+  | None -> ());
   Histogram.observe metrics.latency_us
     (int_of_float (o.Request.o_latency *. 1e6));
   Histogram.observe metrics.ios o.Request.o_ios
@@ -376,17 +381,17 @@ let enqueue_nonblocking t req =
       false
   | `Breaker -> false
 
-let submit t handle ?budget ?timeout ?deadline q ~k =
-  let req, fut = Request.make handle ?budget ?timeout ?deadline q ~k in
+let submit t handle ?limits q ~k =
+  let req, fut = Request.make handle ?limits q ~k in
   enqueue_blocking t req;
   fut
 
-let try_submit t handle ?budget ?timeout ?deadline q ~k =
-  let req, fut = Request.make handle ?budget ?timeout ?deadline q ~k in
+let try_submit t handle ?limits q ~k =
+  let req, fut = Request.make handle ?limits q ~k in
   if enqueue_nonblocking t req then Some fut else None
 
-let submit_batch t handle ?budget ?timeout ?deadline queries ~k =
-  List.map (fun q -> submit t handle ?budget ?timeout ?deadline q ~k) queries
+let submit_batch t handle ?limits queries ~k =
+  List.map (fun q -> submit t handle ?limits q ~k) queries
 
 (* --- lifecycle --- *)
 

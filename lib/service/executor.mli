@@ -83,25 +83,24 @@ val create :
 val submit :
   t ->
   ('q, 'e) Registry.handle ->
-  ?budget:int ->
-  ?timeout:float ->
-  ?deadline:float ->
+  ?limits:Limits.t ->
   'q ->
   k:int ->
   'e Response.t Future.t
 (** Enqueue a query; blocks while the queue is full ({e backpressure}).
-    [timeout] is relative, [deadline] absolute (at most one of the
-    two); fan-out layers ({!Topk_shard.Scatter}) pass [deadline] so
-    every per-shard leg of a logical query races the same clock.
+    [limits] bundles the I/O budget and time horizon (default
+    {!Limits.none}); fan-out layers ({!Topk_shard.Scatter}) pass an
+    absolute [Limits.At] horizon so every per-shard leg of a logical
+    query races the same clock.
     @raise Shut_down if the pool has been shut down.
-    @raise Overloaded if the circuit breaker is open. *)
+    @raise Overloaded if the circuit breaker is open.
+    @raise Invalid_argument on a malformed request (see
+    {!Request.make}). *)
 
 val try_submit :
   t ->
   ('q, 'e) Registry.handle ->
-  ?budget:int ->
-  ?timeout:float ->
-  ?deadline:float ->
+  ?limits:Limits.t ->
   'q ->
   k:int ->
   'e Response.t Future.t option
@@ -113,9 +112,7 @@ val try_submit :
 val submit_batch :
   t ->
   ('q, 'e) Registry.handle ->
-  ?budget:int ->
-  ?timeout:float ->
-  ?deadline:float ->
+  ?limits:Limits.t ->
   'q list ->
   k:int ->
   'e Response.t Future.t list

@@ -124,6 +124,9 @@ type t = {
   fanout : Histogram.t;          (* shard jobs submitted per logical query *)
   shard_latency_us : Histogram.t;(* per-shard leg latency *)
   shard_ios : Histogram.t;       (* per-shard leg EM I/Os *)
+  (* cost certification (recorded by Request when a model is registered) *)
+  cert_checked : Counter.t;      (* responses checked against their bound *)
+  cert_violations : Counter.t;   (* checks where measured > bound *)
 }
 
 let create () =
@@ -152,6 +155,8 @@ let create () =
     fanout = Histogram.create ();
     shard_latency_us = Histogram.create ();
     shard_ios = Histogram.create ();
+    cert_checked = Counter.create ();
+    cert_violations = Counter.create ();
   }
 
 let uptime t = Unix.gettimeofday () -. t.started
@@ -207,4 +212,8 @@ let report t =
   histo "topk_fanout" t.fanout;
   histo "topk_shard_latency_us" t.shard_latency_us;
   histo "topk_shard_ios" t.shard_ios;
+  line "topk_cert_checked %d" (Counter.get t.cert_checked);
+  line "topk_cert_violations %d" (Counter.get t.cert_violations);
+  line "topk_traces_stored %d" (Topk_trace.Trace.Store.length ());
+  line "topk_traces_total %d" (Topk_trace.Trace.Store.total ());
   Buffer.contents buf

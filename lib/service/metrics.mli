@@ -81,6 +81,8 @@ type t = {
   fanout : Histogram.t;       (** shard jobs submitted per logical query *)
   shard_latency_us : Histogram.t;(** per-shard leg latency, in µs *)
   shard_ios : Histogram.t;    (** per-shard leg EM I/Os *)
+  cert_checked : Counter.t;   (** responses checked against a cost bound *)
+  cert_violations : Counter.t;(** checks where measured I/Os exceeded it *)
 }
 
 val create : unit -> t

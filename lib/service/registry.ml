@@ -1,5 +1,6 @@
 module Sigs = Topk_core.Sigs
 module Stats = Topk_em.Stats
+module Tr = Topk_trace.Trace
 
 type info = {
   name : string;
@@ -74,12 +75,21 @@ let exec (type s q e)
         ([], Response.Cutoff_budget, cost (), 0)
       else begin
         let rec round k' rounds =
-          let answers = T.query structure q ~k:k' in
+          let answers =
+            Tr.with_span "exec.round"
+              ~attrs:[ ("k'", Tr.Int k'); ("round", Tr.Int rounds) ]
+              (fun () -> T.query structure q ~k:k')
+          in
           if k' >= k || List.length answers < k' then
             (answers, Response.Complete, rounds)
-          else if over_budget () then (answers, Response.Cutoff_budget, rounds)
-          else if over_deadline () then
+          else if over_budget () then begin
+            Tr.event "exec.cutoff" ~attrs:[ ("by", Tr.Str "budget") ];
+            (answers, Response.Cutoff_budget, rounds)
+          end
+          else if over_deadline () then begin
+            Tr.event "exec.cutoff" ~attrs:[ ("by", Tr.Str "deadline") ];
             (answers, Response.Cutoff_deadline, rounds)
+          end
           else round (min k (2 * k')) (rounds + 1)
         in
         let answers, status, rounds = round 1 1 in
@@ -121,20 +131,53 @@ let h_exec h = h.h_exec
 
 let list t = Mutex.protect t.mutex (fun () -> List.rev t.entries)
 
-let find t name =
-  Mutex.protect t.mutex (fun () ->
-      List.find_opt (fun i -> String.equal i.name name) t.entries)
+(* Edit distance for the miss suggestions (plain Levenshtein; names
+   are short, the registry is small, and misses are cold paths). *)
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) Fun.id in
+  let cur = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    cur.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      cur.(j) <-
+        min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit cur 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
 
-let mem t name = Option.is_some (find t name)
+let resolve t name =
+  match
+    Mutex.protect t.mutex (fun () ->
+        List.find_opt (fun i -> String.equal i.name name) t.entries)
+  with
+  | Some i -> Ok i
+  | None ->
+      let names = List.map (fun i -> i.name) (list t) in
+      let suggestions =
+        names
+        |> List.map (fun n -> (edit_distance name n, n))
+        |> List.sort compare
+        |> List.map snd
+      in
+      Error (`Not_found suggestions)
+
+let mem t name = Result.is_ok (resolve t name)
+
+(* Deprecated wrappers (kept for one release; see registry.mli). *)
+
+let find t name = Result.to_option (resolve t name)
 
 let find_exn t name =
-  match find t name with
-  | Some i -> i
-  | None ->
+  match resolve t name with
+  | Ok i -> i
+  | Error (`Not_found suggestions) ->
       let known =
-        match list t with
+        match suggestions with
         | [] -> "none"
-        | l -> String.concat ", " (List.map (fun i -> i.name) l)
+        | l -> String.concat ", " l
       in
       invalid_arg
         (Printf.sprintf "Registry.find_exn: unknown instance %S (registered: %s)"

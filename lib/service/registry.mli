@@ -42,12 +42,21 @@ val info : ('q, 'e) handle -> info
 val list : t -> info list
 (** In registration order. *)
 
+val resolve : t -> string -> (info, [ `Not_found of string list ]) result
+(** Look up an instance by name.  On a miss, the error carries every
+    registered name ranked by edit distance to the query — closest
+    first — so callers can print "did you mean ...?" diagnostics. *)
+
 val find : t -> string -> info option
+[@@deprecated "use Registry.resolve instead"]
+(** Thin compatibility wrapper over {!resolve}; will be removed next
+    release. *)
 
 val find_exn : t -> string -> info
-(** Like {!find}, but raises on a miss with a message listing every
-    registered instance name.
-    @raise Invalid_argument on an unknown name. *)
+[@@deprecated "use Registry.resolve instead"]
+(** Thin compatibility wrapper over {!resolve} that raises
+    [Invalid_argument] on a miss, message listing the ranked
+    suggestions; will be removed next release. *)
 
 val mem : t -> string -> bool
 

@@ -1,11 +1,13 @@
 module Stats = Topk_em.Stats
 module Fault = Topk_em.Fault
+module Tr = Topk_trace.Trace
+module Certify = Topk_trace.Certify
 
 type spec = {
   instance : string;
   k : int;
-  budget : int option;
-  deadline : float option;  (* absolute wall-clock time *)
+  limits : Limits.t;
+  deadline : float option;  (* absolute, resolved at submission *)
   submitted : float;
 }
 
@@ -13,6 +15,7 @@ type outcome = {
   o_status : Response.status;
   o_ios : int;
   o_latency : float;  (* seconds, submit to response *)
+  o_verdict : bool option;  (* certification result, when checked *)
 }
 
 (* One execution attempt, classified for the supervisor.
@@ -30,77 +33,110 @@ type attempt = Completed of outcome | Transient of string
    failure from any domain (worker, supervisor, or the shutdown path). *)
 type t = {
   spec : spec;
-  mutable attempts : int;  (* executions started, including retries *)
-  run_ : worker:int -> attempt;
+  attempts : int ref;  (* executions started, including retries *)
+  run_ : worker:int -> attempt:int -> attempt;
   abort_ : worker:int -> reason:string -> outcome;
 }
 
 let spec t = t.spec
 
-let attempts t = t.attempts
+let attempts t = !(t.attempts)
 
-let make (type q e) (handle : (q, e) Registry.handle) ?budget ?timeout
-    ?deadline (q : q) ~k : t * e Response.t Future.t =
+let make (type q e) (handle : (q, e) Registry.handle)
+    ?(limits = Limits.none) (q : q) ~k : t * e Response.t Future.t =
   if k <= 0 then
     invalid_arg (Printf.sprintf "Request.make: k must be positive (got %d)" k);
-  (match budget with
+  (match limits.Limits.budget with
   | Some b when b < 0 ->
       invalid_arg
         (Printf.sprintf "Request.make: budget must be >= 0 (got %d)" b)
   | _ -> ());
   let submitted = Unix.gettimeofday () in
-  let deadline =
-    match (timeout, deadline) with
-    | Some _, Some _ ->
-        invalid_arg "Request.make: pass either ~timeout or ~deadline, not both"
-    | Some s, None -> Some (submitted +. s)
-    | None, d -> d
-  in
+  let budget, deadline = Limits.resolve limits ~now:submitted in
+  (* If the submitter is itself running under a trace (e.g. a scatter
+     root), link the worker-side trace of this request back to it. *)
+  let parent = Tr.current_trace_id () in
   let info = Registry.info handle in
-  let spec =
-    { instance = info.Registry.name; k; budget; deadline; submitted }
-  in
+  let instance = info.Registry.name in
+  let spec = { instance; k; limits; deadline; submitted } in
+  let attempts = ref 0 in
   let fut = Future.create () in
   (* [try_fill]: a request can race between its worker and the
      shutdown sweep; the first resolution wins and the other becomes a
      no-op instead of an exception that could kill a worker domain. *)
-  let finish ~worker answers status cost rounds =
+  let finish ~worker ~attempt ~trace_id ~certified answers status cost rounds
+      =
     let latency = Unix.gettimeofday () -. submitted in
     ignore
       (Future.try_fill fut
          {
            Response.answers;
            status;
-           cost;
-           rounds;
+           summary =
+             { Response.cost; rounds; attempts = attempt; certified };
+           trace_id;
            latency;
            worker;
-           instance = spec.instance;
+           instance;
            k;
          }
         : bool);
-    { o_status = status; o_ios = cost.Stats.ios; o_latency = latency }
+    {
+      o_status = status;
+      o_ios = cost.Stats.ios;
+      o_latency = latency;
+      o_verdict = Option.map (fun v -> v.Certify.v_ok) certified;
+    }
   in
-  let run_ ~worker =
-    match Registry.h_exec handle q ~k ~budget ~deadline with
-    | answers, status, cost, rounds ->
-        Completed (finish ~worker answers status cost rounds)
-    | exception Fault.Em_fault msg ->
+  let run_ ~worker ~attempt =
+    (* The whole attempt runs under a root span on the worker domain.
+       A transient fault is caught *inside* the traced region so every
+       open span unwinds before the executor decides to retry. *)
+    let outcome, trace =
+      Tr.with_root ?parent "request"
+        ~attrs:
+          [ ("instance", Tr.Str instance);
+            ("k", Tr.Int k);
+            ("attempt", Tr.Int attempt);
+            ("worker", Tr.Int worker) ]
+        (fun () ->
+          match Registry.h_exec handle q ~k ~budget ~deadline with
+          | result -> `Done result
+          | exception Fault.Em_fault msg -> `Fault msg
+          | exception e -> `Raised (Printexc.to_string e))
+    in
+    let trace_id = Option.map (fun (tr : Tr.t) -> tr.Tr.id) trace in
+    match outcome with
+    | `Done (answers, status, cost, rounds) ->
+        (* Certify complete answers against the instance's registered
+           cost model, if any; cutoffs did strictly less work than the
+           bound assumes, so they are certified too.  Failures are not
+           checked. *)
+        let certified =
+          match status with
+          | Response.Failed _ -> None
+          | _ ->
+              Certify.evaluate ~instance ~k ~measured:cost.Stats.ios ()
+        in
+        Completed
+          (finish ~worker ~attempt ~trace_id ~certified answers status cost
+             rounds)
+    | `Fault msg ->
         (* Retryable: the future stays empty for the next attempt. *)
         Transient msg
-    | exception e ->
+    | `Raised msg ->
         Completed
-          (finish ~worker []
-             (Response.Failed (Printexc.to_string e))
-             Stats.zero_snapshot 0)
+          (finish ~worker ~attempt ~trace_id ~certified:None []
+             (Response.Failed msg) Stats.zero_snapshot 0)
   in
   let abort_ ~worker ~reason =
-    finish ~worker [] (Response.Failed reason) Stats.zero_snapshot 0
+    finish ~worker ~attempt:!attempts ~trace_id:None ~certified:None []
+      (Response.Failed reason) Stats.zero_snapshot 0
   in
-  ({ spec; attempts = 0; run_; abort_ }, fut)
+  ({ spec; attempts; run_; abort_ }, fut)
 
 let run t ~worker =
-  t.attempts <- t.attempts + 1;
-  t.run_ ~worker
+  incr t.attempts;
+  t.run_ ~worker ~attempt:!(t.attempts)
 
 let abort t ~worker ~reason = t.abort_ ~worker ~reason

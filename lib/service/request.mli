@@ -1,24 +1,31 @@
 (** Typed query descriptors.
 
     A request pairs a registered instance with a query, a result size
-    [k], and optional service constraints: an I/O [budget] (EM-model
-    I/Os this query may spend before being cut off) and a [timeout]
-    (seconds from submission; converted to an absolute deadline).  The
-    element/query types are erased into closures so requests for
-    heterogeneous instances travel through one queue; the matching
-    typed {!Future.t} is returned to the submitter.
+    [k], and a {!Limits.t} bundle of service constraints (I/O budget
+    and time horizon).  The element/query types are erased into
+    closures so requests for heterogeneous instances travel through
+    one queue; the matching typed {!Future.t} is returned to the
+    submitter.
 
     Execution is {e attempt}-based for the supervision layer: a
     transient {!Topk_em.Fault.Em_fault} escaping the query leaves the
     future unresolved so the executor can retry the request with
     backoff, while any other exception (and normal completion) resolves
-    the future immediately. *)
+    the future immediately.
+
+    When tracing is enabled ({!Topk_trace.Trace.enable}), each attempt
+    runs under a root span on its worker domain — carrying the
+    instance, [k], attempt number and worker index — and the resulting
+    trace id travels back on the {!Response.t}.  A request submitted
+    from inside another trace (e.g. a scattered shard leg) records that
+    trace as its parent. *)
 
 type spec = {
   instance : string;
   k : int;
-  budget : int option;      (** max EM-model I/Os, [None] = unlimited *)
-  deadline : float option;  (** absolute wall-clock deadline *)
+  limits : Limits.t;        (** as given at {!make} *)
+  deadline : float option;
+      (** absolute wall-clock deadline resolved at submission *)
   submitted : float;        (** wall-clock submission time *)
 }
 
@@ -27,6 +34,9 @@ type outcome = {
   o_status : Response.status;
   o_ios : int;
   o_latency : float;
+  o_verdict : bool option;
+      (** certification result when the instance had a registered cost
+          model: [Some true] = within bound, [Some false] = violation *)
 }
 
 (** Result of one execution attempt.  [Completed o] — the future has
@@ -46,19 +56,17 @@ val attempts : t -> int
 
 val make :
   ('q, 'e) Registry.handle ->
-  ?budget:int ->
-  ?timeout:float ->
-  ?deadline:float ->
+  ?limits:Limits.t ->
   'q ->
   k:int ->
   t * 'e Response.t Future.t
 (** Build a request and the future its response will be delivered on.
-    [timeout] is relative (seconds from now); [deadline] is an absolute
-    wall-clock time — fan-out layers use it so every per-shard leg of
-    one logical query shares a single deadline instead of restarting
-    the clock per leg.
-    @raise Invalid_argument if [k <= 0], [budget < 0], or both
-    [timeout] and [deadline] are given. *)
+    A relative [Limits.Within] horizon is anchored now (at
+    submission); fan-out layers pass an absolute [Limits.At] so every
+    per-shard leg of one logical query shares a single deadline
+    instead of restarting the clock per leg.
+    @raise Invalid_argument if [k <= 0] or the limits carry a negative
+    budget. *)
 
 val run : t -> worker:int -> attempt
 (** Execute one attempt on the calling domain (normally a pool

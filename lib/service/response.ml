@@ -1,4 +1,5 @@
 module Stats = Topk_em.Stats
+module Certify = Topk_trace.Certify
 
 type status =
   | Complete
@@ -6,16 +7,36 @@ type status =
   | Cutoff_deadline
   | Failed of string
 
+(* Per-query cost accounting, separated from the answer payload so the
+   serving layers can combine/inspect it without touching answers. *)
+type summary = {
+  cost : Stats.snapshot;
+  rounds : int;
+  attempts : int;
+  certified : Certify.verdict option;
+}
+
 type 'e t = {
   answers : 'e list;
   status : status;
-  cost : Stats.snapshot;
-  rounds : int;
+  summary : summary;
+  trace_id : int option;
   latency : float;
   worker : int;
   instance : string;
   k : int;
 }
+
+let zero_summary =
+  { cost = Stats.zero_snapshot; rounds = 0; attempts = 0; certified = None }
+
+let cost r = r.summary.cost
+
+let rounds r = r.summary.rounds
+
+let attempts r = r.summary.attempts
+
+let certified r = r.summary.certified
 
 let is_partial r =
   match r.status with
@@ -30,6 +51,17 @@ let severity = function
 
 let combine_status a b = if severity b > severity a then b else a
 
+let combine_summary a b =
+  {
+    cost = Stats.add a.cost b.cost;
+    rounds = a.rounds + b.rounds;
+    attempts = a.attempts + b.attempts;
+    certified =
+      (match (a.certified, b.certified) with
+      | Some va, Some vb -> if vb.Certify.v_ok then Some va else Some vb
+      | (Some _ as v), None | None, v -> v);
+  }
+
 let status_string = function
   | Complete -> "complete"
   | Cutoff_budget -> "cutoff:budget"
@@ -41,6 +73,13 @@ let pp_status ppf s = Format.pp_print_string ppf (status_string s)
 let pp ppf r =
   Format.fprintf ppf
     "@[<h>%s k=%d -> %d answer(s) [%a] cost=(%a) rounds=%d worker=%d \
-     latency=%.0fus@]"
-    r.instance r.k (List.length r.answers) pp_status r.status Stats.pp r.cost
-    r.rounds r.worker (r.latency *. 1e6)
+     latency=%.0fus%s%s@]"
+    r.instance r.k (List.length r.answers) pp_status r.status Stats.pp
+    (cost r) (rounds r) r.worker (r.latency *. 1e6)
+    (match r.trace_id with
+    | Some id -> Printf.sprintf " trace=%d" id
+    | None -> "")
+    (match certified r with
+    | Some v when v.Certify.v_ok -> " certified"
+    | Some _ -> " BOUND-VIOLATION"
+    | None -> "")

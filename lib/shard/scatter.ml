@@ -4,6 +4,8 @@ module Registry = Topk_service.Registry
 module Response = Topk_service.Response
 module Future = Topk_service.Future
 module Metrics = Topk_service.Metrics
+module Limits = Topk_service.Limits
+module Tr = Topk_trace.Trace
 
 module Make
     (SS : Shard_set.S)
@@ -17,6 +19,7 @@ struct
     set : SS.t;
     handles : (P.query, P.elem) Registry.handle array;
     wave : int;
+    name : string;  (* registration prefix; also the trace instance *)
   }
 
   type result = {
@@ -44,7 +47,7 @@ struct
             (module T) sh.SS.topk)
         (SS.shards set)
     in
-    { pool; set; handles; wave }
+    { pool; set; handles; wave; name }
 
   let shard_set t = t.set
 
@@ -58,122 +61,180 @@ struct
         (x :: hd, tl)
     | _ -> ([], l)
 
-  let query t ?budget ?timeout ?deadline q ~k =
+  let query t ?(limits = Limits.none) q ~k =
     if k <= 0 then
       invalid_arg
         (Printf.sprintf "Scatter.query: k must be positive (got %d)" k);
-    (match budget with
+    (match limits.Limits.budget with
     | Some b when b < 0 ->
         invalid_arg
           (Printf.sprintf "Scatter.query: budget must be >= 0 (got %d)" b)
     | _ -> ());
     let started = Unix.gettimeofday () in
-    let deadline =
-      match (timeout, deadline) with
-      | Some _, Some _ ->
-          invalid_arg
-            "Scatter.query: pass either ~timeout or ~deadline, not both"
-      | Some s, None -> Some (started +. s)
-      | None, d -> d
+    (* Anchor a relative timeout once, here: every per-shard leg then
+       shares the same absolute deadline instead of restarting the
+       clock per leg. *)
+    let budget, deadline = Limits.resolve limits ~now:started in
+    let leg_limits =
+      {
+        Limits.budget;
+        horizon =
+          (match deadline with
+          | None -> Limits.Unbounded
+          | Some d -> Limits.At d);
+      }
     in
     let m = Executor.metrics t.pool in
     Metrics.Counter.incr m.Metrics.sharded_queries;
     Stats.mark_query ();
-    (* Bracket the caller-side work (max queries + gathers) exactly like
-       Registry.exec brackets each leg on its worker, so the logical
-       query's total cost is the sum of independently-exact parts. *)
-    Stats.round_carry ();
-    let before = Stats.snapshot () in
-    (* Scatter phase 1, on the calling domain: exact per-shard upper
-       bounds, one MAX query each. *)
     let s = SS.shard_count t.set in
-    let bounded = ref [] and empty = ref 0 in
-    for i = s - 1 downto 0 do
-      match SS.upper_bound t.set i q with
-      | None -> incr empty
-      | Some ub -> bounded := (i, ub) :: !bounded
-    done;
-    let order = List.sort (fun (_, a) (_, b) -> Float.compare b a) !bounded in
-    (* Phase 2: waves of per-shard jobs through the pool.  [candidates]
-       is the running global top-k over every element gathered so far —
-       each is a real matching element, so its k-th weight is a sound
-       pruning threshold whether or not legs were cut off.  [legs]
-       keeps the per-shard certified answers for the final join. *)
-    let legs = ref [] in
-    let candidates = ref [] in
-    let status = ref Response.Complete in
-    let leg_cost = ref Stats.zero_snapshot in
-    let fanout = ref 0 and pruned = ref 0 in
-    let kth_weight () =
-      if List.length !candidates < k then Float.neg_infinity
-      else P.weight (List.nth !candidates (k - 1))
-    in
-    let rec waves remaining =
-      (* Bounds are exact maxima of disjoint shards: [ub < kth] proves
-         the shard cannot contribute to the global top-k. *)
-      let th = kth_weight () in
-      let live, dead = List.partition (fun (_, ub) -> ub >= th) remaining in
-      pruned := !pruned + List.length dead;
-      match live with
-      | [] -> ()
-      | _ ->
-          let now_wave, rest = take t.wave live in
-          let futs =
-            List.map
-              (fun (i, _) ->
-                Executor.submit t.pool t.handles.(i) ?budget ?deadline q ~k)
-              now_wave
+    (* The whole logical query runs under one trace root; the worker
+       trace of every submitted leg links back to it via the parent id
+       captured at submission. *)
+    let result, _trace =
+      Tr.with_root "scatter"
+        ~attrs:
+          [ ("instance", Tr.Str t.name);
+            ("k", Tr.Int k);
+            ("shards", Tr.Int s) ]
+        (fun () ->
+          (* Bracket the caller-side work (max queries + gathers)
+             exactly like Registry.exec brackets each leg on its
+             worker, so the logical query's total cost is the sum of
+             independently-exact parts. *)
+          Stats.round_carry ();
+          let before = Stats.snapshot () in
+          (* Scatter phase 1, on the calling domain: exact per-shard
+             upper bounds, one MAX query each. *)
+          let bounded = ref [] and empty = ref 0 in
+          Tr.with_span "scatter.bounds" (fun () ->
+              for i = s - 1 downto 0 do
+                match SS.upper_bound t.set i q with
+                | None -> incr empty
+                | Some ub -> bounded := (i, ub) :: !bounded
+              done);
+          let order =
+            List.sort (fun (_, a) (_, b) -> Float.compare b a) !bounded
           in
-          fanout := !fanout + List.length futs;
-          List.iter
-            (fun fut ->
-              let r = Future.await fut in
-              Metrics.Histogram.observe m.Metrics.shard_latency_us
-                (int_of_float (r.Response.latency *. 1e6));
-              Metrics.Histogram.observe m.Metrics.shard_ios
-                r.Response.cost.Stats.ios;
-              leg_cost := Stats.add !leg_cost r.Response.cost;
-              status := Response.combine_status !status r.Response.status;
-              (match r.Response.status with
-              | Response.Failed _ ->
-                  (* A failed leg certifies nothing about its shard. *)
-                  legs := ([], false) :: !legs
-              | Response.Complete -> legs := (r.Response.answers, true) :: !legs
-              | Response.Cutoff_budget | Response.Cutoff_deadline ->
-                  legs := (r.Response.answers, false) :: !legs);
-              (* Resident bookkeeping between waves: the leg's reporting
-                 cost was charged worker-side; [merge_certified] below is
-                 the single charged gather pass. *)
-              candidates :=
-                Gather.union ~cmp:W.compare ~k !candidates r.Response.answers)
-            futs;
-          waves rest
+          (* Phase 2: waves of per-shard jobs through the pool.
+             [candidates] is the running global top-k over every element
+             gathered so far — each is a real matching element, so its
+             k-th weight is a sound pruning threshold whether or not
+             legs were cut off.  [legs] keeps the per-shard certified
+             answers for the final join. *)
+          let legs = ref [] in
+          let candidates = ref [] in
+          let status = ref Response.Complete in
+          let leg_cost = ref Stats.zero_snapshot in
+          let fanout = ref 0 and pruned = ref 0 in
+          let kth_weight () =
+            if List.length !candidates < k then Float.neg_infinity
+            else P.weight (List.nth !candidates (k - 1))
+          in
+          let rec waves remaining =
+            (* Bounds are exact maxima of disjoint shards: [ub < kth]
+               proves the shard cannot contribute to the global top-k. *)
+            let th = kth_weight () in
+            let live, dead =
+              List.partition (fun (_, ub) -> ub >= th) remaining
+            in
+            (match dead with
+            | [] -> ()
+            | _ ->
+                Tr.event "scatter.prune"
+                  ~attrs:
+                    [ ("cut", Tr.Int (List.length dead));
+                      ("kth", Tr.Float th) ]);
+            pruned := !pruned + List.length dead;
+            match live with
+            | [] -> ()
+            | _ ->
+                let now_wave, rest = take t.wave live in
+                let futs =
+                  List.map
+                    (fun (i, _) ->
+                      ( i,
+                        Executor.submit t.pool t.handles.(i)
+                          ~limits:leg_limits q ~k ))
+                    now_wave
+                in
+                fanout := !fanout + List.length futs;
+                List.iter
+                  (fun (i, fut) ->
+                    let r =
+                      Tr.with_span "scatter.leg"
+                        ~attrs:[ ("shard", Tr.Int i) ]
+                        (fun () ->
+                          let r = Future.await fut in
+                          if Tr.is_enabled () then begin
+                            (match r.Response.trace_id with
+                            | Some id -> Tr.add_attr "leg_trace" (Tr.Int id)
+                            | None -> ());
+                            Tr.add_attr "leg_ios"
+                              (Tr.Int (Response.cost r).Stats.ios);
+                            Tr.add_attr "status"
+                              (Tr.Str (Response.status_string r.Response.status))
+                          end;
+                          r)
+                    in
+                    Metrics.Histogram.observe m.Metrics.shard_latency_us
+                      (int_of_float (r.Response.latency *. 1e6));
+                    Metrics.Histogram.observe m.Metrics.shard_ios
+                      (Response.cost r).Stats.ios;
+                    leg_cost := Stats.add !leg_cost (Response.cost r);
+                    status := Response.combine_status !status r.Response.status;
+                    (match r.Response.status with
+                    | Response.Failed _ ->
+                        (* A failed leg certifies nothing about its
+                           shard. *)
+                        legs := ([], false) :: !legs
+                    | Response.Complete ->
+                        legs := (r.Response.answers, true) :: !legs
+                    | Response.Cutoff_budget | Response.Cutoff_deadline ->
+                        legs := (r.Response.answers, false) :: !legs);
+                    (* Resident bookkeeping between waves: the leg's
+                       reporting cost was charged worker-side;
+                       [merge_certified] below is the single charged
+                       gather pass. *)
+                    candidates :=
+                      Gather.union ~cmp:W.compare ~k !candidates
+                        r.Response.answers)
+                  futs;
+                waves rest
+          in
+          waves order;
+          let answers, complete =
+            Gather.merge_certified ~cmp:W.compare ~weight:P.weight ~k !legs
+          in
+          (* If the certified merge still proves the full top-k, per-leg
+             cutoffs were harmless: report the answer as complete. *)
+          let status =
+            match !status with
+            | (Response.Cutoff_budget | Response.Cutoff_deadline)
+              when complete ->
+                Response.Complete
+            | st -> st
+          in
+          Stats.round_carry ();
+          let local = Stats.diff (Stats.snapshot ()) before in
+          Metrics.Counter.add m.Metrics.shards_pruned !pruned;
+          Metrics.Histogram.observe m.Metrics.fanout !fanout;
+          if Tr.is_enabled () then begin
+            Tr.add_attr "visited" (Tr.Int !fanout);
+            Tr.add_attr "pruned" (Tr.Int !pruned);
+            Tr.add_attr "empty" (Tr.Int !empty)
+          end;
+          {
+            answers;
+            status;
+            cost = Stats.add local !leg_cost;
+            latency = Unix.gettimeofday () -. started;
+            fanout = !fanout;
+            pruned = !pruned;
+            empty = !empty;
+          })
     in
-    waves order;
-    let answers, complete =
-      Gather.merge_certified ~cmp:W.compare ~weight:P.weight ~k !legs
-    in
-    (* If the certified merge still proves the full top-k, per-leg
-       cutoffs were harmless: report the answer as complete. *)
-    let status =
-      match !status with
-      | (Response.Cutoff_budget | Response.Cutoff_deadline) when complete ->
-          Response.Complete
-      | st -> st
-    in
-    Stats.round_carry ();
-    let local = Stats.diff (Stats.snapshot ()) before in
-    Metrics.Counter.add m.Metrics.shards_pruned !pruned;
-    Metrics.Histogram.observe m.Metrics.fanout !fanout;
-    {
-      answers;
-      status;
-      cost = Stats.add local !leg_cost;
-      latency = Unix.gettimeofday () -. started;
-      fanout = !fanout;
-      pruned = !pruned;
-      empty = !empty;
-    }
+    result
 
   let pp_result ppf r =
     Format.fprintf ppf

@@ -70,21 +70,21 @@ module Make
   val wave : t -> int
 
   val query :
-    t ->
-    ?budget:int ->
-    ?timeout:float ->
-    ?deadline:float ->
-    SS.P.query ->
-    k:int ->
-    result
+    t -> ?limits:Topk_service.Limits.t -> SS.P.query -> k:int -> result
   (** Scatter, gather, and join one logical query (blocks the caller
-      until every submitted leg resolves).  [budget] is a per-leg
-      EM-I/O budget; [timeout] (relative) or [deadline] (absolute, at
-      most one of the two) becomes {e one} shared absolute deadline
-      raced by every leg — a late wave inherits the time its
-      predecessors spent.
-      @raise Invalid_argument if [k <= 0], [budget < 0], or both
-      [timeout] and [deadline] are given.
+      until every submitted leg resolves).  [limits.budget] is a
+      per-leg EM-I/O budget; the limits' horizon — relative or
+      absolute — is anchored once at submission and becomes {e one}
+      shared absolute deadline raced by every leg, so a late wave
+      inherits the time its predecessors spent.
+
+      When tracing is enabled, the whole logical query runs under a
+      ["scatter"] root span (bounds phase, prune events, one
+      ["scatter.leg"] span per gathered leg linking to the worker-side
+      trace) whose [visited]/[pruned]/[empty] attributes feed the
+      sharded cost certifier.
+      @raise Invalid_argument if [k <= 0] or the limits carry a
+      negative budget.
       @raise Topk_service.Executor.Shut_down if the pool is down. *)
 
   val pp_result : Format.formatter -> result -> unit

@@ -78,7 +78,7 @@ module Make
 
   let build_one ?params ~index elems =
     let elems = Array.copy elems in
-    { index; elems; topk = T.build ?params elems; max = M.build elems }
+    { index; elems; topk = T.build ?params elems; max = M.build ?params elems }
 
   let build ?params partition =
     {

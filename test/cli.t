@@ -79,3 +79,28 @@ bench, which prints one stable summary line.
 
   $ topk shard-bench -n 8000 --queries 20 --shards 4 --workers 2 -k 100 --seed 7 | tail -n 1
   shard-bench: OK (20 queries exact; ios accounted; pruned=24; planner 2521 < visit-all 2530 I/Os)
+
+Trace/certify validation.
+
+  $ topk trace --queries 0
+  topk: queries must be positive (got 0)
+  [2]
+
+  $ topk trace --dump=-1
+  topk: dump must be >= 0 (got -1)
+  [2]
+
+  $ topk trace -n 100 --shards 200
+  topk: shards must be <= n (got shards=200, n=100)
+  [2]
+
+The certifier passes on a small deterministic workload: every traced
+query's measured I/O cost stays within the fitted bound for its
+reduction (Theorem 1, Theorem 2, sharded scatter-gather).
+
+  $ topk trace -n 2000 --queries 20 -k 50 --shards 3 --seed 7
+  trace: n=2000 queries=20 k=50 shards=3 workers=2
+  models: interval-t1(theorem1) interval-t2(theorem2) intervals(sharded)
+  certified: 60 checked, 0 violations
+  store: 109 traces recorded, 109 held, 100 spans on 40 direct traces
+  trace: OK (0 violations)

@@ -98,6 +98,70 @@ module Conformance (I : INSTANCE) = struct
               Alcotest.failf "%s: missed truncation" I.name)
       queries
 
+  (* Monitored boundary laws (the Section 3.2 certification hinges on
+     these exact counts):
+     - [limit >= t] terminates by itself: [All], complete — including
+       [limit = t] exactly, where the implementation must notice
+       completion rather than report a spurious cutoff;
+     - [limit < t] is a certified cutoff: [Truncated] with {e exactly}
+       [limit + 1] elements, every one a genuine match at [tau] —
+       including [limit = 0] (payload of exactly one element) and
+       [limit = t - 1] (payload of all [t], still flagged, because
+       [All] would falsely certify [t <= limit]);
+     - an empty answer can never truncate: [All []] for any limit. *)
+  let test_monitored_edge_cases () =
+    let elems, oracle, queries = setup 717 300 in
+    let s = I.Pri.build elems in
+    Array.iter
+      (fun q ->
+        let truth = ids (Oracle.prioritized oracle q ~tau:Float.neg_infinity) in
+        let t = List.length truth in
+        (* Cutoffs: exactly limit+1 genuine matches. *)
+        List.sort_uniq Int.compare [ 0; 1; t / 2; t - 1 ]
+        |> List.iter (fun limit ->
+               if limit >= 0 && limit < t then
+                 match
+                   I.Pri.query_monitored s q ~tau:Float.neg_infinity ~limit
+                 with
+                 | Sigs.All _ ->
+                     Alcotest.failf "%s: limit=%d < t=%d must truncate" I.name
+                       limit t
+                 | Sigs.Truncated got ->
+                     Alcotest.(check int)
+                       (Printf.sprintf "%s: limit=%d payload is limit+1" I.name
+                          limit)
+                       (limit + 1) (List.length got);
+                     List.iter
+                       (fun e ->
+                         Alcotest.(check bool)
+                           (Printf.sprintf "%s: truncated element matches"
+                              I.name)
+                           true
+                           (List.mem (I.P.id e) truth))
+                       got);
+        (* Termination: limit = t and beyond return the complete answer. *)
+        List.iter
+          (fun limit ->
+            match I.Pri.query_monitored s q ~tau:Float.neg_infinity ~limit with
+            | Sigs.All got ->
+                Alcotest.(check (list int))
+                  (Printf.sprintf "%s: limit=%d >= t=%d complete" I.name limit
+                     t)
+                  truth (ids got)
+            | Sigs.Truncated _ ->
+                Alcotest.failf "%s: limit=%d >= t=%d must not truncate" I.name
+                  limit t)
+          [ t; t + 9 ])
+      queries;
+    (* Empty matching set: All [] regardless of limit. *)
+    let rng = Rng.create 719 in
+    let q0 = (I.queries rng ~n:1).(0) in
+    match I.Pri.query_monitored (I.Pri.build [||]) q0 ~tau:0. ~limit:0 with
+    | Sigs.All [] -> ()
+    | Sigs.All _ -> Alcotest.failf "%s: empty build reported elements" I.name
+    | Sigs.Truncated _ ->
+        Alcotest.failf "%s: empty build truncated at limit=0" I.name
+
   let test_max_agrees () =
     let elems, oracle, queries = setup 707 300 in
     let m = I.Max.build elems in
@@ -213,6 +277,8 @@ module Conformance (I : INSTANCE) = struct
         test_tau_inclusion;
       Alcotest.test_case "monitored exactness" `Quick
         test_monitored_exactness;
+      Alcotest.test_case "monitored edge cases (limit 0, t-1, >= t)" `Quick
+        test_monitored_edge_cases;
       Alcotest.test_case "max agrees with oracle" `Quick test_max_agrees;
       Alcotest.test_case "top-k prefix monotone" `Quick
         test_topk_prefix_monotone;

@@ -44,7 +44,7 @@ module Dot_pri = struct
 
   let name = "dot-pst"
 
-  let build elems =
+  let build ?params:_ elems =
     Pst.build ~key:(fun (e : Dot.t) -> e.Dot.pos)
       ~weight:(fun (e : Dot.t) -> e.Dot.w)
       elems
@@ -72,7 +72,7 @@ module Dot_max = struct
 
   let name = "dot-prefix-max"
 
-  let build elems =
+  let build ?params:_ elems =
     let sorted = Array.copy elems in
     Array.sort
       (fun (a : Dot.t) (b : Dot.t) -> Float.compare a.Dot.pos b.Dot.pos)

@@ -14,6 +14,7 @@ module Registry = Topk_service.Registry
 module Executor = Topk_service.Executor
 module Breaker = Topk_service.Breaker
 module Response = Topk_service.Response
+module Limits = Topk_service.Limits
 module Future = Topk_service.Future
 module Metrics = Topk_service.Metrics
 
@@ -170,7 +171,10 @@ let test_budget_cutoff_certified_prefix () =
   let naive = IInst.Topk_naive.build elems in
   let k = 64 in
   let pool = Executor.create ~workers:2 ~queue_capacity:8 () in
-  let starved = Future.await (Executor.submit pool h 0.5 ~k ~budget:2) in
+  let starved =
+    Future.await
+      (Executor.submit pool h 0.5 ~k ~limits:(Limits.make ~budget:2 ()))
+  in
   Alcotest.(check bool) "flagged partial" true (Response.is_partial starved);
   Alcotest.(check string)
     "status" "cutoff:budget"
@@ -397,17 +401,17 @@ let test_registry () =
     (List.map (fun (i : Registry.info) -> i.Registry.name) infos);
   Alcotest.(check bool) "mem" true (Registry.mem fx.registry "range1d");
   Alcotest.(check bool) "not mem" false (Registry.mem fx.registry "nope");
-  (match Registry.find fx.registry "intervals" with
-  | None -> Alcotest.fail "find"
-  | Some i -> Alcotest.(check int) "size" 500 i.Registry.size);
-  (* Lookup miss: the error names every registered instance. *)
-  Alcotest.(check int)
-    "find_exn hit" 500
-    (Registry.find_exn fx.registry "intervals").Registry.size;
-  Alcotest.check_raises "find_exn miss lists registered names"
-    (Invalid_argument
-       "Registry.find_exn: unknown instance \"nope\" (registered: intervals, \
-        range1d)") (fun () -> ignore (Registry.find_exn fx.registry "nope"));
+  (match Registry.resolve fx.registry "intervals" with
+  | Error _ -> Alcotest.fail "resolve"
+  | Ok i -> Alcotest.(check int) "size" 500 i.Registry.size);
+  (* Lookup miss: every registered instance comes back as a
+     suggestion, ranked by edit distance to the requested name. *)
+  (match Registry.resolve fx.registry "interval" with
+  | Ok _ -> Alcotest.fail "resolve miss"
+  | Error (`Not_found suggestions) ->
+      Alcotest.(check (list string))
+        "suggestions ranked by distance" [ "intervals"; "range1d" ]
+        suggestions);
   (* Duplicate registration: the error names the incumbent structure. *)
   Alcotest.check_raises "duplicate name"
     (Invalid_argument
@@ -426,7 +430,16 @@ let test_request_validation () =
       ignore (Topk_service.Request.make fx.itv_h 0.5 ~k:0));
   Alcotest.check_raises "negative budget"
     (Invalid_argument "Request.make: budget must be >= 0 (got -1)") (fun () ->
-      ignore (Topk_service.Request.make fx.itv_h ~budget:(-1) 0.5 ~k:1))
+      ignore
+        (Topk_service.Request.make fx.itv_h
+           ~limits:{ Limits.budget = Some (-1); horizon = Limits.Unbounded }
+           0.5 ~k:1));
+  Alcotest.check_raises "Limits.make rejects negative budget"
+    (Invalid_argument "Limits: budget must be >= 0 (got -2)") (fun () ->
+      ignore (Limits.make ~budget:(-2) ()));
+  Alcotest.check_raises "Limits.make rejects timeout+deadline"
+    (Invalid_argument "Limits.make: pass either ~timeout or ~deadline, not both")
+    (fun () -> ignore (Limits.make ~timeout:1.0 ~deadline:2.0 ()))
 
 (* Metrics histogram math, single-threaded. *)
 let test_metrics_histogram () =

@@ -21,6 +21,7 @@ module Executor = Topk_service.Executor
 module Registry = Topk_service.Registry
 module Response = Topk_service.Response
 module Metrics = Topk_service.Metrics
+module Limits = Topk_service.Limits
 
 (* ------------------------------------------------------------------ *)
 (* Partitioner                                                         *)
@@ -493,15 +494,18 @@ let test_scatter_cutoffs () =
       let queries = interval_queries 952 25 in
       (* Per-leg budget 0: every leg is cut off before doing anything,
          nothing is certified, and the join says so. *)
-      let r0 = IScatter.query sc ~budget:0 queries.(0) ~k:10 in
+      let r0 =
+        IScatter.query sc ~limits:(Limits.make ~budget:0 ()) queries.(0) ~k:10
+      in
       Alcotest.(check string)
         "budget 0 status" "cutoff:budget"
         (Response.status_string r0.IScatter.status);
       Alcotest.(check int) "budget 0 answers" 0 (List.length r0.IScatter.answers);
       (* An already-expired deadline behaves the same, flagged as such. *)
       let rd =
-        IScatter.query sc ~deadline:(Unix.gettimeofday () -. 1.) queries.(0)
-          ~k:10
+        IScatter.query sc
+          ~limits:(Limits.make ~deadline:(Unix.gettimeofday () -. 1.) ())
+          queries.(0) ~k:10
       in
       Alcotest.(check string)
         "expired deadline status" "cutoff:deadline"
@@ -510,7 +514,9 @@ let test_scatter_cutoffs () =
          possibly shorter, never wrong. *)
       Array.iter
         (fun q ->
-          let r = IScatter.query sc ~budget:3 q ~k:20 in
+          let r =
+            IScatter.query sc ~limits:(Limits.make ~budget:3 ()) q ~k:20
+          in
           let got = List.map IP.id r.IScatter.answers in
           let truth = List.map IP.id (IOracle.top_k oracle q ~k:20) in
           let plen = List.length got in
@@ -525,10 +531,12 @@ let test_scatter_cutoffs () =
         (fun () -> ignore (IScatter.query sc queries.(0) ~k:0));
       Alcotest.check_raises "both timeout and deadline"
         (Invalid_argument
-           "Scatter.query: pass either ~timeout or ~deadline, not both")
+           "Limits.make: pass either ~timeout or ~deadline, not both")
         (fun () ->
           ignore
-            (IScatter.query sc ~timeout:1. ~deadline:1. queries.(0) ~k:1)))
+            (IScatter.query sc
+               ~limits:(Limits.make ~timeout:1. ~deadline:1. ())
+               queries.(0) ~k:1)))
 
 let test_scatter_wave_one_matches () =
   (* wave = 1 degenerates to the sequential planner's fully-adaptive
