@@ -32,6 +32,7 @@ let experiments =
     ("e16", "Top-k 2D orthogonal range reporting", E16_ortho.run);
     ("e17", "Sharded planner with max-query pruning", E17_shard.run);
     ("e18", "Tracing overhead on the sharded workload", E18_trace.run);
+    ("e19", "Live ingestion: update cost and read-side tax", E19_ingest.run);
   ]
 
 let () =

@@ -1061,6 +1061,295 @@ let trace_cmd =
       const run $ n_arg $ k_arg $ seed_arg $ queries_arg $ shards_arg
       $ workers_arg $ dump_arg $ block_arg)
 
+(* --- ingest-bench --- *)
+
+let ingest_bench_cmd =
+  let module Svc = Topk_service in
+  let module Stats = Topk_em.Stats in
+  let module Certify = Topk_trace.Certify in
+  let module IInst = Topk_interval.Instances in
+  let module I = Topk_interval.Interval in
+  let module Ing = Topk_ingest.Ingest.Make (IInst.Topk_t2) in
+  let updates_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "updates" ] ~docv:"U"
+          ~doc:"Inserts + deletes in the update stream.")
+  in
+  let queries_arg =
+    Arg.(
+      value & opt int 1_000
+      & info [ "queries" ] ~docv:"Q"
+          ~doc:"Queries interleaved with the update stream.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"W"
+          ~doc:"Worker domains running background merges.")
+  in
+  let write_ratio_arg =
+    Arg.(
+      value & opt float 0.7
+      & info [ "write-ratio" ] ~docv:"P"
+          ~doc:
+            "Fraction of updates that insert a fresh element; the rest \
+             delete a live one.  In (0,1].")
+  in
+  let buffer_cap_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "buffer-cap" ] ~docv:"C" ~doc:"Update-log capacity.")
+  in
+  let fanout_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "fanout" ] ~docv:"F" ~doc:"Merge arity per level (>= 2).")
+  in
+  let no_kill_arg =
+    Arg.(
+      value & flag
+      & info [ "no-kill" ]
+          ~doc:"Don't kill (and respawn) a merge worker mid-stream.")
+  in
+  let run n k seed updates queries workers write_ratio buffer_cap fanout
+      no_kill block =
+    validate_common ~n ~k;
+    require_pos "updates" updates;
+    require_pos "queries" queries;
+    require_pos "workers" workers;
+    require_pos "buffer-cap" buffer_cap;
+    if not (write_ratio > 0. && write_ratio <= 1.) then
+      die "write-ratio must be in (0,1] (got %g)" write_ratio;
+    if fanout < 2 then die "fanout must be >= 2 (got %d)" fanout;
+    with_model block (fun () ->
+        let rng = Topk_util.Rng.create seed in
+        Printf.printf
+          "ingest-bench: n=%d updates=%d queries=%d workers=%d k=%d \
+           write-ratio=%g buffer-cap=%d fanout=%d%s\n%!"
+          n updates queries workers k write_ratio buffer_cap fanout
+          (if no_kill then "" else " (+1 injected merge-worker crash)");
+        let base =
+          Topk_interval.Interval.of_spans rng
+            (Topk_util.Gen.intervals rng ~shape:Topk_util.Gen.Mixed_intervals
+               ~n)
+        in
+        let pool = Svc.Executor.create ~workers () in
+        let t =
+          Ing.create ~params:(IInst.params ()) ~buffer_cap ~fanout ~pool base
+        in
+        let metrics = Svc.Executor.metrics pool in
+        (* The seeded update stream: fresh ids insert, live ids delete. *)
+        let next_id = ref (n + 1) in
+        let live = Hashtbl.create (2 * n) in
+        Array.iter (fun (e : I.t) -> Hashtbl.replace live e.I.id e) base;
+        let fresh_elem () =
+          let id = !next_id in
+          incr next_id;
+          let lo = Topk_util.Rng.uniform rng in
+          let hi =
+            Float.min 1.0 (lo +. 0.02 +. (0.3 *. Topk_util.Rng.uniform rng))
+          in
+          I.make ~id ~lo ~hi
+            ~weight:(1000. *. Topk_util.Rng.uniform rng)
+            ()
+        in
+        let one_update () =
+          let insert () =
+            let e = fresh_elem () in
+            Hashtbl.replace live e.I.id e;
+            Ing.insert t e
+          in
+          if Topk_util.Rng.uniform rng <= write_ratio then insert ()
+          else begin
+            (* Probe for a live victim; fall back to an insert when the
+               sampling misses (the live set only shrinks under heavy
+               delete ratios, so a bounded probe is enough). *)
+            let victim = ref None in
+            let tries = ref 0 in
+            while !victim = None && !tries < 64 do
+              incr tries;
+              let id = 1 + Topk_util.Rng.int rng (!next_id - 1) in
+              match Hashtbl.find_opt live id with
+              | Some e -> victim := Some e
+              | None -> ()
+            done;
+            match !victim with
+            | Some e ->
+                Hashtbl.remove live e.I.id;
+                Ing.delete t e
+            | None -> insert ()
+          end
+        in
+        (* Exactness: every answer must equal the from-scratch oracle
+           over the surviving set of the same pinned epoch.
+
+           Certification: the Dynamic(T2) constant depends on the
+           tombstone/override density the stream settles into (more
+           overrides mean more staged-doubling rounds per run), so the
+           model is fitted from the first tenth of the {e real}
+           interleaved stream — a synthetic pre-stream warmup
+           underestimates it — and certifies the remainder. *)
+        let instance = "ingest(interval-t2)" in
+        let cal_target = max 32 (queries / 10) in
+        let cal_samples = ref [] in
+        let fitted = ref false in
+        let headroom = ref 0.0 in
+        let b = float_of_int (Topk_em.Config.current ()).Topk_em.Config.b in
+        let logb x =
+          Float.max 1. (log (Float.max 2. x) /. log (Float.max 2. b))
+        in
+        let fit_model () =
+          Certify.register
+            (Certify.fit ~instance ~theorem:(Certify.Dynamic Certify.T2)
+               ~n:(n + updates) ~margin:3.0
+               ~q_pri:(logb (float_of_int (n + updates)))
+               ~q_max:(logb (float_of_int (n + updates)))
+               (List.rev !cal_samples));
+          Certify.reset_counters ();
+          fitted := true
+        in
+        let mismatched = ref 0 and checked = ref 0 in
+        let ids l = List.map (fun (e : I.t) -> e.I.id) l in
+        let do_query () =
+          let q = Topk_util.Rng.uniform rng in
+          let view = Ing.pin t in
+          let answer, cost =
+            Stats.measure (fun () -> Ing.query_view view q ~k)
+          in
+          let truth =
+            Topk_util.Select.top_k ~cmp:I.compare_weight k
+              (List.filter (fun e -> I.contains e q) (Ing.view_live view))
+          in
+          incr checked;
+          if ids answer <> ids truth then begin
+            incr mismatched;
+            if !mismatched <= 3 then
+              Printf.printf
+                "  MISMATCH at epoch %d (q=%g k=%d): got %d ids, oracle %d\n"
+                (Ing.view_epoch view) q k (List.length answer)
+                (List.length truth)
+          end;
+          let runs = Ing.view_runs view in
+          if not !fitted then begin
+            cal_samples := (k, Some runs, cost.Stats.ios) :: !cal_samples;
+            if List.length !cal_samples >= cal_target then fit_model ()
+          end
+          else begin
+            (match Certify.lookup instance with
+             | Some m ->
+                 let bound = Certify.bound m ~k ~visited:runs in
+                 headroom :=
+                   Float.max !headroom
+                     (float_of_int cost.Stats.ios /. Float.max 1e-9 bound)
+             | None -> ());
+            ignore
+              (Certify.evaluate ~instance ~k ~visited:runs
+                 ~measured:cost.Stats.ios ()
+                : Certify.verdict option)
+          end;
+          Ing.unpin view
+        in
+        (* The measured stream: interleave queries with updates, kill a
+           merge worker a third of the way in. *)
+        let t0 = Unix.gettimeofday () in
+        let per_query = max 1 (updates / queries) in
+        let issued = ref 0 in
+        for u = 1 to updates do
+          one_update ();
+          if u mod per_query = 0 && !issued < queries then begin
+            incr issued;
+            do_query ()
+          end;
+          if (not no_kill) && u = updates / 3 then
+            Svc.Executor.inject_worker_crash pool 0
+        done;
+        while !issued < queries do
+          incr issued;
+          do_query ()
+        done;
+        if not !fitted then fit_model ();
+        let elapsed = Unix.gettimeofday () -. t0 in
+        (* Settle: seal the tail of the log, drain compaction, and
+           re-check a final batch of queries on the frozen structure. *)
+        Ing.freeze t;
+        for _ = 1 to 16 do do_query () done;
+        Svc.Executor.drain pool;
+        if not no_kill then begin
+          let deadline = Unix.gettimeofday () +. 5. in
+          while
+            Svc.Metrics.Counter.get metrics.Svc.Metrics.respawns = 0
+            && Unix.gettimeofday () < deadline
+          do
+            Unix.sleepf 0.005
+          done
+        end;
+        Svc.Executor.shutdown pool;
+        let agg = Stats.aggregate () in
+        let get c = Svc.Metrics.Counter.get c in
+        let seals = get metrics.Svc.Metrics.seals in
+        let merges = get metrics.Svc.Metrics.merges in
+        let respawns = get metrics.Svc.Metrics.respawns in
+        let mlat = metrics.Svc.Metrics.merge_latency_us in
+        Printf.printf
+          "streamed %d updates + %d queries in %.3fs (%.0f ops/s): %d/%d \
+           exact\n"
+          updates queries elapsed
+          (float_of_int (updates + queries) /. Float.max 1e-9 elapsed)
+          (!checked - !mismatched) !checked;
+        Printf.printf
+          "ingest: size=%d epoch=%d runs=%d updates=%d seals=%d merges=%d \
+           tombstones=%d epoch-lag=%d respawns=%d wedged=%b\n"
+          (Ing.size t) (Ing.epoch t) (Ing.run_count t)
+          (get metrics.Svc.Metrics.updates)
+          seals merges
+          (get metrics.Svc.Metrics.tombstones)
+          (Svc.Metrics.Gauge.get metrics.Svc.Metrics.epoch_lag)
+          respawns (Ing.wedged t);
+        Printf.printf
+          "merge latency: %d merges, mean %.0fus, p95 %dus, max %dus\n"
+          (Svc.Metrics.Histogram.count mlat)
+          (Svc.Metrics.Histogram.mean mlat)
+          (Svc.Metrics.Histogram.percentile mlat 0.95)
+          (Svc.Metrics.Histogram.max_value mlat)
+          ;
+        Printf.printf
+          "cost: %d I/Os aggregate (merge I/O included); certified: %d \
+           checked, %d violations (worst headroom %.2f of bound)\n"
+          agg.Stats.ios (Certify.checked ()) (Certify.violations ())
+          !headroom;
+        (* Hard failures: this bench exists to catch them. *)
+        if !mismatched > 0 then
+          die "%d answers disagree with the from-scratch epoch oracle"
+            !mismatched;
+        if Certify.violations () > 0 then
+          die "%d dynamic cost-bound violations" (Certify.violations ());
+        if seals = 0 then die "the update stream never sealed the buffer";
+        if merges = 0 then die "compaction never merged a level";
+        if Ing.wedged t then die "compaction wedged (merge failed permanently)";
+        if (not no_kill) && respawns = 0 then
+          die "killed merge worker 0 but the supervisor never respawned it";
+        if agg.Stats.ios <= 0 then
+          die "no I/O reached the aggregate EM accounting";
+        Printf.printf
+          "ingest-bench: OK (%d exact answers across %d epochs under live \
+           compaction)\n"
+          !checked (Ing.epoch t + 1))
+  in
+  Cmd.v
+    (Cmd.info "ingest-bench"
+       ~doc:
+         "Stream seeded inserts/deletes into a live ingest wrapper while \
+          serving interleaved queries, with background merges on a worker \
+          pool (one worker killed mid-stream) — every answer must match a \
+          from-scratch oracle over the surviving set at its pinned epoch, \
+          and every measured cost must stay within the fitted \
+          Dynamic(Theorem 2) bound.")
+    Term.(
+      const run $ n_arg $ k_arg $ seed_arg $ updates_arg $ queries_arg
+      $ workers_arg $ write_ratio_arg $ buffer_cap_arg $ fanout_arg
+      $ no_kill_arg $ block_arg)
+
 (* --- sample-check --- *)
 
 let sample_check_cmd =
@@ -1119,4 +1408,5 @@ let () =
             chaos_bench_cmd;
             shard_bench_cmd;
             trace_cmd;
+            ingest_bench_cmd;
           ]))

@@ -75,7 +75,7 @@ module Make (S : Sigs.PRIORITIZED) = struct
     t.live_count <- Array.length elems;
     fill t elems
 
-  let insert t e =
+  let insert_fresh t e =
     (* Find the first empty slot; everything below merges into it. *)
     let slot = ref 0 in
     let n_slots = Array.length t.buckets in
@@ -103,6 +103,20 @@ module Make (S : Sigs.PRIORITIZED) = struct
     t.buckets.(!slot) <-
       Some { structure = S.build ?params:t.params part; elems = part };
     t.live_count <- t.live_count + 1
+
+  let insert t e =
+    if Hashtbl.mem t.dead (P.id e) then begin
+      (* Re-insert of a tombstoned id: the stale copy is still baked
+         into some bucket, so merely dropping the tombstone would
+         resurrect it alongside the new element.  Rebuild from the
+         surviving set (which excludes the stale copy) plus [e]. *)
+      let merged = Array.append (live_elements t) [| e |] in
+      Hashtbl.reset t.dead;
+      t.rebuild_count <- t.rebuild_count + 1;
+      t.live_count <- Array.length merged;
+      fill t merged
+    end
+    else insert_fresh t e
 
   let delete t e =
     if not (Hashtbl.mem t.dead (P.id e)) then begin

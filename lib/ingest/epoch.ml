@@ -1,0 +1,82 @@
+(* See epoch.mli. *)
+
+type 'v epoch = { ep_id : int; ep_value : 'v; mutable ep_pins : int }
+
+type 'v t = {
+  mu : Mutex.t;
+  mutable current : 'v epoch;
+  mutable retired : 'v epoch list;  (* superseded but still pinned *)
+}
+
+type 'v pin = { p_epoch : 'v epoch; p_owner : 'v t; mutable p_released : bool }
+
+let create value =
+  {
+    mu = Mutex.create ();
+    current = { ep_id = 0; ep_value = value; ep_pins = 0 };
+    retired = [];
+  }
+
+let current_id t = Mutex.protect t.mu (fun () -> t.current.ep_id)
+
+let current t = Mutex.protect t.mu (fun () -> t.current.ep_value)
+
+let pin t =
+  Mutex.protect t.mu (fun () ->
+      let ep = t.current in
+      ep.ep_pins <- ep.ep_pins + 1;
+      { p_epoch = ep; p_owner = t; p_released = false })
+
+let value p = p.p_epoch.ep_value
+
+let pin_id p = p.p_epoch.ep_id
+
+let unpin p =
+  let t = p.p_owner in
+  Mutex.protect t.mu (fun () ->
+      if not p.p_released then begin
+        p.p_released <- true;
+        let ep = p.p_epoch in
+        ep.ep_pins <- ep.ep_pins - 1;
+        (* Reclaim: a superseded epoch whose last reader just left is
+           dropped from the retired list, releasing its level-set. *)
+        if ep.ep_pins = 0 && ep != t.current then
+          t.retired <- List.filter (fun e -> e != ep) t.retired
+      end)
+
+let publish t f =
+  Mutex.protect t.mu (fun () ->
+      let old = t.current in
+      t.current <-
+        { ep_id = old.ep_id + 1; ep_value = f old.ep_value; ep_pins = 0 };
+      (* Superseded-but-pinned epochs stay reachable until their last
+         reader unpins; an unpinned one is dropped immediately. *)
+      if old.ep_pins > 0 then t.retired <- old :: t.retired;
+      t.current.ep_id)
+
+let oldest_pinned t =
+  Mutex.protect t.mu (fun () ->
+      let pinned =
+        List.filter_map
+          (fun e -> if e.ep_pins > 0 then Some e.ep_id else None)
+          (t.current :: t.retired)
+      in
+      match pinned with
+      | [] -> None
+      | ids -> Some (List.fold_left min max_int ids))
+
+let lag t =
+  Mutex.protect t.mu (fun () ->
+      match
+        List.filter_map
+          (fun e -> if e.ep_pins > 0 then Some e.ep_id else None)
+          (t.current :: t.retired)
+      with
+      | [] -> 0
+      | ids -> t.current.ep_id - List.fold_left min max_int ids)
+
+let retired_count t = Mutex.protect t.mu (fun () -> List.length t.retired)
+
+let with_pin t f =
+  let p = pin t in
+  Fun.protect ~finally:(fun () -> unpin p) (fun () -> f (value p))

@@ -1,0 +1,54 @@
+(** Epoch-based snapshot management: refcounted immutable versions.
+
+    Writers {!publish} a new version (seal, merge); readers {!pin} the
+    current one and work off it lock-free — a pinned version is
+    immutable, so queries never block on compaction and never observe
+    a torn level set.  A superseded version is kept on a retired list
+    while it has readers and reclaimed (dropped, releasing its levels
+    to the GC) exactly when its last reader {!unpin}s.
+
+    All bookkeeping is under one internal mutex; the critical sections
+    are O(pinned epochs), never O(data). *)
+
+type 'v t
+
+type 'v pin
+
+val create : 'v -> 'v t
+(** Epoch 0 holds the initial version. *)
+
+val current_id : 'v t -> int
+
+val current : 'v t -> 'v
+(** The current version, unpinned — for diagnostics only; readers who
+    dereference it must {!pin}. *)
+
+val pin : 'v t -> 'v pin
+(** Take a reference on the current epoch. *)
+
+val value : 'v pin -> 'v
+
+val pin_id : 'v pin -> int
+(** The epoch id this pin holds. *)
+
+val unpin : 'v pin -> unit
+(** Release the reference (idempotent).  Dropping the last reference
+    of a superseded epoch reclaims it. *)
+
+val publish : 'v t -> ('v -> 'v) -> int
+(** [publish t f] atomically replaces the current version [v] with
+    [f v] under the epoch lock and returns the new epoch id.  [f] must
+    be cheap (list surgery, not data movement). *)
+
+val oldest_pinned : 'v t -> int option
+(** The smallest epoch id still pinned by some reader, if any. *)
+
+val lag : 'v t -> int
+(** [current_id - oldest_pinned], or [0] when nothing is pinned — the
+    epoch-lag gauge of the metrics layer. *)
+
+val retired_count : 'v t -> int
+(** Superseded epochs still held by readers. *)
+
+val with_pin : 'v t -> ('v -> 'a) -> 'a
+(** Pin, run, unpin (exception-safe). *)

@@ -1,0 +1,148 @@
+(** Live ingestion: make any {!Topk_core.Sigs.TOPK} structure
+    updatable under concurrent reads.
+
+    The paper's structures (and the serving stack built on them) are
+    static; this functor wraps one in the architecture shared by Tao's
+    dynamic top-k range structure (arXiv:1208.4516) and Brodal's EM
+    top-k with sublogarithmic updates (arXiv:1509.08240): a small
+    mutable front buffer plus a geometric hierarchy of immutable
+    static runs merged in the background.
+
+    {b Write path.}  Inserts and tombstoned deletes append to a
+    bounded {!Update_log} (amortized O(1/B) I/Os each).  When the log
+    fills, it is sealed — replayed ("latest op per id wins") into a
+    fresh level-0 run built with [T.build] — and a new epoch is
+    published.  When a level accumulates [fanout] runs, the level
+    manager merges its oldest [fanout] into one run a level up; with a
+    [?pool], merges run as background jobs on the
+    {!Topk_service.Executor} (retried on transient faults, supervised
+    across worker crashes, their I/O charged to the worker domain that
+    ran them), otherwise inline.  Tombstones ride the runs downward
+    and purge when a merge reaches the oldest run.  The classic
+    Bentley–Saxe argument gives O((log n)/B) amortized I/Os per
+    update.
+
+    {b Read path.}  A reader {!pin}s the current {!Epoch}: an
+    immutable run list plus the log prefix at pin time.  Queries
+    replay the log (naive scan, EM-charged), answer each run exactly
+    (staged doubling past newer sources' overrides), and join
+    everything with the certified k-way {!Topk_shard.Gather.merge}.
+    Readers never block on compaction and never observe a torn level
+    set; superseded level sets are reclaimed when their last reader
+    unpins.
+
+    Answers are {e exact} over the surviving set at the pinned view —
+    the same set {!Make.view_live} replays from scratch, which is what
+    the ingest bench compares against. *)
+
+module Make (T : Topk_core.Sigs.TOPK) : sig
+  module P :
+    Topk_core.Sigs.PROBLEM
+      with type elem = T.P.elem
+       and type query = T.P.query
+
+  type t
+
+  type view
+  (** A pinned snapshot: queries against it are stable under
+      concurrent writes. *)
+
+  val create :
+    ?params:Topk_core.Params.t ->
+    ?buffer_cap:int ->
+    ?fanout:int ->
+    ?pool:Topk_service.Executor.t ->
+    ?metrics:Topk_service.Metrics.t ->
+    P.elem array ->
+    t
+  (** Wrap a freshly built [T] over [elems] (the {e base} run).
+      [buffer_cap] (default 1024) bounds the update log; [fanout]
+      (default 4) is the merge arity per level.  With [?pool], merges
+      are scheduled on it ([metrics] defaults to the pool's);
+      without, merges run inline on the writer.
+      @raise Invalid_argument if [buffer_cap < 1] or [fanout < 2]. *)
+
+  val insert : t -> P.elem -> unit
+  (** Append an insert.  Inserting an id that is already live
+      replaces it (newest wins).  May seal the buffer (and schedule a
+      merge) when full.
+      @raise Invalid_argument after {!freeze}. *)
+
+  val delete : t -> P.elem -> unit
+  (** Append a delete tombstone; deleting an absent id is a no-op in
+      the surviving set.
+      @raise Invalid_argument after {!freeze}. *)
+
+  val query : t -> P.query -> k:int -> P.elem list
+  (** Exact top-k over the surviving set at the current epoch
+      ([k <= 0] answers [[]] uncharged, like every TOPK). *)
+
+  val freeze : t -> unit
+  (** Stop accepting writes, seal the remaining buffer, and wait for
+      background compaction to settle.  Idempotent; queries keep
+      working. *)
+
+  (** {1 Pinned views} *)
+
+  val pin : t -> view
+  val unpin : view -> unit
+  (** Unpin (idempotent); the last unpin of a superseded epoch
+      reclaims its level set. *)
+
+  val query_view : view -> P.query -> k:int -> P.elem list
+  (** {!query} against the pinned snapshot. *)
+
+  val view_live : view -> P.elem list
+  (** The surviving element set of the snapshot, replayed from scratch
+      and {e uncharged} — the oracle for correctness checks. *)
+
+  val view_epoch : view -> int
+  val view_runs : view -> int
+  (** Number of runs in the pinned level set (the [visited] argument
+      of the [Dynamic] cost model in {!Topk_trace.Certify}). *)
+
+  (** {1 Integration} *)
+
+  val update_ops : t -> P.elem Topk_service.Registry.update_ops
+
+  val register :
+    Topk_service.Registry.t -> name:string -> t -> (P.query, P.elem) Topk_service.Registry.handle
+  (** Register the wrapper as a queryable instance whose handle
+      carries {!update_ops} — [Registry.insert]/[delete]/[freeze]
+      work on it. *)
+
+  (** The wrapper as a TOPK in its own right ([build] wraps
+      [create] with defaults and no pool). *)
+  module Topk :
+    Topk_core.Sigs.TOPK
+      with module P = P
+       and type t = t
+
+  val delta_of_view : view -> (P.query, P.elem) Topk_shard.Delta.t
+  (** The pending-update view (everything newer than the base run) as
+      a {!Topk_shard.Delta} for the scatter/planner delta path.  Valid
+      while the view stays pinned; build it fresh per query. *)
+
+  (** {1 Introspection} *)
+
+  val size : t -> int
+  (** Surviving elements (exact while ids are only re-inserted after
+      a delete, which the newest-wins semantics makes the natural
+      usage). *)
+
+  val space_words : t -> int
+  val epoch : t -> int
+  val epoch_lag : t -> int
+  val levels : t -> (int * int) list
+  (** [(level, runs)] per contiguous level block, newest first. *)
+
+  val run_count : t -> int
+  val log_length : t -> int
+  val frozen : t -> bool
+  val wedged : t -> bool
+  (** A background merge failed permanently (retries exhausted or the
+      pool shut down): compaction is parked, serving continues on the
+      last published epoch. *)
+
+  val name_of : t -> string
+end

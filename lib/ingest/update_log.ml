@@ -1,0 +1,64 @@
+(* See update_log.mli. *)
+
+type 'e op = Insert of 'e | Delete of 'e
+
+type 'e entry = { seq : int; op : 'e op }
+
+type 'e t = {
+  cap : int;
+  mutable arr : 'e entry array;  (* length 0 until first append *)
+  mutable len : int;
+}
+
+let create ~cap =
+  if cap < 1 then
+    invalid_arg
+      (Printf.sprintf "Update_log.create: cap must be >= 1 (got %d)" cap);
+  { cap; arr = [||]; len = 0 }
+
+let cap t = t.cap
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let is_full t = t.len >= t.cap
+
+let append t entry =
+  if is_full t then invalid_arg "Update_log.append: log is full (seal first)";
+  (* The backing array is allocated on first use and never grown in
+     place: a pinned reader's [(arr, len)] prefix stays immutable under
+     every later append, and [reset] detaches the whole array. *)
+  if Array.length t.arr = 0 then t.arr <- Array.make t.cap entry
+  else t.arr.(t.len) <- entry;
+  t.len <- t.len + 1
+
+let view t = (t.arr, t.len)
+
+let reset t =
+  t.arr <- [||];
+  t.len <- 0
+
+(* Latest op per id over a captured prefix: the replay semantics every
+   reader and the sealer share.  [Some e] — the id's latest op is an
+   insert of [e]; [None] — its latest op is a delete. *)
+let replay ~id arr len =
+  let tbl = Hashtbl.create (max 16 len) in
+  for i = 0 to len - 1 do
+    match arr.(i).op with
+    | Insert e -> Hashtbl.replace tbl (id e) (Some e)
+    | Delete e -> Hashtbl.replace tbl (id e) None
+  done;
+  tbl
+
+let pp_entry pp_elem ppf { seq; op } =
+  match op with
+  | Insert e -> Format.fprintf ppf "@[<h>+%a@@%d@]" pp_elem e seq
+  | Delete e -> Format.fprintf ppf "@[<h>-%a@@%d@]" pp_elem e seq
+
+let pp pp_elem ppf t =
+  Format.fprintf ppf "@[<h>log[%d/%d]:" t.len t.cap;
+  for i = 0 to t.len - 1 do
+    Format.fprintf ppf " %a" (pp_entry pp_elem) t.arr.(i)
+  done;
+  Format.fprintf ppf "@]"

@@ -111,7 +111,7 @@ let global_rebuild t =
   t.live_count <- Array.length elems;
   fill t elems
 
-let insert t itv =
+let insert_fresh t itv =
   let slot = ref 0 in
   let n_slots = Array.length t.buckets in
   while !slot < n_slots && t.buckets.(!slot) <> None do incr slot done;
@@ -134,6 +134,20 @@ let insert t itv =
   done;
   t.buckets.(!slot) <- Some (build_bucket (Array.of_list !merged));
   t.live_count <- t.live_count + 1
+
+let insert t itv =
+  if Hashtbl.mem t.dead itv.Interval.id then begin
+    (* Re-insert of a tombstoned id: the stale copy is still baked into
+       some bucket, so merely dropping the tombstone would resurrect it
+       alongside the new element.  Rebuild from the surviving set
+       (which excludes the stale copy) plus [itv]. *)
+    let merged = Array.append (live_elements t) [| itv |] in
+    Hashtbl.reset t.dead;
+    t.rebuild_count <- t.rebuild_count + 1;
+    t.live_count <- Array.length merged;
+    fill t merged
+  end
+  else insert_fresh t itv
 
 let delete t itv =
   if not (Hashtbl.mem t.dead itv.Interval.id) then begin

@@ -386,6 +386,11 @@ let submit t handle ?limits q ~k =
   enqueue_blocking t req;
   fut
 
+let submit_task t ?limits ~name f =
+  let req, fut = Request.make_task ~name ?limits f in
+  enqueue_blocking t req;
+  fut
+
 let try_submit t handle ?limits q ~k =
   let req, fut = Request.make handle ?limits q ~k in
   if enqueue_nonblocking t req then Some fut else None

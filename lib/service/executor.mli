@@ -97,6 +97,19 @@ val submit :
     @raise Invalid_argument on a malformed request (see
     {!Request.make}). *)
 
+val submit_task :
+  t ->
+  ?limits:Limits.t ->
+  name:string ->
+  (unit -> unit) ->
+  unit Response.t Future.t
+(** Enqueue a background job (see {!Request.make_task}) on the same
+    queue as queries: it shares the pool's retry, supervision and
+    per-worker EM accounting.  The ingestion layer uses this to run
+    level merges.  Blocks while the queue is full.
+    @raise Shut_down if the pool has been shut down.
+    @raise Overloaded if the circuit breaker is open. *)
+
 val try_submit :
   t ->
   ('q, 'e) Registry.handle ->

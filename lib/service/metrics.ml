@@ -127,6 +127,13 @@ type t = {
   (* cost certification (recorded by Request when a model is registered) *)
   cert_checked : Counter.t;      (* responses checked against their bound *)
   cert_violations : Counter.t;   (* checks where measured > bound *)
+  (* live ingestion (recorded by Topk_ingest) *)
+  updates : Counter.t;           (* inserts + deletes accepted *)
+  seals : Counter.t;             (* buffers sealed into level-0 runs *)
+  merges : Counter.t;            (* background level merges completed *)
+  tombstones : Counter.t;        (* delete tombstones recorded *)
+  epoch_lag : Gauge.t;           (* current epoch - oldest pinned epoch *)
+  merge_latency_us : Histogram.t;(* background merge wall time *)
 }
 
 let create () =
@@ -157,6 +164,12 @@ let create () =
     shard_ios = Histogram.create ();
     cert_checked = Counter.create ();
     cert_violations = Counter.create ();
+    updates = Counter.create ();
+    seals = Counter.create ();
+    merges = Counter.create ();
+    tombstones = Counter.create ();
+    epoch_lag = Gauge.create ();
+    merge_latency_us = Histogram.create ();
   }
 
 let uptime t = Unix.gettimeofday () -. t.started
@@ -214,6 +227,12 @@ let report t =
   histo "topk_shard_ios" t.shard_ios;
   line "topk_cert_checked %d" (Counter.get t.cert_checked);
   line "topk_cert_violations %d" (Counter.get t.cert_violations);
+  line "topk_ingest_updates %d" (Counter.get t.updates);
+  line "topk_ingest_seals %d" (Counter.get t.seals);
+  line "topk_ingest_merges %d" (Counter.get t.merges);
+  line "topk_ingest_tombstones %d" (Counter.get t.tombstones);
+  line "topk_ingest_epoch_lag %d" (Gauge.get t.epoch_lag);
+  histo "topk_ingest_merge_latency_us" t.merge_latency_us;
   line "topk_traces_stored %d" (Topk_trace.Trace.Store.length ());
   line "topk_traces_total %d" (Topk_trace.Trace.Store.total ());
   Buffer.contents buf

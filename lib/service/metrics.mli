@@ -83,6 +83,12 @@ type t = {
   shard_ios : Histogram.t;    (** per-shard leg EM I/Os *)
   cert_checked : Counter.t;   (** responses checked against a cost bound *)
   cert_violations : Counter.t;(** checks where measured I/Os exceeded it *)
+  updates : Counter.t;        (** ingest: inserts + deletes accepted *)
+  seals : Counter.t;          (** ingest: buffers sealed into level-0 runs *)
+  merges : Counter.t;         (** ingest: background level merges completed *)
+  tombstones : Counter.t;     (** ingest: delete tombstones recorded *)
+  epoch_lag : Gauge.t;        (** ingest: current epoch − oldest pinned *)
+  merge_latency_us : Histogram.t;(** ingest: background merge wall time, µs *)
 }
 
 val create : unit -> t

@@ -9,6 +9,15 @@ type info = {
   space_words : int;
 }
 
+(* Write capabilities an updatable instance (one wrapped by
+   [Topk_ingest]) attaches to its handle.  Static instances carry
+   none. *)
+type 'e update_ops = {
+  u_insert : 'e -> unit;
+  u_delete : 'e -> unit;
+  u_freeze : unit -> unit;
+}
+
 (* The typed side of an instance.  The closure hides the structure's
    existential type: requests erase to closures, the registry erases to
    [info], and the two meet only here, where the types are known. *)
@@ -20,6 +29,7 @@ type ('q, 'e) handle = {
     budget:int option ->
     deadline:float option ->
     'e list * Response.status * Stats.snapshot * int;
+  h_update : 'e update_ops option;
 }
 
 type t = {
@@ -96,7 +106,7 @@ let exec (type s q e)
         (answers, status, cost (), rounds)
       end
 
-let register (type s q e) t ~name
+let register (type s q e) ?update t ~name
     (module T : Sigs.TOPK
       with type t = s and type P.query = q and type P.elem = e)
     (structure : s) : (q, e) handle =
@@ -123,11 +133,29 @@ let register (type s q e) t ~name
     h_exec =
       (fun q ~k ~budget ~deadline ->
         exec (module T) structure q ~k ~budget ~deadline);
+    h_update = update;
   }
 
 let info h = h.h_info
 
 let h_exec h = h.h_exec
+
+let updatable h = Option.is_some h.h_update
+
+let update_ops h op =
+  match h.h_update with
+  | Some ops -> ops
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Registry.%s: instance %S is static (registered \
+                         without update support)"
+           op h.h_info.name)
+
+let insert h e = (update_ops h "insert").u_insert e
+
+let delete h e = (update_ops h "delete").u_delete e
+
+let freeze h = (update_ops h "freeze").u_freeze ()
 
 let list t = Mutex.protect t.mutex (fun () -> List.rev t.entries)
 
@@ -165,23 +193,6 @@ let resolve t name =
       Error (`Not_found suggestions)
 
 let mem t name = Result.is_ok (resolve t name)
-
-(* Deprecated wrappers (kept for one release; see registry.mli). *)
-
-let find t name = Result.to_option (resolve t name)
-
-let find_exn t name =
-  match resolve t name with
-  | Ok i -> i
-  | Error (`Not_found suggestions) ->
-      let known =
-        match suggestions with
-        | [] -> "none"
-        | l -> String.concat ", " l
-      in
-      invalid_arg
-        (Printf.sprintf "Registry.find_exn: unknown instance %S (registered: %s)"
-           name known)
 
 let pp_info ppf i =
   Format.fprintf ppf "@[<h>%s: %s, n=%d, %d words@]" i.name i.structure i.size

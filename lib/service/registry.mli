@@ -20,11 +20,21 @@ type ('q, 'e) handle
 (** A typed capability to query one registered instance: ['q] is the
     problem's query type, ['e] its element type. *)
 
+type 'e update_ops = {
+  u_insert : 'e -> unit;
+  u_delete : 'e -> unit;
+  u_freeze : unit -> unit;
+}
+(** Write capabilities attached to the handle of an updatable instance
+    (one wrapped by [Topk_ingest]).  [u_freeze] stops accepting writes
+    and waits for compaction to settle. *)
+
 type t
 
 val create : unit -> t
 
 val register :
+  ?update:'e update_ops ->
   t ->
   name:string ->
   (module Topk_core.Sigs.TOPK
@@ -33,11 +43,29 @@ val register :
       and type P.elem = 'e) ->
   's ->
   ('q, 'e) handle
-(** Register a built structure under [name].  Thread-safe.
+(** Register a built structure under [name].  Thread-safe.  Pass
+    [?update] to attach write capabilities to the returned handle
+    (see {!insert}, {!delete}, {!freeze}); without it the instance is
+    static.
     @raise Invalid_argument on a duplicate name; the message names the
     structure already registered under it. *)
 
 val info : ('q, 'e) handle -> info
+
+val updatable : ('q, 'e) handle -> bool
+
+val insert : ('q, 'e) handle -> 'e -> unit
+(** Apply an insert through the handle's update capabilities.
+    @raise Invalid_argument on a static instance. *)
+
+val delete : ('q, 'e) handle -> 'e -> unit
+(** Record a delete (tombstone) through the handle's update
+    capabilities.
+    @raise Invalid_argument on a static instance. *)
+
+val freeze : ('q, 'e) handle -> unit
+(** Stop accepting writes and wait for in-flight compaction to settle.
+    @raise Invalid_argument on a static instance. *)
 
 val list : t -> info list
 (** In registration order. *)
@@ -46,17 +74,6 @@ val resolve : t -> string -> (info, [ `Not_found of string list ]) result
 (** Look up an instance by name.  On a miss, the error carries every
     registered name ranked by edit distance to the query — closest
     first — so callers can print "did you mean ...?" diagnostics. *)
-
-val find : t -> string -> info option
-[@@deprecated "use Registry.resolve instead"]
-(** Thin compatibility wrapper over {!resolve}; will be removed next
-    release. *)
-
-val find_exn : t -> string -> info
-[@@deprecated "use Registry.resolve instead"]
-(** Thin compatibility wrapper over {!resolve} that raises
-    [Invalid_argument] on a miss, message listing the ranked
-    suggestions; will be removed next release. *)
 
 val mem : t -> string -> bool
 

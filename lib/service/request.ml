@@ -135,6 +135,78 @@ let make (type q e) (handle : (q, e) Registry.handle)
   in
   ({ spec; attempts; run_; abort_ }, fut)
 
+(* A background job (e.g. an ingest level merge) travelling the same
+   queue as queries: it shares the retry/supervision machinery — a
+   transient [Em_fault] parks and retries with backoff, a worker crash
+   before the pop loses nothing — but carries no query and returns no
+   answers.  The job's EM cost is bracketed with [round_carry] exactly
+   like a query's so it lands, in full, on the worker domain that ran
+   it and shows up in [Stats.aggregate]. *)
+let make_task ~name ?(limits = Limits.none) (f : unit -> unit) :
+    t * unit Response.t Future.t =
+  let submitted = Unix.gettimeofday () in
+  let _budget, deadline = Limits.resolve limits ~now:submitted in
+  let parent = Tr.current_trace_id () in
+  let spec = { instance = name; k = 0; limits; deadline; submitted } in
+  let attempts = ref 0 in
+  let fut = Future.create () in
+  let finish ~worker ~attempt ~trace_id status cost =
+    let latency = Unix.gettimeofday () -. submitted in
+    ignore
+      (Future.try_fill fut
+         {
+           Response.answers = [];
+           status;
+           summary = { Response.cost; rounds = 1; attempts = attempt;
+                       certified = None };
+           trace_id;
+           latency;
+           worker;
+           instance = name;
+           k = 0;
+         }
+        : bool);
+    {
+      o_status = status;
+      o_ios = cost.Stats.ios;
+      o_latency = latency;
+      o_verdict = None;
+    }
+  in
+  let run_ ~worker ~attempt =
+    let outcome, trace =
+      Tr.with_root ?parent "task"
+        ~attrs:
+          [ ("task", Tr.Str name);
+            ("attempt", Tr.Int attempt);
+            ("worker", Tr.Int worker) ]
+        (fun () ->
+          Stats.round_carry ();
+          let before = Stats.snapshot () in
+          let cost () =
+            Stats.round_carry ();
+            Stats.diff (Stats.snapshot ()) before
+          in
+          match f () with
+          | () -> `Done (cost ())
+          | exception Fault.Em_fault msg -> `Fault msg
+          | exception e -> `Raised (Printexc.to_string e, cost ()))
+    in
+    let trace_id = Option.map (fun (tr : Tr.t) -> tr.Tr.id) trace in
+    match outcome with
+    | `Done cost ->
+        Completed (finish ~worker ~attempt ~trace_id Response.Complete cost)
+    | `Fault msg -> Transient msg
+    | `Raised (msg, cost) ->
+        Completed
+          (finish ~worker ~attempt ~trace_id (Response.Failed msg) cost)
+  in
+  let abort_ ~worker ~reason =
+    finish ~worker ~attempt:!attempts ~trace_id:None
+      (Response.Failed reason) Stats.zero_snapshot
+  in
+  ({ spec; attempts; run_; abort_ }, fut)
+
 let run t ~worker =
   incr t.attempts;
   t.run_ ~worker ~attempt:!(t.attempts)

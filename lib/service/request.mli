@@ -68,6 +68,19 @@ val make :
     @raise Invalid_argument if [k <= 0] or the limits carry a negative
     budget. *)
 
+val make_task :
+  name:string ->
+  ?limits:Limits.t ->
+  (unit -> unit) ->
+  t * unit Response.t Future.t
+(** Build a background job that travels the executor queue like a
+    query: retried on transient {!Topk_em.Fault.Em_fault}s, supervised
+    across worker crashes, traced under a root span named ["task"],
+    its EM cost charged to the worker domain that ran it.  Used by the
+    ingestion layer for level merges.  The response carries no answers
+    ([answers = []], [k = 0]); completion (or permanent failure) is
+    signalled through the future's status. *)
+
 val run : t -> worker:int -> attempt
 (** Execute one attempt on the calling domain (normally a pool
     worker), incrementing {!attempts}.  A query exception becomes

@@ -1,0 +1,22 @@
+(* See delta.mli. *)
+
+type ('q, 'e) t = {
+  d_bound : 'q -> float option;
+  d_topk : 'q -> k:int -> 'e list;
+  d_dead : 'e -> bool;
+  d_dead_count : int;
+}
+
+let none () =
+  {
+    d_bound = (fun _ -> None);
+    d_topk = (fun _ ~k:_ -> []);
+    d_dead = (fun _ -> false);
+    d_dead_count = 0;
+  }
+
+let combine_bound static buffered =
+  match (static, buffered) with
+  | None, None -> None
+  | (Some _ as b), None | None, (Some _ as b) -> b
+  | Some a, Some b -> Some (Float.max a b)

@@ -1,0 +1,44 @@
+(** A shard's pending-update view: what the ingestion layer has
+    buffered against one static shard, exposed to the query planners.
+
+    The static shard structures are immutable; between epochs, inserts
+    and deletes accumulate in a per-shard in-memory buffer owned by the
+    ingestion layer ([Topk_ingest]).  A delta lets {!Planner} and
+    {!Scatter} answer exactly over [static ∪ buffer \ tombstones]
+    without knowing anything about the buffer's representation: the
+    closures scan the buffer (EM-charged by their owner) and the
+    planners combine the results with the static answers.
+
+    Soundness of pruning under deltas: the static per-shard max is
+    still a valid {e upper} bound when elements have been deleted
+    (deletes only shrink a shard), and [d_bound] bounds the buffered
+    inserts, so [max static d_bound] over-approximates the shard's true
+    maximum — pruning against it stays exact, merely visiting a stale
+    shard occasionally.  Exactness of reporting under deltas: a static
+    top-[(k + d_dead_count)] query filtered by [d_dead] retains at
+    least the top-[k] surviving static elements, because at most
+    [d_dead_count] of the returned prefix can be tombstoned. *)
+
+type ('q, 'e) t = {
+  d_bound : 'q -> float option;
+      (** upper bound on the weight of any {e live} buffered insert
+          matching the query; [None] if there are none *)
+  d_topk : 'q -> k:int -> 'e list;
+      (** exact top-k among live buffered inserts matching the query,
+          decreasing weight; the scan is EM-charged by the buffer's
+          owner *)
+  d_dead : 'e -> bool;
+      (** [true] iff a buffered tombstone kills this (static) element *)
+  d_dead_count : int;
+      (** number of buffered tombstones that may hit the static shard;
+          the planner widens static queries by this much before
+          filtering *)
+}
+
+val none : unit -> ('q, 'e) t
+(** The empty delta: no buffered inserts, no tombstones.  Querying
+    through it is identical to querying the static shard. *)
+
+val combine_bound : float option -> float option -> float option
+(** [combine_bound static buffered]: the max of the two available
+    bounds, [None] when both sides are empty. *)

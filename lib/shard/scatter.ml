@@ -61,7 +61,7 @@ struct
         (x :: hd, tl)
     | _ -> ([], l)
 
-  let query t ?(limits = Limits.none) q ~k =
+  let query t ?(limits = Limits.none) ?deltas q ~k =
     if k <= 0 then
       invalid_arg
         (Printf.sprintf "Scatter.query: k must be positive (got %d)" k);
@@ -70,6 +70,20 @@ struct
         invalid_arg
           (Printf.sprintf "Scatter.query: budget must be >= 0 (got %d)" b)
     | _ -> ());
+    (match deltas with
+    | Some d when Array.length d <> SS.shard_count t.set ->
+        invalid_arg
+          (Printf.sprintf "Scatter.query: %d delta(s) for %d shard(s)"
+             (Array.length d)
+             (SS.shard_count t.set))
+    | _ -> ());
+    (* Without pending updates every delta is empty and the plan below
+       degenerates to the static scatter path. *)
+    let deltas =
+      match deltas with
+      | Some d -> d
+      | None -> Array.init (SS.shard_count t.set) (fun _ -> Delta.none ())
+    in
     let started = Unix.gettimeofday () in
     (* Anchor a relative timeout once, here: every per-shard leg then
        shares the same absolute deadline instead of restarting the
@@ -109,7 +123,11 @@ struct
           let bounded = ref [] and empty = ref 0 in
           Tr.with_span "scatter.bounds" (fun () ->
               for i = s - 1 downto 0 do
-                match SS.upper_bound t.set i q with
+                match
+                  Delta.combine_bound
+                    (SS.upper_bound t.set i q)
+                    (deltas.(i).Delta.d_bound q)
+                with
                 | None -> incr empty
                 | Some ub -> bounded := (i, ub) :: !bounded
               done);
@@ -153,9 +171,13 @@ struct
                 let futs =
                   List.map
                     (fun (i, _) ->
+                      (* Widen the static leg by the shard's tombstone
+                         count so that filtering the dead still leaves
+                         the top-k survivors (see Delta). *)
+                      let k_leg = k + deltas.(i).Delta.d_dead_count in
                       ( i,
                         Executor.submit t.pool t.handles.(i)
-                          ~limits:leg_limits q ~k ))
+                          ~limits:leg_limits q ~k:k_leg ))
                     now_wave
                 in
                 fanout := !fanout + List.length futs;
@@ -183,22 +205,35 @@ struct
                       (Response.cost r).Stats.ios;
                     leg_cost := Stats.add !leg_cost (Response.cost r);
                     status := Response.combine_status !status r.Response.status;
+                    let d = deltas.(i) in
+                    (* Tombstoned elements are filtered caller-side;
+                       the buffer's own matching top-k joins as an
+                       extra, always-complete leg.  Filtering a
+                       truncated leg only raises its last reported
+                       weight, so the certified-merge threshold stays
+                       sound. *)
+                    let live =
+                      List.filter
+                        (fun e -> not (d.Delta.d_dead e))
+                        r.Response.answers
+                    in
+                    let buffered = d.Delta.d_topk q ~k in
+                    if buffered <> [] then legs := (buffered, true) :: !legs;
                     (match r.Response.status with
                     | Response.Failed _ ->
                         (* A failed leg certifies nothing about its
                            shard. *)
                         legs := ([], false) :: !legs
-                    | Response.Complete ->
-                        legs := (r.Response.answers, true) :: !legs
+                    | Response.Complete -> legs := (live, true) :: !legs
                     | Response.Cutoff_budget | Response.Cutoff_deadline ->
-                        legs := (r.Response.answers, false) :: !legs);
+                        legs := (live, false) :: !legs);
                     (* Resident bookkeeping between waves: the leg's
                        reporting cost was charged worker-side;
                        [merge_certified] below is the single charged
                        gather pass. *)
                     candidates :=
                       Gather.union ~cmp:W.compare ~k !candidates
-                        r.Response.answers)
+                        (Gather.union ~cmp:W.compare ~k live buffered))
                   futs;
                 waves rest
           in

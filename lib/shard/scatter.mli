@@ -70,7 +70,12 @@ module Make
   val wave : t -> int
 
   val query :
-    t -> ?limits:Topk_service.Limits.t -> SS.P.query -> k:int -> result
+    t ->
+    ?limits:Topk_service.Limits.t ->
+    ?deltas:(SS.P.query, SS.P.elem) Delta.t array ->
+    SS.P.query ->
+    k:int ->
+    result
   (** Scatter, gather, and join one logical query (blocks the caller
       until every submitted leg resolves).  [limits.budget] is a
       per-leg EM-I/O budget; the limits' horizon — relative or
@@ -83,8 +88,14 @@ module Make
       ["scatter.leg"] span per gathered leg linking to the worker-side
       trace) whose [visited]/[pruned]/[empty] attributes feed the
       sharded cost certifier.
-      @raise Invalid_argument if [k <= 0] or the limits carry a
-      negative budget.
+
+      [deltas] (one per shard, in shard order) routes the query over
+      [static ∪ buffer \ tombstones]: per-shard bounds combine the
+      buffered-insert bound, each static leg is widened by the shard's
+      tombstone count and filtered caller-side, and the buffer's own
+      matching top-k joins the certified merge (see {!Delta}).
+      @raise Invalid_argument if [k <= 0], the limits carry a
+      negative budget, or [deltas] has the wrong length.
       @raise Topk_service.Executor.Shut_down if the pool is down. *)
 
   val pp_result : Format.formatter -> result -> unit

@@ -1,6 +1,6 @@
 (* Cost certification.  See certify.mli for the contract. *)
 
-type theorem = T1 | T2 | Sharded | Other of string
+type theorem = T1 | T2 | Sharded | Other of string | Dynamic of theorem
 
 type model = {
   instance : string;
@@ -21,15 +21,16 @@ type verdict = {
   v_ok : bool;
 }
 
-let theorem_name = function
+let rec theorem_name = function
   | T1 -> "theorem1"
   | T2 -> "theorem2"
   | Sharded -> "sharded"
   | Other s -> s
+  | Dynamic inner -> "dynamic(" ^ theorem_name inner ^ ")"
 
 let out_term m ~k = float_of_int k /. float_of_int m.b +. 1.
 
-let normalizer m ~k ~visited =
+let rec normalizer m ~k ~visited =
   match m.theorem with
   | T1 -> m.q_pri +. out_term m ~k
   | T2 -> m.q_pri +. m.q_max +. out_term m ~k
@@ -41,6 +42,16 @@ let normalizer m ~k ~visited =
           *. (m.q_pri +. m.q_max +. out_term m ~k))
       +. out_term m ~k
   | Other _ -> out_term m ~k
+  | Dynamic inner ->
+      (* Bentley–Saxe view: [visited] immutable runs (the level
+         hierarchy keeps at most O(log n) of them), each paying one
+         static query under the inner bound, plus the update-log
+         replay (amortized O(log n) per update, surfaced here as a
+         log-sized additive term) and the final k-way merge scan. *)
+      let static = normalizer { m with theorem = inner } ~k ~visited in
+      (float_of_int (max visited 1) *. static)
+      +. log (float_of_int (m.n + 2))
+      +. out_term m ~k
 
 let fit ~instance ~theorem ~n ?(shards = 1) ?(margin = 2.0) ~q_pri ~q_max
     samples =

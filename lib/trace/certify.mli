@@ -24,6 +24,14 @@ type theorem =
   | T2                  (** Theorem 2 expected-case reduction *)
   | Sharded             (** scatter/planner over Theorem-2 shards *)
   | Other of string     (** opaque; bound is [c * (1 + k/B)] *)
+  | Dynamic of theorem
+      (** Bentley–Saxe ingestion wrapper over a static structure whose
+          bound is the inner theorem: [visited] here counts the
+          immutable runs in the reader's pinned epoch (at most
+          [O(log n)] of them), each charged one inner-bound query; an
+          additive [ln n] term covers the amortized per-update work
+          replayed from the in-memory log, plus the final k-way merge
+          scan. *)
 
 type model = {
   instance : string;       (** registry / reporting name *)
@@ -46,7 +54,8 @@ type verdict = {
 
 val normalizer : model -> k:int -> visited:int -> float
 (** The bound's shape (right-hand side without the constant), in I/Os.
-    [visited] is ignored unless the model is [Sharded]. *)
+    [visited] is ignored unless the model is [Sharded] (shards probed)
+    or [Dynamic] (runs in the pinned level set). *)
 
 val fit :
   instance:string -> theorem:theorem -> n:int -> ?shards:int ->

@@ -290,6 +290,98 @@ module Conformance (I : INSTANCE) = struct
     ]
 end
 
+(* --- the dynamic law ---
+
+   Every instance exposing updates must satisfy one more contract:
+   after an arbitrary interleaving of inserts and deletes, top-k
+   queries answer exactly as a from-scratch oracle over the surviving
+   set (insert*; delete*; query == oracle on survivors).  This is the
+   law the ingest bench checks under concurrency; here it is stated
+   sequentially over every updatable implementation. *)
+
+module type DYN_INSTANCE = sig
+  module P : Sigs.PROBLEM
+
+  type t
+
+  val name : string
+
+  val build : P.elem array -> t
+
+  val insert : t -> P.elem -> unit
+
+  val delete : t -> P.elem -> unit
+
+  val query : t -> P.query -> k:int -> P.elem list
+
+  val fresh_elements : Rng.t -> first_id:int -> n:int -> P.elem array
+  (** [n] elements with ids [first_id .. first_id + n - 1] — the law
+      interleaves several generations, so ids must not collide across
+      calls (the static generators restart ids at 1 every call). *)
+
+  val queries : Rng.t -> n:int -> P.query array
+end
+
+module Dynamic_law (D : DYN_INSTANCE) = struct
+  module Oracle = Topk_core.Oracle.Make (D.P)
+
+  let check_survivors s survivors queries =
+    let live = Array.of_list (Hashtbl.fold (fun _ e acc -> e :: acc) survivors []) in
+    let oracle = Oracle.build live in
+    Array.iter
+      (fun q ->
+        List.iter
+          (fun k ->
+            Alcotest.(check (list int))
+              (Printf.sprintf "%s: dynamic law (k=%d)" D.name k)
+              (List.map D.P.id (Oracle.top_k oracle q ~k))
+              (List.map D.P.id (D.query s q ~k)))
+          [ 1; 5; 60 ])
+      queries
+
+  let test_dynamic_law () =
+    let rng = Rng.create 721 in
+    let next_id = ref 1 in
+    let elements n =
+      let batch = D.fresh_elements rng ~first_id:!next_id ~n in
+      next_id := !next_id + n;
+      batch
+    in
+    let base = elements 120 in
+    let s = D.build base in
+    let survivors = Hashtbl.create 256 in
+    Array.iter (fun e -> Hashtbl.replace survivors (D.P.id e) e) base;
+    let queries = D.queries rng ~n:12 in
+    check_survivors s survivors queries;
+    for _round = 1 to 3 do
+      (* A burst of fresh inserts... *)
+      let batch = elements 40 in
+      Array.iter
+        (fun e ->
+          D.insert s e;
+          Hashtbl.replace survivors (D.P.id e) e)
+        batch;
+      (* ...then delete a random half of the current survivors. *)
+      let live = Array.of_list (Hashtbl.fold (fun _ e acc -> e :: acc) survivors []) in
+      Array.iter
+        (fun e ->
+          if Rng.bernoulli rng 0.5 then begin
+            D.delete s e;
+            Hashtbl.remove survivors (D.P.id e)
+          end)
+        live;
+      check_survivors s survivors queries
+    done;
+    (* Drain to empty: the law holds at the boundary too. *)
+    Hashtbl.iter (fun _ e -> D.delete s e) survivors;
+    Hashtbl.reset survivors;
+    check_survivors s survivors queries
+
+  let suite =
+    [ Alcotest.test_case "insert*; delete*; query == oracle" `Quick
+        test_dynamic_law ]
+end
+
 (* --- the eight instances --- *)
 
 module Interval_instance = struct
@@ -477,6 +569,149 @@ module Interval_naive_instance = struct
   let name = "interval-naive"
 end
 
+(* --- the updatable instances --- *)
+
+(* Id-disjoint generators: the dynamic law interleaves several
+   generations of elements, and the static [of_spans]/[of_positions]
+   helpers restart ids at 1 on every call — colliding ids would make
+   an insert a silent no-op in structures that key liveness by id. *)
+let fresh_intervals rng ~first_id ~n =
+  Array.init n (fun i ->
+      let id = first_id + i in
+      let lo = Rng.uniform rng in
+      let hi = Float.min 1.0 (lo +. 0.02 +. (0.4 *. Rng.uniform rng)) in
+      Topk_interval.Interval.make ~id ~lo ~hi
+        ~weight:(float_of_int id +. (0.5 *. Rng.uniform rng))
+        ())
+
+let fresh_wpoints rng ~first_id ~n =
+  Array.init n (fun i ->
+      let id = first_id + i in
+      Topk_range.Wpoint.make ~id ~pos:(Rng.uniform rng)
+        ~weight:(float_of_int id +. (0.5 *. Rng.uniform rng))
+        ())
+
+module Dyn_topk_instance = struct
+  module P = Topk_interval.Problem
+  module DT = Topk_interval.Instances.Dyn_topk
+
+  type t = DT.t
+
+  let name = "dyn-theorem2(interval)"
+
+  let build elems = DT.build ~params:(Topk_interval.Instances.params ()) elems
+
+  let insert = DT.insert
+
+  let delete = DT.delete
+
+  let query = DT.query
+
+  let fresh_elements = fresh_intervals
+
+  let queries = Interval_instance.queries
+end
+
+(* The ingest wrapper makes any static TOPK updatable; sweep it over
+   several structure families and problems.  Tiny buffers force the
+   law through seals and background-free inline merges, not just the
+   in-memory log. *)
+
+module Ingest_t2_instance = struct
+  module P = Topk_interval.Problem
+  module Ing = Topk_ingest.Ingest.Make (Topk_interval.Instances.Topk_t2)
+
+  type t = Ing.t
+
+  let name = "ingest(interval-t2)"
+
+  let build elems =
+    Ing.create ~params:(Topk_interval.Instances.params ()) ~buffer_cap:16
+      ~fanout:2 elems
+
+  let insert = Ing.insert
+
+  let delete = Ing.delete
+
+  let query = Ing.query
+
+  let fresh_elements = fresh_intervals
+
+  let queries = Interval_instance.queries
+end
+
+module Ingest_naive_instance = struct
+  module P = Topk_interval.Problem
+  module Ing = Topk_ingest.Ingest.Make (Topk_interval.Instances.Topk_naive)
+
+  type t = Ing.t
+
+  let name = "ingest(interval-naive)"
+
+  let build elems =
+    Ing.create ~params:(Topk_interval.Instances.params ()) ~buffer_cap:8
+      ~fanout:3 elems
+
+  let insert = Ing.insert
+
+  let delete = Ing.delete
+
+  let query = Ing.query
+
+  let fresh_elements = fresh_intervals
+
+  let queries = Interval_instance.queries
+end
+
+module Ingest_range_instance = struct
+  module P = Topk_range.Problem
+  module Ing = Topk_ingest.Ingest.Make (Topk_range.Instances.Topk_t2)
+
+  type t = Ing.t
+
+  let name = "ingest(range-t2)"
+
+  let build elems =
+    Ing.create ~params:(Topk_range.Instances.params ()) ~buffer_cap:16
+      ~fanout:2 elems
+
+  let insert = Ing.insert
+
+  let delete = Ing.delete
+
+  let query = Ing.query
+
+  let fresh_elements = fresh_wpoints
+
+  let queries = Range_instance.queries
+end
+
+(* Ingest over a structure that is itself dynamic: composition must
+   still satisfy the law (runs are rebuilt wholesale, the inner update
+   support is simply unused). *)
+module Ingest_dyn_instance = struct
+  module P = Topk_interval.Problem
+  module Ing = Topk_ingest.Ingest.Make (Topk_interval.Instances.Dyn_topk)
+
+  type t = Ing.t
+
+  let name = "ingest(dyn-theorem2)"
+
+  let build elems =
+    Ing.create ~params:(Topk_interval.Instances.params ()) ~buffer_cap:32
+      ~fanout:2 elems
+
+  let insert = Ing.insert
+
+  let delete = Ing.delete
+
+  let query = Ing.query
+
+  let fresh_elements = fresh_intervals
+
+  let queries = Interval_instance.queries
+end
+
 module C_interval = Conformance (Interval_instance)
 module C_interval_t1 = Conformance (Interval_t1_instance)
 module C_interval_rj = Conformance (Interval_rj_instance)
@@ -489,6 +724,11 @@ module C_halfplane = Conformance (Halfplane_instance)
 module C_kd = Conformance (Kd_halfspace_instance)
 module C_ball = Conformance (Ball_instance)
 module C_ortho = Conformance (Ortho_instance)
+module DL_dyn_topk = Dynamic_law (Dyn_topk_instance)
+module DL_ingest_t2 = Dynamic_law (Ingest_t2_instance)
+module DL_ingest_naive = Dynamic_law (Ingest_naive_instance)
+module DL_ingest_range = Dynamic_law (Ingest_range_instance)
+module DL_ingest_dyn = Dynamic_law (Ingest_dyn_instance)
 
 let () =
   Alcotest.run "topk_conformance"
@@ -505,4 +745,9 @@ let () =
       ("kd-halfspace", C_kd.suite);
       ("ball", C_ball.suite);
       ("ortho", C_ortho.suite);
+      ("dynamic:dyn-theorem2", DL_dyn_topk.suite);
+      ("dynamic:ingest-interval-t2", DL_ingest_t2.suite);
+      ("dynamic:ingest-interval-naive", DL_ingest_naive.suite);
+      ("dynamic:ingest-range-t2", DL_ingest_range.suite);
+      ("dynamic:ingest-dyn-theorem2", DL_ingest_dyn.suite);
     ]

@@ -174,6 +174,121 @@ let test_dyn_max_delete_heavy () =
   in
   drain n
 
+(* Delete-then-requery edge cases: drain to empty, delete the current
+   maximum, and re-insert a tombstoned key (the stale copy is baked
+   into a bucket, so the tombstone must not filter the fresh copy). *)
+
+let test_delete_to_empty () =
+  let rng = Rng.create 331 in
+  let elems = Array.init 40 (fun i -> random_interval rng (i + 1)) in
+  let pri = Dyn_pri.build elems in
+  let mx = Dyn_max.build elems in
+  let topk = Dyn_topk.build ~params:(Inst.params ()) elems in
+  Array.iter
+    (fun e ->
+      Dyn_pri.delete pri e;
+      Dyn_max.delete mx e;
+      Dyn_topk.delete topk e)
+    elems;
+  Alcotest.(check int) "pri empty" 0 (Dyn_pri.live pri);
+  Alcotest.(check int) "topk empty" 0 (Dyn_topk.size topk);
+  Array.iter
+    (fun q ->
+      Alcotest.(check (list int))
+        "pri answers nothing" []
+        (ids (Dyn_pri.query pri q ~tau:Float.neg_infinity));
+      Alcotest.(check (option int))
+        "max answers nothing" None
+        (Option.map (fun (e : I.t) -> e.I.id) (Dyn_max.query mx q));
+      Alcotest.(check (list int))
+        "topk answers nothing" []
+        (ids (Dyn_topk.query topk q ~k:5)))
+    (Gen.stab_queries rng ~n:10);
+  (* The structures stay usable after draining: fresh inserts serve. *)
+  let e = random_interval rng 1000 in
+  Dyn_pri.insert pri e;
+  Dyn_max.insert mx e;
+  Dyn_topk.insert topk e;
+  let q = (e.I.lo +. e.I.hi) /. 2. in
+  Alcotest.(check (list int)) "pri serves again" [ 1000 ]
+    (ids (Dyn_pri.query pri q ~tau:Float.neg_infinity));
+  Alcotest.(check (option int)) "max serves again" (Some 1000)
+    (Option.map (fun (e : I.t) -> e.I.id) (Dyn_max.query mx q));
+  Alcotest.(check (list int)) "topk serves again" [ 1000 ]
+    (ids (Dyn_topk.query topk q ~k:3))
+
+let test_dyn_topk_delete_current_max () =
+  (* Repeatedly delete the top answer: every rung's max structure must
+     skip its tombstoned head and the next query stay exact. *)
+  let rng = Rng.create 337 in
+  let elems = Array.init 150 (fun i -> random_interval rng (i + 1)) in
+  let s = Dyn_topk.build ~params:(Inst.params ()) elems in
+  let model = Model.create () in
+  Array.iter (Model.insert model) elems;
+  let q = 0.5 in
+  let steps = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Model.top_k model q ~k:1 with
+    | [] ->
+        Alcotest.(check (list int)) "both drained" []
+          (ids (Dyn_topk.query s q ~k:1));
+        continue := false
+    | m :: _ ->
+        incr steps;
+        Alcotest.(check (list int))
+          "top-1 agrees before the delete" [ m.I.id ]
+          (ids (Dyn_topk.query s q ~k:1));
+        Model.delete model m;
+        Dyn_topk.delete s m;
+        Alcotest.(check (list int))
+          "top-3 agrees after deleting the max"
+          (ids (Model.top_k model q ~k:3))
+          (ids (Dyn_topk.query s q ~k:3))
+  done;
+  Alcotest.(check bool) "drained something" true (!steps > 0)
+
+let test_reinsert_tombstoned_key () =
+  let rng = Rng.create 347 in
+  let elems = Array.init 30 (fun i -> random_interval rng (i + 1)) in
+  let pri = Dyn_pri.build elems in
+  let mx = Dyn_max.build elems in
+  let topk = Dyn_topk.build ~params:(Inst.params ()) elems in
+  let victim = elems.(12) in
+  List.iter
+    (fun e ->
+      Dyn_pri.delete pri e;
+      Dyn_max.delete mx e;
+      Dyn_topk.delete topk e)
+    [ victim ];
+  (* Re-insert the same id as a heavier, full-span interval: it must be
+     visible (and win) everywhere — the old tombstone may not filter
+     the fresh copy, nor may the stale copy resurrect. *)
+  let revived = I.make ~id:victim.I.id ~lo:0.0 ~hi:1.2 ~weight:1e6 () in
+  Dyn_pri.insert pri revived;
+  Dyn_max.insert mx revived;
+  Dyn_topk.insert topk revived;
+  Alcotest.(check int) "pri live restored" 30 (Dyn_pri.live pri);
+  Alcotest.(check int) "topk size restored" 30 (Dyn_topk.size topk);
+  Array.iter
+    (fun q ->
+      let got = ids (Dyn_pri.query pri q ~tau:1e5) in
+      Alcotest.(check (list int)) "pri sees only the revived copy"
+        [ victim.I.id ] got;
+      Alcotest.(check (option int)) "max crowns the revived copy"
+        (Some victim.I.id)
+        (Option.map (fun (e : I.t) -> e.I.id) (Dyn_max.query mx q));
+      Alcotest.(check int) "topk crowns the revived copy" victim.I.id
+        (List.hd (ids (Dyn_topk.query topk q ~k:1))))
+    (Gen.stab_queries rng ~n:8);
+  (* The revived element's new geometry is the one indexed: the old
+     copy's span must not answer for it.  Pick a point the old interval
+     covered only if the old copy leaked (the revived one spans
+     everything, so only a duplicate would change counts). *)
+  let all = ids (Dyn_pri.query pri 0.5 ~tau:Float.neg_infinity) in
+  Alcotest.(check bool) "no duplicate ids" true
+    (List.length all = List.length (List.sort_uniq Int.compare all))
+
 let test_dyn_topk_trace () =
   let rng = Rng.create 313 in
   let params = Inst.params () in
@@ -280,6 +395,14 @@ let () =
         [
           Alcotest.test_case "random trace" `Slow test_dyn_max_trace;
           Alcotest.test_case "delete-heavy" `Quick test_dyn_max_delete_heavy;
+        ] );
+      ( "delete_edges",
+        [
+          Alcotest.test_case "delete to empty" `Quick test_delete_to_empty;
+          Alcotest.test_case "delete current max" `Quick
+            test_dyn_topk_delete_current_max;
+          Alcotest.test_case "re-insert tombstoned key" `Quick
+            test_reinsert_tombstoned_key;
         ] );
       ( "dyn_topk",
         [
