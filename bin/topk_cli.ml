@@ -80,6 +80,47 @@ let report_cost () =
   Printf.printf "cost: %d I/Os (%d elements scanned)\n" s.Topk_em.Stats.ios
     s.Topk_em.Stats.scanned
 
+(* --- hermetic scratch space ---
+
+   Bench subcommands that touch real files keep them under one
+   dedicated per-process temp directory.  Cleanup is registered with
+   [at_exit], not a [Fun.protect] finalizer, because [die] (and any
+   path that reaches [exit], e.g. an [Overloaded] pool escaping a
+   bench) terminates with [exit 2] — [at_exit] runs on every exit
+   path, so a failing bench leaves nothing behind. *)
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+let scratch_root = ref None
+
+let scratch_dir () =
+  match !scratch_root with
+  | Some d -> d
+  | None ->
+      let d =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "topk-scratch-%d" (Unix.getpid ()))
+      in
+      rm_rf d;
+      Unix.mkdir d 0o755;
+      scratch_root := Some d;
+      at_exit (fun () -> rm_rf d);
+      d
+
+(* A fresh empty subdirectory of the scratch root. *)
+let fresh_scratch name =
+  let d = Filename.concat (scratch_dir ()) name in
+  rm_rf d;
+  Unix.mkdir d 0o755;
+  d
+
 (* --- interval --- *)
 
 let interval_cmd =
@@ -1350,6 +1391,276 @@ let ingest_bench_cmd =
       $ workers_arg $ write_ratio_arg $ buffer_cap_arg $ fanout_arg
       $ no_kill_arg $ block_arg)
 
+(* --- crash-bench --- *)
+
+let crash_bench_cmd =
+  let module IInst = Topk_interval.Instances in
+  let module I = Topk_interval.Interval in
+  let module Disk = Topk_durable.Disk in
+  let module Store = Topk_durable.Store in
+  let module DS = Topk_durable.Store.Make (IInst.Topk_t2) in
+  let module Svc = Topk_service in
+  let updates_arg =
+    Arg.(
+      value & opt int 400
+      & info [ "updates" ] ~docv:"U"
+          ~doc:"Inserts + deletes in the update stream.")
+  in
+  let crashes_arg =
+    Arg.(
+      value & opt int 60
+      & info [ "crashes" ] ~docv:"C"
+          ~doc:"Crash points swept per durability mode.")
+  in
+  let buffer_cap_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "buffer-cap" ] ~docv:"B" ~doc:"Update-log capacity.")
+  in
+  let fanout_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "fanout" ] ~docv:"F" ~doc:"Merge arity per level (>= 2).")
+  in
+  let checkpoint_every_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "checkpoint-every" ] ~docv:"S"
+          ~doc:"Checkpoint every S-th seal (merges always checkpoint).")
+  in
+  let group_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "group" ] ~docv:"G"
+          ~doc:"Group-commit size for the async mode leg.")
+  in
+  let run n k seed updates crashes buffer_cap fanout checkpoint_every group =
+    validate_common ~n ~k;
+    require_pos "updates" updates;
+    require_pos "crashes" crashes;
+    require_pos "buffer-cap" buffer_cap;
+    require_pos "checkpoint-every" checkpoint_every;
+    require_pos "group" group;
+    if fanout < 2 then die "fanout must be >= 2 (got %d)" fanout;
+    let rng = Topk_util.Rng.create seed in
+    Printf.printf
+      "crash-bench: n=%d updates=%d crashes=%d/mode buffer-cap=%d fanout=%d \
+       checkpoint-every=%d\n%!"
+      n updates crashes buffer_cap fanout checkpoint_every;
+    let base =
+      Topk_interval.Interval.of_spans rng
+        (Topk_util.Gen.intervals rng ~shape:Topk_util.Gen.Mixed_intervals ~n)
+    in
+    (* The op stream is fixed up front — identical at every crash
+       point, so the from-scratch oracle over any prefix is
+       well-defined. *)
+    let last = Hashtbl.create (2 * n) in
+    Array.iter (fun (e : I.t) -> Hashtbl.replace last e.I.id e) base;
+    let next_id = ref (n + 1) in
+    let ops =
+      Array.init updates (fun _ ->
+          let insert () =
+            let id = !next_id in
+            incr next_id;
+            let lo = Topk_util.Rng.uniform rng in
+            let hi =
+              Float.min 1.0 (lo +. 0.02 +. (0.3 *. Topk_util.Rng.uniform rng))
+            in
+            let e =
+              I.make ~id ~lo ~hi ~weight:(1000. *. Topk_util.Rng.uniform rng) ()
+            in
+            Hashtbl.replace last id e;
+            (true, e)
+          in
+          if Topk_util.Rng.uniform rng <= 0.7 then insert ()
+          else begin
+            let victim = ref None in
+            let tries = ref 0 in
+            while !victim = None && !tries < 64 do
+              incr tries;
+              let id = 1 + Topk_util.Rng.int rng (!next_id - 1) in
+              match Hashtbl.find_opt last id with
+              | Some e -> victim := Some e
+              | None -> ()
+            done;
+            match !victim with
+            | Some e ->
+                Hashtbl.remove last e.I.id;
+                (false, e)
+            | None -> insert ()
+          end)
+    in
+    let oracle_ids r =
+      let live = Hashtbl.create (2 * n) in
+      Array.iter (fun (e : I.t) -> Hashtbl.replace live e.I.id ()) base;
+      Array.iteri
+        (fun i ((ins, e) : bool * I.t) ->
+          if i < r then
+            if ins then Hashtbl.replace live e.I.id ()
+            else Hashtbl.remove live e.I.id)
+        ops;
+      List.sort compare (Hashtbl.fold (fun id () a -> id :: a) live [])
+    in
+    let live_ids st =
+      let v = DS.I.pin (DS.index st) in
+      let ids =
+        List.sort compare (List.map (fun (e : I.t) -> e.I.id) (DS.I.view_live v))
+      in
+      DS.I.unpin v;
+      ids
+    in
+    let params = IInst.params () in
+    let build mode dir =
+      DS.create ~params ~buffer_cap ~fanout ~mode ~checkpoint_every ~dir base
+    in
+    let metrics = Svc.Metrics.create () in
+    let recoveries = ref 0 and violations = ref 0 and swept = ref 0 in
+    let phase_hits = Hashtbl.create 8 in
+    let run_mode mode mode_name =
+      (* Profile pass: count this workload's disk ops and label each
+         with the phase it belongs to. *)
+      let profile_dir = fresh_scratch (mode_name ^ "-profile") in
+      Disk.clear ();
+      Disk.reset_ops ();
+      Disk.set_recording true;
+      let st = build mode profile_dir in
+      Array.iter (fun (ins, e) -> if ins then DS.insert st e else DS.delete st e) ops;
+      DS.close st;
+      Disk.set_recording false;
+      let total_ops = Disk.op_count () in
+      let phase_of = Hashtbl.create total_ops in
+      List.iter (fun (i, p) -> Hashtbl.replace phase_of i p) (Disk.phase_log ());
+      (match DS.recover ~params ~buffer_cap ~fanout ~mode ~dir:profile_dir () with
+      | None -> die "%s: the crash-free profile run lost its recovery root" mode_name
+      | Some st' ->
+          if live_ids st' <> oracle_ids updates then
+            die "%s: crash-free recovery disagrees with the oracle" mode_name;
+          DS.close st');
+      rm_rf profile_dir;
+      if total_ops < crashes then
+        Printf.printf
+          "  %s: only %d disk ops; sweeping each once\n%!" mode_name total_ops;
+      (* Evenly spaced crash points over the whole op stream, plus one
+         directed point for any phase the spacing missed — rare phases
+         (a seal that checkpoints between merges) must still be hit. *)
+      let n_even = min crashes total_ops in
+      let chosen = Hashtbl.create n_even in
+      for i = 1 to n_even do
+        Hashtbl.replace chosen (max 1 (i * total_ops / n_even)) ()
+      done;
+      let first_op_of ph =
+        Hashtbl.fold
+          (fun i p best ->
+            if p <> ph then best
+            else match best with Some b when b <= i -> best | _ -> Some i)
+          phase_of None
+      in
+      let covered ph =
+        Hashtbl.fold
+          (fun c () hit -> hit || Hashtbl.find_opt phase_of c = Some ph)
+          chosen false
+      in
+      List.iter
+        (fun ph ->
+          if not (covered ph) then
+            match first_op_of ph with
+            | Some i -> Hashtbl.replace chosen i ()
+            | None -> ())
+        [ "wal-append"; "seal"; "merge"; "manifest" ];
+      let points = List.sort compare (Hashtbl.fold (fun c () a -> c :: a) chosen []) in
+      List.iter (fun c ->
+        incr swept;
+        (match Hashtbl.find_opt phase_of c with
+        | Some p ->
+            Hashtbl.replace phase_hits p (1 + Option.value ~default:0 (Hashtbl.find_opt phase_hits p))
+        | None -> ());
+        let dir = fresh_scratch (Printf.sprintf "%s-%d" mode_name c) in
+        Disk.reset_ops ();
+        Disk.install (Disk.plan ~crash_at:c ~seed:(seed lxor (c * 7919)) ());
+        let acked = ref 0 and issued = ref 0 in
+        (try
+           let st = build mode dir in
+           Array.iter
+             (fun ((ins, e) : bool * I.t) ->
+               incr issued;
+               if ins then DS.insert st e else DS.delete st e;
+               incr acked)
+             ops;
+           DS.close st
+         with Disk.Crash -> ());
+        Disk.clear ();
+        let fail fmt =
+          Printf.ksprintf
+            (fun msg ->
+              incr violations;
+              if !violations <= 5 then
+                Printf.printf "  VIOLATION %s@op%d: %s\n%!" mode_name c msg)
+            fmt
+        in
+        (match DS.recover ~params ~buffer_cap ~fanout ~mode ~metrics ~dir () with
+        | None ->
+            if !acked > 0 then
+              fail "no recovery root but %d updates were acknowledged" !acked
+        | Some st' ->
+            incr recoveries;
+            let r = DS.recovered_seq st' in
+            if r > !issued then fail "recovered %d ops, only %d issued" r !issued;
+            if mode = Store.Sync && r < !acked then
+              fail "recovered prefix %d < %d sync-acknowledged" r !acked;
+            let got = live_ids st' in
+            let want = oracle_ids r in
+            if got <> want then
+              fail "surviving set (%d ids) differs from oracle prefix %d (%d ids)"
+                (List.length got) r (List.length want);
+            DS.close st');
+        rm_rf dir)
+        points
+    in
+    run_mode Store.Sync "sync";
+    run_mode (Store.Async group) (Printf.sprintf "async%d" group);
+    let torn = Svc.Metrics.Counter.get metrics.Svc.Metrics.torn_tails in
+    let cksum = Svc.Metrics.Counter.get metrics.Svc.Metrics.checksum_failures in
+    Printf.printf
+      "swept %d crash points: %d recoveries, %d torn tails truncated, %d \
+       checksum failures\n"
+      !swept !recoveries torn cksum;
+    let phases = [ "wal-append"; "seal"; "merge"; "manifest" ] in
+    Printf.printf "phase coverage:%s\n"
+      (String.concat ""
+         (List.map
+            (fun p ->
+              Printf.sprintf " %s=%d" p
+                (Option.value ~default:0 (Hashtbl.find_opt phase_hits p)))
+            phases));
+    (* Hard failures: this bench exists to catch them. *)
+    if !violations > 0 then
+      die "%d acked-prefix/oracle violations across %d crash points" !violations
+        !swept;
+    (* No corruption was injected, so any checksum failure is an
+       integrity bug in the durable formats themselves. *)
+    if cksum > 0 then die "%d checksum failures without injected corruption" cksum;
+    List.iter
+      (fun p ->
+        if not (Hashtbl.mem phase_hits p) then
+          die "no crash point landed in the %s phase (op stream too small?)" p)
+      phases;
+    Printf.printf "crash-bench: OK (%d crash points, %d recoveries, 0 violations)\n"
+      !swept !recoveries
+  in
+  Cmd.v
+    (Cmd.info "crash-bench"
+       ~doc:
+         "Sweep seeded crash points over a durable ingestion stream: at \
+          each point the simulated machine dies (torn tails, uncertain \
+          renames), recovery rebuilds the index from manifest + snapshot + \
+          WAL replay, and the surviving set must equal a from-scratch \
+          oracle over a prefix of the issued updates containing every \
+          sync-acknowledged one.  Hard-fails on any violation, any \
+          checksum failure, or a phase never hit.")
+    Term.(
+      const run $ n_arg $ k_arg $ seed_arg $ updates_arg $ crashes_arg
+      $ buffer_cap_arg $ fanout_arg $ checkpoint_every_arg $ group_arg)
+
 (* --- sample-check --- *)
 
 let sample_check_cmd =
@@ -1409,4 +1720,5 @@ let () =
             shard_bench_cmd;
             trace_cmd;
             ingest_bench_cmd;
+            crash_bench_cmd;
           ]))

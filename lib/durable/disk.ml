@@ -1,0 +1,248 @@
+(* Fault-injecting file layer — see disk.mli.
+
+   One global mutex serializes every operation: durable-layer I/O is
+   coarse (a handful of ops per update at worst) and the callers
+   already hold the ingest wrapper's mutex on the hot path, so
+   contention is not a concern and the crash semantics stay simple —
+   when the counter fires, the whole "machine" is torn down atomically
+   under the same lock. *)
+
+exception Crash
+
+type plan = { seed : int; crash_at : int option; corrupt_rate : float }
+
+let plan ?crash_at ?(corrupt_rate = 0.) ~seed () =
+  (match crash_at with
+  | Some c when c < 1 ->
+      invalid_arg (Printf.sprintf "Disk.plan: crash_at must be >= 1 (got %d)" c)
+  | _ -> ());
+  if not (corrupt_rate >= 0. && corrupt_rate <= 1.) then
+    invalid_arg
+      (Printf.sprintf "Disk.plan: corrupt_rate must be in [0,1] (got %g)"
+         corrupt_rate);
+  { seed; crash_at; corrupt_rate }
+
+type file = {
+  path : string;
+  mutable fd : Unix.file_descr option;
+  mutable w : int;  (* bytes written *)
+  mutable d : int;  (* bytes durable (as of the last surviving fsync) *)
+}
+
+type state = {
+  mutable p : plan option;
+  mutable rng : int64;
+  mutable ops : int;
+  mutable phase : string;
+  mutable recording : bool;
+  mutable phases : (int * string) list;  (* newest first *)
+  mutable has_crashed : bool;
+  (* Every file whose pending tail is at risk: open handles, plus
+     closed files whose last bytes were never fsynced. *)
+  mutable at_risk : file list;
+}
+
+let mu = Mutex.create ()
+
+let st =
+  {
+    p = None;
+    rng = 0L;
+    ops = 0;
+    phase = "";
+    recording = false;
+    phases = [];
+    has_crashed = false;
+    at_risk = [];
+  }
+
+(* splitmix64, as in {!Topk_em.Fault} — tiny, seedable, dependency-free. *)
+let next_u64 () =
+  let open Int64 in
+  st.rng <- add st.rng 0x9E3779B97F4A7C15L;
+  let z = st.rng in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let uniform () =
+  Int64.to_float (Int64.shift_right_logical (next_u64 ()) 11) /. 9007199254740992.
+
+(* Uniform int in [0, n] for n >= 0. *)
+let below_incl n =
+  if n <= 0 then 0
+  else Int64.to_int (Int64.rem (Int64.shift_right_logical (next_u64 ()) 1)
+                       (Int64.of_int (n + 1)))
+
+let install_locked p =
+  st.p <- Some p;
+  st.rng <- Int64.of_int (p.seed lxor 0x6b7a);
+  st.has_crashed <- false
+
+let install p = Mutex.protect mu (fun () -> install_locked p)
+
+let clear () = Mutex.protect mu (fun () -> st.p <- None)
+
+let active () = Mutex.protect mu (fun () -> st.p)
+
+let with_plan p f =
+  let saved = Mutex.protect mu (fun () -> st.p) in
+  install p;
+  Fun.protect ~finally:(fun () -> Mutex.protect mu (fun () -> st.p <- saved)) f
+
+let crashed () = Mutex.protect mu (fun () -> st.has_crashed)
+
+let op_count () = Mutex.protect mu (fun () -> st.ops)
+
+let reset_ops () =
+  Mutex.protect mu (fun () ->
+      st.ops <- 0;
+      st.phases <- [])
+
+let set_phase s = Mutex.protect mu (fun () -> st.phase <- s)
+
+let set_recording b = Mutex.protect mu (fun () -> st.recording <- b)
+
+let phase_log () = Mutex.protect mu (fun () -> List.rev st.phases)
+
+(* A dead machine performs nothing: every counted op just re-raises
+   until the plan is cleared. *)
+let check_dead_locked () =
+  match st.p with
+  | Some { crash_at = Some _; _ } when st.has_crashed -> raise Crash
+  | _ -> ()
+
+(* Count one operation; say whether the machine dies on it. *)
+let bump_locked () =
+  st.ops <- st.ops + 1;
+  if st.recording then st.phases <- (st.ops, st.phase) :: st.phases;
+  match st.p with
+  | Some { crash_at = Some c; _ } when st.ops >= c -> true
+  | _ -> false
+
+(* Tear the machine down: truncate every at-risk file back to its
+   durable watermark plus a seeded prefix of the pending tail, close
+   the handles, and latch.  Caller holds [mu]. *)
+let die_locked () =
+  st.has_crashed <- true;
+  List.iter
+    (fun f ->
+      let keep = f.d + below_incl (f.w - f.d) in
+      (match f.fd with
+      | Some fd -> (try Unix.close fd with Unix.Unix_error _ -> ())
+      | None -> ());
+      f.fd <- None;
+      (try Unix.truncate f.path keep with Unix.Unix_error _ | Sys_error _ -> ()))
+    st.at_risk;
+  st.at_risk <- [];
+  raise Crash
+
+let open_mode trunc path =
+  Mutex.protect mu (fun () ->
+      let flags =
+        Unix.O_WRONLY :: Unix.O_CREAT :: (if trunc then [ Unix.O_TRUNC ] else [ Unix.O_APPEND ])
+      in
+      let fd = Unix.openfile path flags 0o644 in
+      let existing =
+        if trunc then 0 else (Unix.fstat fd).Unix.st_size
+      in
+      let f = { path; fd = Some fd; w = existing; d = existing } in
+      st.at_risk <- f :: st.at_risk;
+      f)
+
+let create path = open_mode true path
+let open_append path = open_mode false path
+
+let corrupt_locked b =
+  match st.p with
+  | Some p when p.corrupt_rate > 0. && uniform () < p.corrupt_rate
+                && Bytes.length b > 0 ->
+      let b = Bytes.copy b in
+      let bit = below_incl ((Bytes.length b * 8) - 1) in
+      let byte = bit / 8 in
+      Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl (bit mod 8))));
+      b
+  | _ -> b
+
+let append f b =
+  Mutex.protect mu (fun () ->
+      match f.fd with
+      | None -> invalid_arg (Printf.sprintf "Disk.append: %s is closed" f.path)
+      | Some fd ->
+          check_dead_locked ();
+          let b = corrupt_locked b in
+          let len = Bytes.length b in
+          let off = ref 0 in
+          while !off < len do
+            off := !off + Unix.write fd b !off (len - !off)
+          done;
+          f.w <- f.w + len;
+          if bump_locked () then die_locked ())
+
+let fsync f =
+  Mutex.protect mu (fun () ->
+      check_dead_locked ();
+      if bump_locked () then die_locked ();
+      f.d <- f.w;
+      (* Fully durable and closed: nothing left at risk. *)
+      if f.fd = None then st.at_risk <- List.filter (fun g -> g != f) st.at_risk)
+
+let close f =
+  Mutex.protect mu (fun () ->
+      (match f.fd with
+      | Some fd -> (try Unix.close fd with Unix.Unix_error _ -> ())
+      | None -> ());
+      f.fd <- None;
+      (* A fully-synced file can leave the at-risk set; an unsynced
+         tail stays vulnerable until the next crash or forever. *)
+      if f.d = f.w then st.at_risk <- List.filter (fun g -> g != f) st.at_risk)
+
+let written f = Mutex.protect mu (fun () -> f.w)
+let durable f = Mutex.protect mu (fun () -> f.d)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let b = Bytes.create n in
+      really_input ic b 0 n;
+      b)
+
+let rename ~src ~dst =
+  Mutex.protect mu (fun () ->
+      check_dead_locked ();
+      if bump_locked () then begin
+        (* Atomic but of uncertain durability at the crash point: a
+           seeded coin decides whether it made it to the platter. *)
+        if uniform () < 0.5 then Unix.rename src dst;
+        die_locked ()
+      end
+      else Unix.rename src dst)
+
+let remove path =
+  Mutex.protect mu (fun () ->
+      check_dead_locked ();
+      if bump_locked () then begin
+        if uniform () < 0.5 then (try Sys.remove path with Sys_error _ -> ());
+        die_locked ()
+      end
+      else try Sys.remove path with Sys_error _ -> ())
+
+let truncate path n = Unix.truncate path n
+
+let exists = Sys.file_exists
+
+let readdir path =
+  match Sys.readdir path with
+  | entries ->
+      let l = Array.to_list entries in
+      List.sort String.compare l
+  | exception Sys_error _ -> []
+
+let rec mkdir_p path =
+  if not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end

@@ -1,0 +1,126 @@
+(** The file layer under every durable structure — and its adversary.
+
+    All WAL/snapshot/manifest I/O goes through this module, which
+    extends the {!Topk_em.Fault} discipline from simulated block I/O
+    to real files: an installed {!plan} turns the run into a seeded,
+    reproducible crash experiment.  Every durability-relevant
+    operation — {!append}, {!fsync}, {!rename}, {!remove} — bumps a
+    global operation counter; when the counter reaches
+    [plan.crash_at], the "machine" dies:
+
+    - every open (or closed-but-unsynced) file is truncated back to
+      its last {!fsync}ed length plus a {e seeded prefix} of the bytes
+      written since — the torn tail a real kernel may or may not have
+      flushed;
+    - a {!rename} or {!remove} caught mid-flight atomically either
+      happened or did not (seeded coin flip) — directory operations
+      are atomic but their durability is uncertain;
+    - {!Crash} is raised, and {e every subsequent counted operation
+      raises it again} — a dead machine stays dead until the plan is
+      cleared.
+
+    [corrupt_rate] independently flips one seeded bit per appended
+    payload with the given probability, modelling bit rot that only a
+    checksum can catch.
+
+    With no plan installed, operations are plain buffered file I/O
+    (writes go straight to the file; {!fsync} marks them durable in
+    the model without paying for a real [fsync], since the crash model
+    is simulated anyway).  The operation counter always counts, so a
+    profile pass can measure a workload's operation stream before
+    sweeping crash points over it. *)
+
+exception Crash
+(** The simulated machine died.  Anything the caller had in memory is
+    gone; only what the model made durable survives on disk. *)
+
+type plan = {
+  seed : int;          (** seeds torn-tail lengths, coin flips, bit flips *)
+  crash_at : int option;  (** die when the op counter reaches this *)
+  corrupt_rate : float;   (** P(single bit flip) per appended payload *)
+}
+
+val plan : ?crash_at:int -> ?corrupt_rate:float -> seed:int -> unit -> plan
+(** @raise Invalid_argument if [crash_at < 1] or [corrupt_rate] is
+    outside [[0,1]]. *)
+
+val install : plan -> unit
+(** Activate [plan] (replacing any other), reseed the stream, and
+    reset the {e crashed} latch.  The op counter is {e not} reset —
+    use {!reset_ops} to restart the count. *)
+
+val clear : unit -> unit
+val active : unit -> plan option
+
+val with_plan : plan -> (unit -> 'a) -> 'a
+(** Run with [plan] installed, restoring the previous plan after. *)
+
+val crashed : unit -> bool
+(** The latch: did the installed plan fire?  Lets a harness detect a
+    crash that surfaced on a background domain rather than in the
+    calling thread. *)
+
+(** {1 Operation accounting} *)
+
+val op_count : unit -> int
+(** Counted operations ({!append}/{!fsync}/{!rename}/{!remove}) since
+    the last {!reset_ops}. *)
+
+val reset_ops : unit -> unit
+(** Zero the op counter and drop the recorded phase log. *)
+
+val set_phase : string -> unit
+(** Label subsequent operations (e.g. ["wal-append"], ["seal"],
+    ["merge"], ["manifest"]) for the profile pass. *)
+
+val set_recording : bool -> unit
+(** When on, each counted op records [(index, phase)]. *)
+
+val phase_log : unit -> (int * string) list
+(** Recorded [(op index, phase)] pairs, oldest first. *)
+
+(** {1 Files} *)
+
+type file
+(** An append-only handle with write/durable watermarks. *)
+
+val create : string -> file
+(** Open for append, truncating any existing content. *)
+
+val open_append : string -> file
+(** Open for append, keeping existing content (which counts as
+    durable — it survived this long). *)
+
+val append : file -> Bytes.t -> unit
+(** Counted.  May corrupt (seeded), may crash. *)
+
+val fsync : file -> unit
+(** Counted.  On survival, everything written so far becomes durable. *)
+
+val close : file -> unit
+(** Not counted.  Closing does {e not} make pending bytes durable:
+    un-fsynced tails of closed files are still at risk until the next
+    crash or {!clear}. *)
+
+val written : file -> int
+val durable : file -> int
+
+val read_file : string -> Bytes.t
+(** Whole-file read (uncounted — reads cannot lose data).
+    @raise Sys_error if absent. *)
+
+val rename : src:string -> dst:string -> unit
+(** Counted.  Atomic: after a crash the destination holds either the
+    old or the new content, never a mixture. *)
+
+val remove : string -> unit
+(** Counted; missing files are ignored on the survival path. *)
+
+val truncate : string -> int -> unit
+(** Uncounted repair: cut a detected torn tail during recovery. *)
+
+val exists : string -> bool
+val readdir : string -> string list
+(** Sorted entries; [[]] if the directory is absent. *)
+
+val mkdir_p : string -> unit

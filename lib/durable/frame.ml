@@ -1,0 +1,130 @@
+(* CRC-framed records — see frame.mli. *)
+
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+   Computed in OCaml so the durable layer adds no dependency the
+   container lacks. *)
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 ?(off = 0) ?len b =
+  let len = match len with Some l -> l | None -> Bytes.length b - off in
+  let t = Lazy.force table in
+  let c = ref 0xFFFFFFFFl in
+  for i = off to off + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code (Bytes.get b i)))) 0xFFl)
+    in
+    c := Int32.logxor t.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let max_payload = 1 lsl 30
+
+(* The checksum as an unsigned int for the u32 header field —
+   [Int32.to_int] alone would sign-extend a high-bit CRC. *)
+let crc_u32 ?off ?len b = Int32.to_int (crc32 ?off ?len b) land 0xFFFFFFFF
+
+let add_u32 buf v =
+  for i = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xFF))
+  done
+
+let add_u64 buf v =
+  for i = 0 to 7 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xFF))
+  done
+
+let add_string buf s =
+  add_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let append buf payload =
+  let len = Bytes.length payload in
+  if len > max_payload then
+    invalid_arg
+      (Printf.sprintf "Frame.append: payload of %d bytes exceeds max %d" len
+         max_payload);
+  add_u32 buf len;
+  add_u32 buf (crc_u32 payload);
+  Buffer.add_bytes buf payload
+
+let frame payload =
+  let buf = Buffer.create (Bytes.length payload + 8) in
+  append buf payload;
+  Buffer.to_bytes buf
+
+let get_u32 b off =
+  let v = ref 0 in
+  for i = 3 downto 0 do
+    v := (!v lsl 8) lor Char.code (Bytes.get b (off + i))
+  done;
+  !v
+
+let get_u64 b off =
+  let v = ref 0 in
+  for i = 7 downto 0 do
+    v := (!v lsl 8) lor Char.code (Bytes.get b (off + i))
+  done;
+  !v
+
+type parsed = Record of Bytes.t * int | Torn | Corrupt
+
+let parse b off =
+  let total = Bytes.length b in
+  if off + 8 > total then Torn
+  else begin
+    let len = get_u32 b off in
+    let crc = get_u32 b (off + 4) in
+    if len > max_payload then Corrupt
+    else if off + 8 + len > total then Torn
+    else if crc_u32 ~off:(off + 8) ~len b <> crc then Corrupt
+    else Record (Bytes.sub b (off + 8) len, off + 8 + len)
+  end
+
+let parse_all b =
+  let rec go acc off =
+    if off = Bytes.length b then (List.rev acc, `Clean)
+    else
+      match parse b off with
+      | Record (p, next) -> go (p :: acc) next
+      | Torn -> (List.rev acc, `Torn off)
+      | Corrupt -> (List.rev acc, `Corrupt off)
+  in
+  go [] 0
+
+type reader = { buf : Bytes.t; mutable pos : int }
+
+let reader buf = { buf; pos = 0 }
+
+let need r n =
+  if r.pos + n > Bytes.length r.buf then
+    invalid_arg
+      (Printf.sprintf "Frame.reader: %d bytes wanted at %d of %d" n r.pos
+         (Bytes.length r.buf))
+
+let read_u32 r =
+  need r 4;
+  let v = get_u32 r.buf r.pos in
+  r.pos <- r.pos + 4;
+  v
+
+let read_u64 r =
+  need r 8;
+  let v = get_u64 r.buf r.pos in
+  r.pos <- r.pos + 8;
+  v
+
+let read_string r =
+  let len = read_u32 r in
+  need r len;
+  let s = Bytes.sub_string r.buf r.pos len in
+  r.pos <- r.pos + len;
+  s

@@ -1,0 +1,59 @@
+(** Self-verifying record framing, the unit of every durable file.
+
+    A frame is [length (u32 LE) | crc32 (u32 LE) | payload]: 8 bytes
+    of header followed by [length] payload bytes, where the checksum
+    covers the payload only.  Parsing classifies each position as a
+    whole valid record, a {e torn} suffix (the file ends before the
+    frame does — the signature of a crash mid-write), or a {e corrupt}
+    frame (the length fits but the checksum disagrees — the signature
+    of bit rot or a misdirected write).  The WAL, snapshot and
+    manifest formats are all sequences of frames, so one scanner
+    serves torn-tail truncation and scrubbing alike. *)
+
+val crc32 : ?off:int -> ?len:int -> Bytes.t -> int32
+(** CRC-32 (IEEE 802.3, reflected) over [len] bytes of [b] starting
+    at [off] (defaults: the whole buffer). *)
+
+val max_payload : int
+(** Refuse to frame payloads above this (1 GiB) — a corrupt length
+    field must not provoke a gigantic allocation. *)
+
+val append : Buffer.t -> Bytes.t -> unit
+(** [append buf payload] appends one frame to [buf].
+    @raise Invalid_argument beyond {!max_payload}. *)
+
+val frame : Bytes.t -> Bytes.t
+(** One framed record as a fresh buffer. *)
+
+type parsed =
+  | Record of Bytes.t * int  (** payload, offset just past the frame *)
+  | Torn                     (** the buffer ends inside the frame *)
+  | Corrupt                  (** checksum (or length bound) mismatch *)
+
+val parse : Bytes.t -> int -> parsed
+(** Classify the frame starting at offset [off]; [Torn] at or past the
+    end of the buffer. *)
+
+val parse_all : Bytes.t -> Bytes.t list * [ `Clean | `Torn of int | `Corrupt of int ]
+(** Scan a whole buffer as consecutive frames: the valid prefix of
+    payloads, and whether the scan ended cleanly at the buffer's end,
+    on a torn frame, or on a corrupt one (with the byte offset of the
+    first bad frame in both cases). *)
+
+(** {1 Scalar encoding helpers (little-endian)} *)
+
+val add_u32 : Buffer.t -> int -> unit
+val add_u64 : Buffer.t -> int -> unit
+val add_string : Buffer.t -> string -> unit
+(** Length-prefixed (u32) string. *)
+
+type reader
+(** A cursor over one payload. *)
+
+val reader : Bytes.t -> reader
+val read_u32 : reader -> int
+val read_u64 : reader -> int
+val read_string : reader -> string
+(** @raise Invalid_argument ("Frame.reader: …") when the payload is
+    shorter than the requested field — decoding never reads past the
+    record. *)

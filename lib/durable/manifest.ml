@@ -1,0 +1,50 @@
+(* Generation-numbered recovery root — see manifest.mli. *)
+
+let magic = "TKMAN1"
+
+let path ~dir ~gen = Filename.concat dir (Printf.sprintf "manifest-%d" gen)
+
+let read p =
+  if not (Disk.exists p) then None
+  else
+    match
+      let b = Disk.read_file p in
+      match Frame.parse_all b with
+      | [ payload ], `Clean ->
+          let r = Frame.reader payload in
+          if Frame.read_string r <> magic then None else Some (Frame.read_u64 r)
+      | _ -> None
+    with
+    | v -> v
+    | exception _ -> None
+
+let publish ~dir ~gen =
+  let final = path ~dir ~gen in
+  let tmp = final ^ ".tmp" in
+  let body = Buffer.create 24 in
+  Frame.add_string body magic;
+  Frame.add_u64 body gen;
+  let f = Disk.create tmp in
+  Disk.append f (Frame.frame (Buffer.to_bytes body));
+  Disk.fsync f;
+  Disk.close f;
+  match read tmp with
+  | Some g when g = gen ->
+      Disk.rename ~src:tmp ~dst:final;
+      true
+  | _ ->
+      Disk.remove tmp;
+      false
+
+let gens ~dir =
+  Disk.readdir dir
+  |> List.filter_map (fun name ->
+         match String.index_opt name '-' with
+         | Some i
+           when String.sub name 0 i = "manifest"
+                && not (Filename.check_suffix name ".tmp") -> (
+             match int_of_string_opt (String.sub name (i + 1) (String.length name - i - 1)) with
+             | Some g when g >= 1 -> Some g
+             | _ -> None)
+         | _ -> None)
+  |> List.sort (fun a b -> compare b a)

@@ -1,0 +1,27 @@
+(** The recovery root: a generation-numbered pointer file.
+
+    [manifest-<gen>] is a single {!Frame} holding
+    [magic | gen (u64)] — its existence-and-validity asserts "the
+    snapshot and WAL of generation [gen] were durably published".
+    Recovery scans the directory for manifest files, tries them
+    newest-generation first, and falls back across invalid ones, so a
+    crash anywhere in a checkpoint leaves at least one valid root (the
+    previous generation is only garbage-collected {e after} the new
+    manifest is durable).
+
+    Like snapshots, {!publish} goes through a tmp file with fsync and
+    read-back verification before the atomic rename. *)
+
+val path : dir:string -> gen:int -> string
+
+val publish : dir:string -> gen:int -> bool
+(** Write, verify, rename.  [false]: read-back failed; nothing
+    published. *)
+
+val read : string -> int option
+(** The generation the manifest commits, or [None] if the file is
+    missing, torn, corrupt, or not a manifest. *)
+
+val gens : dir:string -> int list
+(** Generations with a manifest file present (validity not yet
+    checked), newest first. *)

@@ -1,0 +1,46 @@
+(* Background checksum scrubbing — see scrub.mli. *)
+
+module Metrics = Topk_service.Metrics
+module Executor = Topk_service.Executor
+
+type report = { files : int; bad : string list }
+
+let is_target name =
+  (not (Filename.check_suffix name ".tmp"))
+  && (String.length name > 5 && String.sub name 0 5 = "snap-"
+     || String.length name > 9 && String.sub name 0 9 = "manifest-")
+
+(* Structural verification only: every frame's checksum must hold and
+   the scan must end exactly at the file's end. *)
+let verify_file path =
+  match Frame.parse_all (Disk.read_file path) with
+  | payloads, `Clean -> payloads <> []
+  | _ -> false
+  | exception Sys_error _ -> false
+
+let run_once ?metrics ~dir () =
+  let targets = List.filter is_target (Disk.readdir dir) in
+  let bad =
+    List.filter_map
+      (fun name ->
+        let path = Filename.concat dir name in
+        if verify_file path then None else Some path)
+      targets
+  in
+  (match metrics with
+  | Some m ->
+      Metrics.Counter.incr m.Metrics.scrubs;
+      List.iter (fun _ -> Metrics.Counter.incr m.Metrics.checksum_failures) bad
+  | None -> ());
+  { files = List.length targets; bad }
+
+let spawn ~pool ?metrics ~dir () =
+  let result = ref None in
+  let fut =
+    Executor.submit_task pool ~name:"scrub" (fun () ->
+        result := Some (run_once ?metrics ~dir ()))
+  in
+  fun () ->
+    match (Topk_service.Future.await fut).Topk_service.Response.status with
+    | Topk_service.Response.Failed _ -> None
+    | _ -> !result

@@ -1,0 +1,29 @@
+(** Background checksum scrubbing: catch bit rot before recovery does.
+
+    A scrub pass re-reads every snapshot ([snap-*.dat]) and manifest
+    ([manifest-*]) in a store directory and re-verifies their frame
+    checksums structurally — no element decoding, no index rebuild —
+    so silent corruption is surfaced while the previous generation (or
+    a backup) still exists, instead of at the worst possible moment.
+
+    Each pass counts [scrubs] once and [checksum_failures] per bad
+    file on the given metrics.  WAL segments are {e not} scrubbed: an
+    un-synced WAL tail is legitimately torn until recovery truncates
+    it, so a scanner cannot distinguish rot from an honest crash. *)
+
+type report = { files : int; bad : string list }
+(** Files examined and the paths that failed verification. *)
+
+val run_once : ?metrics:Topk_service.Metrics.t -> dir:string -> unit -> report
+
+val spawn :
+  pool:Topk_service.Executor.t ->
+  ?metrics:Topk_service.Metrics.t ->
+  dir:string ->
+  unit ->
+  (unit -> report option)
+(** Submit one scrub pass as a background task on [pool] (sharing its
+    supervision and retry machinery) and return a join: [None] if the
+    task failed or the pool shut down first.
+    @raise Topk_service.Executor.Shut_down / [Overloaded] as
+    {!Topk_service.Executor.submit_task}. *)

@@ -1,0 +1,87 @@
+(* Checkpointed snapshots — see snapshot.mli. *)
+
+module Ingest = Topk_ingest.Ingest
+
+let magic = "TKSNAP1"
+
+let path ~dir ~gen = Filename.concat dir (Printf.sprintf "snap-%d.dat" gen)
+
+let encode ~seq ~runs =
+  let buf = Buffer.create 4096 in
+  let header = Buffer.create 32 in
+  Frame.add_string header magic;
+  Frame.add_u64 header seq;
+  Frame.add_u32 header (List.length runs);
+  Frame.append buf (Buffer.to_bytes header);
+  List.iter
+    (fun (r : _ Ingest.run_data) ->
+      let body = Buffer.create 1024 in
+      Frame.add_u32 body r.Ingest.rd_level;
+      Frame.add_u64 body r.Ingest.rd_seq;
+      Frame.add_u32 body (Array.length r.Ingest.rd_elems);
+      Array.iter (fun x -> Frame.add_string body (Marshal.to_string x [])) r.Ingest.rd_elems;
+      Frame.add_u32 body (Array.length r.Ingest.rd_dead);
+      Array.iter (fun id -> Frame.add_u64 body id) r.Ingest.rd_dead;
+      Frame.append buf (Buffer.to_bytes body))
+    runs;
+  Buffer.to_bytes buf
+
+(* [Array.init] evaluates in unspecified order; the reader cursor
+   forces an explicit left-to-right loop. *)
+let read_array r n read_one =
+  let acc = ref [] in
+  for _ = 1 to n do
+    acc := read_one r :: !acc
+  done;
+  Array.of_list (List.rev !acc)
+
+let decode_run payload : 'e Ingest.run_data =
+  let r = Frame.reader payload in
+  let rd_level = Frame.read_u32 r in
+  let rd_seq = Frame.read_u64 r in
+  let n = Frame.read_u32 r in
+  let rd_elems = read_array r n (fun r -> Marshal.from_string (Frame.read_string r) 0) in
+  let nd = Frame.read_u32 r in
+  let rd_dead = read_array r nd Frame.read_u64 in
+  { Ingest.rd_level; rd_seq; rd_elems; rd_dead }
+
+type 'e contents = { seq : int; runs : 'e Ingest.run_data list }
+
+let read p =
+  if not (Disk.exists p) then Error `Missing
+  else
+    match
+      let b = Disk.read_file p in
+      let payloads, status = Frame.parse_all b in
+      match (status, payloads) with
+      | `Clean, header :: run_frames ->
+          let r = Frame.reader header in
+          if Frame.read_string r <> magic then Error `Corrupt
+          else begin
+            let seq = Frame.read_u64 r in
+            let count = Frame.read_u32 r in
+            if count <> List.length run_frames then Error `Corrupt
+            else Ok { seq; runs = List.map decode_run run_frames }
+          end
+      | _ -> Error `Corrupt
+    with
+    | v -> v
+    | exception _ -> Error `Corrupt
+
+let write ~dir ~gen ~seq ~runs =
+  let final = path ~dir ~gen in
+  let tmp = final ^ ".tmp" in
+  let f = Disk.create tmp in
+  Disk.append f (encode ~seq ~runs);
+  Disk.fsync f;
+  Disk.close f;
+  (* Read-back gate: the rename below makes this generation eligible
+     as a recovery root, so a bit flipped on the way down must be
+     caught here, while the previous root is still the only one. *)
+  match (read tmp : (_, _) result) with
+  | Ok _ ->
+      Disk.rename ~src:tmp ~dst:final;
+      true
+  | Error _ ->
+      Disk.remove tmp;
+      false

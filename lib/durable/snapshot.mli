@@ -1,0 +1,33 @@
+(** Checkpointed snapshots: the sealed level set, serialized.
+
+    [snap-<gen>.dat] is a sequence of {!Frame}s: a header
+    [magic | snap_seq (u64) | run count (u32)], then one frame per
+    {!Topk_ingest.Ingest.run_data} —
+    [level (u32) | seq (u64) | elems | dead ids] with elements as
+    length-prefixed [Marshal] payloads and tombstoned ids as [u64]s.
+    [snap_seq] is the newest operation sequence the runs fold in;
+    recovery restores the index from the runs and replays the WAL
+    strictly above it.
+
+    {!write} publishes atomically: the file is assembled under a
+    [.tmp] name, fsynced, closed, {e read back and verified}, and only
+    then renamed into place — a snapshot name either denotes a
+    complete verified file or does not exist.  Verification failure
+    (an injected bit flip caught by its own checksum) removes the tmp
+    and reports [false] so the caller can retry and count it. *)
+
+val path : dir:string -> gen:int -> string
+
+val write :
+  dir:string -> gen:int -> seq:int -> runs:'e Topk_ingest.Ingest.run_data list -> bool
+(** Assemble, verify, publish.  [false]: the read-back failed the
+    checksum and nothing was published.  May crash mid-write under an
+    installed {!Disk} plan — the tmp file left behind is garbage the
+    next checkpoint ignores. *)
+
+type 'e contents = { seq : int; runs : 'e Topk_ingest.Ingest.run_data list }
+
+val read : string -> ('e contents, [ `Missing | `Corrupt ]) result
+(** Parse and verify a snapshot file.  [`Corrupt] covers torn frames,
+    checksum mismatches, and structural decode failures alike — a
+    snapshot is all-or-nothing. *)

@@ -1,0 +1,73 @@
+(* Write-ahead log segments — see wal.mli. *)
+
+module Log = Topk_ingest.Update_log
+
+let path ~dir ~gen = Filename.concat dir (Printf.sprintf "wal-%d.log" gen)
+
+type 'e t = { file : Disk.file; mutable pending : int }
+
+let create ~dir ~gen = { file = Disk.create (path ~dir ~gen); pending = 0 }
+
+let encode (e : 'e Log.entry) =
+  let buf = Buffer.create 64 in
+  let body = Buffer.create 48 in
+  Frame.add_u64 body e.Log.seq;
+  (match e.Log.op with
+  | Log.Insert x ->
+      Frame.add_u32 body 0;
+      Frame.add_string body (Marshal.to_string x [])
+  | Log.Delete x ->
+      Frame.add_u32 body 1;
+      Frame.add_string body (Marshal.to_string x []));
+  Frame.append buf (Buffer.to_bytes body);
+  Buffer.to_bytes buf
+
+let append t e =
+  Disk.append t.file (encode e);
+  t.pending <- t.pending + 1
+
+let flush t =
+  if t.pending > 0 then begin
+    Disk.fsync t.file;
+    t.pending <- 0
+  end
+
+let unflushed t = t.pending
+
+let close t = Disk.close t.file
+
+let decode payload : 'e Log.entry =
+  let r = Frame.reader payload in
+  let seq = Frame.read_u64 r in
+  let tag = Frame.read_u32 r in
+  let x : 'e = Marshal.from_string (Frame.read_string r) 0 in
+  match tag with
+  | 0 -> { Log.seq; op = Log.Insert x }
+  | 1 -> { Log.seq; op = Log.Delete x }
+  | n -> invalid_arg (Printf.sprintf "Wal.decode: bad op tag %d" n)
+
+let load ~dir ~gen =
+  let p = path ~dir ~gen in
+  if not (Disk.exists p) then ([], `Clean)
+  else begin
+    let b = Disk.read_file p in
+    let payloads, status = Frame.parse_all b in
+    (* A checksummed payload that still fails to decode means the
+       writer and reader disagree structurally — treat it like
+       corruption rather than dying inside recovery. *)
+    let rec decode_prefix acc = function
+      | [] -> (List.rev acc, false)
+      | p :: rest -> (
+          match decode p with
+          | e -> decode_prefix (e :: acc) rest
+          | exception _ -> (List.rev acc, true))
+    in
+    let entries, bad_decode = decode_prefix [] payloads in
+    match status with
+    | _ when bad_decode -> (entries, `Corrupt)
+    | `Clean -> (entries, `Clean)
+    | `Torn off ->
+        Disk.truncate p off;
+        (entries, `Torn)
+    | `Corrupt _ -> (entries, `Corrupt)
+  end

@@ -1,0 +1,46 @@
+(** The write-ahead log: one append-only segment per generation.
+
+    Segment [wal-<gen>.log] holds one {!Frame} per update, appended
+    {e before} the in-memory index acknowledges the operation
+    (WAL-first).  Frames are [seq (u64) | op tag (u32) | element],
+    where the element is a length-prefixed [Marshal] payload — opaque
+    bytes whose integrity the frame checksum guarantees; portability
+    of the element encoding itself is out of scope (a snapshot and its
+    WAL are read back by the same binary that wrote them).
+
+    {!append} writes through to the file but durability is only
+    promised by {!flush} — the group-commit knob.  {!Store} flushes
+    per-append in [Sync] mode, every [n] appends (and at every seal)
+    in [Async n].
+
+    {!load} is the recovery side: parse the whole segment, stop at the
+    first torn or corrupt frame, and {e truncate} a torn tail in place
+    so a re-crash cannot observe a longer file than this recovery
+    acknowledged. *)
+
+val path : dir:string -> gen:int -> string
+
+type 'e t
+
+val create : dir:string -> gen:int -> 'e t
+(** Fresh (truncated) segment for generation [gen]. *)
+
+val append : 'e t -> 'e Topk_ingest.Update_log.entry -> unit
+(** Frame and append one entry (counted by {!Disk}; may crash). *)
+
+val flush : 'e t -> unit
+(** {!Disk.fsync} if anything is pending; no-op (and {e uncounted})
+    otherwise. *)
+
+val unflushed : 'e t -> int
+(** Appends since the last flush. *)
+
+val close : 'e t -> unit
+
+val load :
+  dir:string -> gen:int -> 'e Topk_ingest.Update_log.entry list * [ `Clean | `Torn | `Corrupt ]
+(** Replayable entries, oldest first, and how the scan ended.  A
+    missing segment is [([], `Clean)] (a generation can die before its
+    first append becomes durable).  [`Torn]: the tail was cut off in
+    place.  [`Corrupt]: a mid-file checksum mismatch — replay stops
+    there and the file is left untouched as evidence. *)

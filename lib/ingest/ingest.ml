@@ -22,6 +22,33 @@ let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: r -> drop 
 let rec with_retries n f =
   try f () with Fault.Em_fault _ when n > 1 -> with_retries (n - 1) f
 
+(* ---- durability hooks ----
+
+   A [sink] is the write-ahead observer the durable layer
+   ({!Topk_durable.Store}) installs: every accepted update is offered
+   to [s_append] {e before} it lands in the in-memory log (WAL-first
+   discipline), and every epoch publish — seal, merge, freeze — is
+   reported through [s_event] together with a portable description of
+   the full run list and the unsealed log suffix, which is everything
+   a checkpoint needs.  All sink calls happen under the wrapper's
+   mutex, so the sink needs no locking of its own; a sink that raises
+   (a simulated disk crash) aborts the triggering operation before the
+   in-memory state acknowledges it. *)
+
+type 'e run_data = {
+  rd_level : int;
+  rd_seq : int;
+  rd_elems : 'e array;
+  rd_dead : int array;
+}
+
+type event = Sealed | Merged | Frozen
+
+type 'e sink = {
+  s_append : 'e Log.entry -> unit;
+  s_event : event -> runs:'e run_data list -> log:'e Log.entry list -> unit;
+}
+
 module Make (T : Sigs.TOPK) = struct
   module P = T.P
   module W = Sigs.Weight_order (P)
@@ -61,6 +88,7 @@ module Make (T : Sigs.TOPK) = struct
     mutable pending : unit Response.t Future.t option;
     pool : Executor.t option;
     metrics : Metrics.t option;
+    sink : P.elem sink option;
   }
 
   (* A merge job: its inputs (a physically contiguous, same-level block
@@ -107,7 +135,29 @@ module Make (T : Sigs.TOPK) = struct
     in
     go 0 cap
 
-  let create ?params ?(buffer_cap = 1024) ?(fanout = 4) ?pool ?metrics elems =
+  let run_data_of r =
+    {
+      rd_level = r.r_level;
+      rd_seq = r.r_seq;
+      rd_elems = r.r_elems;
+      rd_dead = Array.of_seq (Seq.map fst (Hashtbl.to_seq r.r_dead));
+    }
+
+  (* Call with [t.mu] held. *)
+  let run_datas_locked t = List.map run_data_of (Epoch.current t.epochs)
+
+  let log_entries_locked t =
+    let arr, len = Log.view t.log in
+    Array.to_list (Array.sub arr 0 len)
+
+  let emit_locked t ev =
+    match t.sink with
+    | None -> ()
+    | Some s ->
+        s.s_event ev ~runs:(run_datas_locked t) ~log:(log_entries_locked t)
+
+  let create ?params ?(buffer_cap = 1024) ?(fanout = 4) ?pool ?metrics ?sink
+      elems =
     if buffer_cap < 1 then
       invalid_arg
         (Printf.sprintf "Ingest.create: buffer_cap must be >= 1 (got %d)"
@@ -146,6 +196,81 @@ module Make (T : Sigs.TOPK) = struct
       pending = None;
       pool;
       metrics;
+      sink;
+    }
+
+  (* Rebuild a wrapper from recovered run descriptions (newest first,
+     the base run last) — the re-entry point of {!Topk_durable.Store}
+     after a crash.  [next_seq] must exceed every sequence number baked
+     into [runs]; subsequent updates continue the stream from there. *)
+  let restore ?params ?(buffer_cap = 1024) ?(fanout = 4) ?pool ?metrics ?sink
+      ~runs ~next_seq () =
+    if buffer_cap < 1 then
+      invalid_arg
+        (Printf.sprintf "Ingest.restore: buffer_cap must be >= 1 (got %d)"
+           buffer_cap);
+    if fanout < 2 then
+      invalid_arg
+        (Printf.sprintf "Ingest.restore: fanout must be >= 2 (got %d)" fanout);
+    if runs = [] then invalid_arg "Ingest.restore: runs must be non-empty";
+    if next_seq < 1 then
+      invalid_arg
+        (Printf.sprintf "Ingest.restore: next_seq must be >= 1 (got %d)"
+           next_seq);
+    List.iter
+      (fun rd ->
+        if rd.rd_seq >= next_seq then
+          invalid_arg
+            (Printf.sprintf
+               "Ingest.restore: run seq %d is not below next_seq %d" rd.rd_seq
+               next_seq))
+      runs;
+    let metrics =
+      match (metrics, pool) with
+      | (Some _ as m), _ -> m
+      | None, Some p -> Some (Executor.metrics p)
+      | None, None -> None
+    in
+    let rebuild rd =
+      let dead = Hashtbl.create (max 1 (Array.length rd.rd_dead)) in
+      Array.iter (fun i -> Hashtbl.replace dead i ()) rd.rd_dead;
+      mk_run ?params ~level:rd.rd_level ~seq:rd.rd_seq ~dead rd.rd_elems
+    in
+    let rs = List.map rebuild runs in
+    (* Surviving-element count: replay newest-first, ids shadowed by a
+       newer run's ids or tombstones are not live. *)
+    let killed = Hashtbl.create 64 in
+    let live = ref 0 in
+    List.iter
+      (fun r ->
+        Hashtbl.iter
+          (fun i () ->
+            if not (Hashtbl.mem killed i) then begin
+              incr live;
+              Hashtbl.replace killed i ()
+            end)
+          r.r_ids;
+        Hashtbl.iter (fun i () -> Hashtbl.replace killed i ()) r.r_dead)
+      rs;
+    {
+      mu = Mutex.create ();
+      params;
+      buffer_cap;
+      fanout;
+      name = "ingest(" ^ T.name ^ ")";
+      epochs = Epoch.create rs;
+      log = Log.create ~cap:buffer_cap;
+      log_state = Hashtbl.create (max 16 buffer_cap);
+      seq = next_seq;
+      live = !live;
+      frozen = false;
+      merging = false;
+      wedged = false;
+      merge_gen = 0;
+      pending = None;
+      pool;
+      metrics;
+      sink;
     }
 
   (* ---- level manager: merge selection ---- *)
@@ -323,6 +448,7 @@ module Make (T : Sigs.TOPK) = struct
                 (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6))
           | None -> ());
           update_lag t;
+          emit_locked t Merged;
           maybe_schedule_locked t)
     in
     dispatch t next
@@ -365,6 +491,7 @@ module Make (T : Sigs.TOPK) = struct
       ignore (Epoch.publish t.epochs (fun runs -> run :: runs) : int);
       m_counter t (fun m -> m.Metrics.seals);
       update_lag t;
+      emit_locked t Sealed;
       maybe_schedule_locked t
     end
 
@@ -396,14 +523,22 @@ module Make (T : Sigs.TOPK) = struct
           let id = P.id e in
           let seq = t.seq in
           t.seq <- seq + 1;
+          let entry =
+            match op with
+            | `Insert -> { Log.seq; op = Log.Insert e }
+            | `Delete -> { Log.seq; op = Log.Delete e }
+          in
+          (* WAL-first: the durable sink sees (and may refuse) the op
+             before the in-memory state acknowledges it. *)
+          (match t.sink with Some s -> s.s_append entry | None -> ());
           (match op with
           | `Insert ->
               if not (is_live_locked t id) then t.live <- t.live + 1;
-              Log.append t.log { Log.seq; op = Log.Insert e };
+              Log.append t.log entry;
               Hashtbl.replace t.log_state id true
           | `Delete ->
               if is_live_locked t id then t.live <- t.live - 1;
-              Log.append t.log { Log.seq; op = Log.Delete e };
+              Log.append t.log entry;
               Hashtbl.replace t.log_state id false;
               m_counter t (fun m -> m.Metrics.tombstones));
           m_counter t (fun m -> m.Metrics.updates);
@@ -522,11 +657,13 @@ module Make (T : Sigs.TOPK) = struct
   (* ---- freeze ---- *)
 
   let freeze t =
+    let did_freeze = ref false in
     let job =
       Mutex.protect t.mu (fun () ->
           if t.frozen then None
           else begin
             t.frozen <- true;
+            did_freeze := true;
             reap_failed_merge_locked t;
             seal_locked t
           end)
@@ -560,7 +697,10 @@ module Make (T : Sigs.TOPK) = struct
               dispatch t job;
               settle ())
     in
-    settle ()
+    settle ();
+    (* The freeze that sealed the tail also checkpoints the settled
+       state, exactly once (re-freezing is a no-op). *)
+    if !did_freeze then Mutex.protect t.mu (fun () -> emit_locked t Frozen)
 
   (* ---- introspection / integration ---- *)
 
@@ -588,6 +728,15 @@ module Make (T : Sigs.TOPK) = struct
   let frozen t = Mutex.protect t.mu (fun () -> t.frozen)
 
   let wedged t = Mutex.protect t.mu (fun () -> t.wedged)
+
+  let last_seq t = Mutex.protect t.mu (fun () -> t.seq - 1)
+
+  let run_datas t = Mutex.protect t.mu (fun () -> run_datas_locked t)
+
+  let log_entries t = Mutex.protect t.mu (fun () -> log_entries_locked t)
+
+  let durable_state t =
+    Mutex.protect t.mu (fun () -> (run_datas_locked t, log_entries_locked t))
 
   let name_of t = t.name
 

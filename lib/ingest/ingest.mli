@@ -33,7 +33,43 @@
 
     Answers are {e exact} over the surviving set at the pinned view —
     the same set {!Make.view_live} replays from scratch, which is what
-    the ingest bench compares against. *)
+    the ingest bench compares against.
+
+    {b Durability.}  The wrapper itself is volatile.  A {!sink}
+    installed at {!Make.create} (or {!Make.restore}) time makes it
+    durable: every accepted update is offered to the sink {e before}
+    the in-memory state acknowledges it (WAL-first), and every epoch
+    publish — seal, merge, freeze — is reported with a portable
+    {!run_data} description of the level set plus the unsealed log
+    suffix, which is exactly what a checkpoint needs.
+    {!Topk_durable.Store} provides the production sink (write-ahead
+    log, checkpointed snapshots, crash recovery). *)
+
+(** A portable, structure-agnostic description of one immutable run:
+    its level, the newest op sequence folded into it, the live
+    elements, and the tombstoned ids it carries against older runs.
+    What {!Make.restore} consumes and snapshots serialize. *)
+type 'e run_data = {
+  rd_level : int;
+  rd_seq : int;
+  rd_elems : 'e array;
+  rd_dead : int array;
+}
+
+type event = Sealed | Merged | Frozen
+(** Which epoch publish triggered an [s_event] callback. *)
+
+(** The durability hook.  All calls happen under the wrapper's mutex
+    (no sink-side locking needed); a sink that raises aborts the
+    triggering operation before it is acknowledged. *)
+type 'e sink = {
+  s_append : 'e Update_log.entry -> unit;
+      (** Called for every accepted update, before the in-memory
+          append.  Sequence numbers are contiguous from 1. *)
+  s_event : event -> runs:'e run_data list -> log:'e Update_log.entry list -> unit;
+      (** Called after every epoch publish with the full run list
+          (newest first) and the unsealed log suffix at that moment. *)
+}
 
 module Make (T : Topk_core.Sigs.TOPK) : sig
   module P :
@@ -53,14 +89,35 @@ module Make (T : Topk_core.Sigs.TOPK) : sig
     ?fanout:int ->
     ?pool:Topk_service.Executor.t ->
     ?metrics:Topk_service.Metrics.t ->
+    ?sink:P.elem sink ->
     P.elem array ->
     t
   (** Wrap a freshly built [T] over [elems] (the {e base} run).
       [buffer_cap] (default 1024) bounds the update log; [fanout]
       (default 4) is the merge arity per level.  With [?pool], merges
       are scheduled on it ([metrics] defaults to the pool's);
-      without, merges run inline on the writer.
+      without, merges run inline on the writer.  [sink] is the
+      durability hook (see {!sink}).
       @raise Invalid_argument if [buffer_cap < 1] or [fanout < 2]. *)
+
+  val restore :
+    ?params:Topk_core.Params.t ->
+    ?buffer_cap:int ->
+    ?fanout:int ->
+    ?pool:Topk_service.Executor.t ->
+    ?metrics:Topk_service.Metrics.t ->
+    ?sink:P.elem sink ->
+    runs:P.elem run_data list ->
+    next_seq:int ->
+    unit ->
+    t
+  (** Rebuild a wrapper from recovered run descriptions (newest first,
+      base last), re-running [T.build] over each run's elements.  The
+      recovered instance answers exactly over the surviving set the
+      runs describe; subsequent updates continue the sequence stream
+      at [next_seq].
+      @raise Invalid_argument if [runs] is empty, a run's [rd_seq] is
+      not below [next_seq], or a parameter is out of range. *)
 
   val insert : t -> P.elem -> unit
   (** Append an insert.  Inserting an id that is already live
@@ -138,6 +195,24 @@ module Make (T : Topk_core.Sigs.TOPK) : sig
 
   val run_count : t -> int
   val log_length : t -> int
+
+  val last_seq : t -> int
+  (** The newest op sequence number assigned so far ([0] before the
+      first update). *)
+
+  val run_datas : t -> P.elem run_data list
+  (** Portable descriptions of the current level set, newest first —
+      what an initial durable checkpoint serializes. *)
+
+  val log_entries : t -> P.elem Update_log.entry list
+  (** The unsealed log suffix at this moment, oldest first. *)
+
+  val durable_state : t -> P.elem run_data list * P.elem Update_log.entry list
+  (** {!run_datas} and {!log_entries} captured under one lock hold — a
+      consistent cut even against a concurrent writer, which a manual
+      checkpoint needs ({!run_datas} then {!log_entries} as two calls
+      could lose a seal that lands between them). *)
+
   val frozen : t -> bool
   val wedged : t -> bool
   (** A background merge failed permanently (retries exhausted or the

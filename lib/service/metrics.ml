@@ -134,6 +134,15 @@ type t = {
   tombstones : Counter.t;        (* delete tombstones recorded *)
   epoch_lag : Gauge.t;           (* current epoch - oldest pinned epoch *)
   merge_latency_us : Histogram.t;(* background merge wall time *)
+  (* durability (recorded by Topk_durable) *)
+  wal_appends : Counter.t;       (* records appended to the WAL *)
+  wal_fsyncs : Counter.t;        (* group-commit fsync batches flushed *)
+  checkpoints : Counter.t;       (* snapshot+manifest generations published *)
+  recoveries : Counter.t;        (* successful crash recoveries *)
+  torn_tails : Counter.t;        (* torn WAL tails truncated at recovery *)
+  checksum_failures : Counter.t; (* CRC mismatches detected anywhere *)
+  scrubs : Counter.t;            (* background scrub passes completed *)
+  recovery_time_us : Histogram.t;(* manifest-to-replayed recovery wall time *)
 }
 
 let create () =
@@ -170,6 +179,14 @@ let create () =
     tombstones = Counter.create ();
     epoch_lag = Gauge.create ();
     merge_latency_us = Histogram.create ();
+    wal_appends = Counter.create ();
+    wal_fsyncs = Counter.create ();
+    checkpoints = Counter.create ();
+    recoveries = Counter.create ();
+    torn_tails = Counter.create ();
+    checksum_failures = Counter.create ();
+    scrubs = Counter.create ();
+    recovery_time_us = Histogram.create ();
   }
 
 let uptime t = Unix.gettimeofday () -. t.started
@@ -233,6 +250,14 @@ let report t =
   line "topk_ingest_tombstones %d" (Counter.get t.tombstones);
   line "topk_ingest_epoch_lag %d" (Gauge.get t.epoch_lag);
   histo "topk_ingest_merge_latency_us" t.merge_latency_us;
+  line "topk_wal_appends %d" (Counter.get t.wal_appends);
+  line "topk_wal_fsyncs %d" (Counter.get t.wal_fsyncs);
+  line "topk_checkpoints %d" (Counter.get t.checkpoints);
+  line "topk_recoveries %d" (Counter.get t.recoveries);
+  line "topk_torn_tails %d" (Counter.get t.torn_tails);
+  line "topk_checksum_failures %d" (Counter.get t.checksum_failures);
+  line "topk_scrubs %d" (Counter.get t.scrubs);
+  histo "topk_recovery_time_us" t.recovery_time_us;
   line "topk_traces_stored %d" (Topk_trace.Trace.Store.length ());
   line "topk_traces_total %d" (Topk_trace.Trace.Store.total ());
   Buffer.contents buf

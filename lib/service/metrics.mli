@@ -89,6 +89,14 @@ type t = {
   tombstones : Counter.t;     (** ingest: delete tombstones recorded *)
   epoch_lag : Gauge.t;        (** ingest: current epoch − oldest pinned *)
   merge_latency_us : Histogram.t;(** ingest: background merge wall time, µs *)
+  wal_appends : Counter.t;    (** durable: records appended to the WAL *)
+  wal_fsyncs : Counter.t;     (** durable: group-commit fsyncs issued *)
+  checkpoints : Counter.t;    (** durable: snapshot+manifest generations *)
+  recoveries : Counter.t;     (** durable: successful crash recoveries *)
+  torn_tails : Counter.t;     (** durable: torn WAL tails truncated *)
+  checksum_failures : Counter.t;(** durable: CRC mismatches detected *)
+  scrubs : Counter.t;         (** durable: background scrub passes *)
+  recovery_time_us : Histogram.t;(** durable: recovery wall time, µs *)
 }
 
 val create : unit -> t

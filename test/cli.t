@@ -133,3 +133,33 @@ and the fitted Dynamic(Theorem 2) bound certifies every measured cost.
 
   $ topk ingest-bench -n 500 --updates 600 --queries 50 --buffer-cap 32 -k 5 --seed 7 | tail -n 1
   ingest-bench: OK (66 exact answers across 25 epochs under live compaction)
+
+Crash-bench validation.
+
+  $ topk crash-bench --updates 0
+  topk: updates must be positive (got 0)
+  [2]
+
+  $ topk crash-bench --crashes 0
+  topk: crashes must be positive (got 0)
+  [2]
+
+  $ topk crash-bench --checkpoint-every 0
+  topk: checkpoint-every must be positive (got 0)
+  [2]
+
+  $ topk crash-bench --fanout 1
+  topk: fanout must be >= 2 (got 1)
+  [2]
+
+  $ topk crash-bench --group 0
+  topk: group must be positive (got 0)
+  [2]
+
+Crash recovery is deterministic for a fixed seed: every seeded crash
+point is swept in both sync and group-commit modes, recovery must
+restore an acknowledged-prefix oracle, and all four durability phases
+(WAL append, seal, merge, manifest publish) must be covered.
+
+  $ topk crash-bench -n 200 --updates 120 --crashes 12 --seed 7 | tail -n 1
+  crash-bench: OK (27 crash points, 25 recoveries, 0 violations)

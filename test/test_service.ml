@@ -460,6 +460,59 @@ let test_metrics_histogram () =
   Alcotest.(check int) "empty" 0
     (Metrics.Histogram.percentile (Metrics.Histogram.create ()) 0.99)
 
+(* Text exposition: the report must carry every durability counter
+   (zero-valued on a fresh registry), render empty histograms without
+   dividing by zero, and reflect counter/gauge/histogram updates. *)
+let test_metrics_report () =
+  let m = Metrics.create () in
+  let has needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let r0 = Metrics.report m in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) ("fresh report has " ^ line) true (has (line ^ " 0\n") r0))
+    [
+      "topk_wal_appends";
+      "topk_wal_fsyncs";
+      "topk_checkpoints";
+      "topk_recoveries";
+      "topk_torn_tails";
+      "topk_checksum_failures";
+      "topk_scrubs";
+      "topk_queries_submitted";
+    ];
+  (* An empty histogram renders zeros (and a 0.0 mean, not a NaN). *)
+  Alcotest.(check bool) "empty histogram count" true
+    (has "topk_recovery_time_us_count 0\n" r0);
+  Alcotest.(check bool) "empty histogram p99" true
+    (has "topk_recovery_time_us_p99 0\n" r0);
+  Alcotest.(check bool) "empty histogram mean" true
+    (has "topk_recovery_time_us_mean 0.0\n" r0);
+  (* Updates show up. *)
+  Metrics.Counter.incr m.Metrics.wal_appends;
+  Metrics.Counter.incr m.Metrics.wal_appends;
+  Metrics.Counter.incr m.Metrics.torn_tails;
+  Metrics.Gauge.set m.Metrics.queue_depth 7;
+  Metrics.Histogram.observe m.Metrics.recovery_time_us 0;
+  let r1 = Metrics.report m in
+  Alcotest.(check bool) "counter renders" true (has "topk_wal_appends 2\n" r1);
+  Alcotest.(check bool) "torn tails render" true (has "topk_torn_tails 1\n" r1);
+  Alcotest.(check bool) "gauge renders" true (has "topk_queue_depth 7\n" r1);
+  (* A single zero observation: count 1, everything else still 0. *)
+  Alcotest.(check bool) "zero observation count" true
+    (has "topk_recovery_time_us_count 1\n" r1);
+  Alcotest.(check bool) "zero observation sum" true
+    (has "topk_recovery_time_us_sum 0\n" r1);
+  Alcotest.(check bool) "zero observation max" true
+    (has "topk_recovery_time_us_max 0\n" r1);
+  (* p99 clamps to the exact max, not a bucket edge. *)
+  Metrics.Histogram.observe m.Metrics.recovery_time_us 1000;
+  Alcotest.(check int) "p99 clamps to max" 1000
+    (Metrics.Histogram.percentile m.Metrics.recovery_time_us 0.99)
+
 let () =
   Alcotest.run "service"
     [
@@ -488,5 +541,8 @@ let () =
             test_request_validation;
         ] );
       ( "metrics",
-        [ Alcotest.test_case "histogram" `Quick test_metrics_histogram ] );
+        [
+          Alcotest.test_case "histogram" `Quick test_metrics_histogram;
+          Alcotest.test_case "text exposition" `Quick test_metrics_report;
+        ] );
     ]
