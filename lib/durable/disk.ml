@@ -179,10 +179,29 @@ let append f b =
           f.w <- f.w + len;
           if bump_locked () then die_locked ())
 
+(* With no plan installed the durability promise is real: pay for an
+   actual fsync.  Under a plan the crash model is the adversary and
+   its watermark is the source of truth — a real fsync would only
+   slow the seeded sweep without changing what it can observe. *)
+let real_fsync_locked fd =
+  if st.p = None then try Unix.fsync fd with Unix.Unix_error _ -> ()
+
+(* Directory-entry durability for rename/remove: an fsync on the
+   containing directory, production path only (same rationale). *)
+let dir_fsync_locked path =
+  if st.p = None then
+    match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+    | fd ->
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+
 let fsync f =
   Mutex.protect mu (fun () ->
       check_dead_locked ();
       if bump_locked () then die_locked ();
+      (match f.fd with Some fd -> real_fsync_locked fd | None -> ());
       f.d <- f.w;
       (* Fully durable and closed: nothing left at risk. *)
       if f.fd = None then st.at_risk <- List.filter (fun g -> g != f) st.at_risk)
@@ -219,7 +238,10 @@ let rename ~src ~dst =
         if uniform () < 0.5 then Unix.rename src dst;
         die_locked ()
       end
-      else Unix.rename src dst)
+      else begin
+        Unix.rename src dst;
+        dir_fsync_locked dst
+      end)
 
 let remove path =
   Mutex.protect mu (fun () ->
@@ -228,7 +250,10 @@ let remove path =
         if uniform () < 0.5 then (try Sys.remove path with Sys_error _ -> ());
         die_locked ()
       end
-      else try Sys.remove path with Sys_error _ -> ())
+      else begin
+        (try Sys.remove path with Sys_error _ -> ());
+        dir_fsync_locked path
+      end)
 
 let truncate path n = Unix.truncate path n
 

@@ -23,12 +23,15 @@
     payload with the given probability, modelling bit rot that only a
     checksum can catch.
 
-    With no plan installed, operations are plain buffered file I/O
-    (writes go straight to the file; {!fsync} marks them durable in
-    the model without paying for a real [fsync], since the crash model
-    is simulated anyway).  The operation counter always counts, so a
-    profile pass can measure a workload's operation stream before
-    sweeping crash points over it. *)
+    With no plan installed — the production path — the durability
+    promise is real: {!fsync} issues an actual [Unix.fsync], and
+    {!rename}/{!remove} fsync the containing directory so the entry
+    change itself survives power loss.  Under an installed plan the
+    simulated crash model is the adversary and its durable watermark
+    is the source of truth, so the real [fsync] is skipped — seeded
+    sweeps stay fast and deterministic.  The operation counter always
+    counts, so a profile pass can measure a workload's operation
+    stream before sweeping crash points over it. *)
 
 exception Crash
 (** The simulated machine died.  Anything the caller had in memory is
@@ -95,7 +98,9 @@ val append : file -> Bytes.t -> unit
 (** Counted.  May corrupt (seeded), may crash. *)
 
 val fsync : file -> unit
-(** Counted.  On survival, everything written so far becomes durable. *)
+(** Counted.  On survival, everything written so far becomes durable —
+    via a real [fsync] when no plan is installed, in the model only
+    under one. *)
 
 val close : file -> unit
 (** Not counted.  Closing does {e not} make pending bytes durable:

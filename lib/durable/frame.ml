@@ -100,6 +100,29 @@ let parse_all b =
   in
   go [] 0
 
+(* Does a clean record stream resume at some offset past [off] and run
+   to the end of the buffer?  A genuinely torn tail leaves nothing
+   parseable past the tear; a bit flip in a length header merely
+   *looks* torn while stranding valid frames behind the bogus length.
+   The stream must contain a {e non-empty} record: an all-zero header
+   is a self-consistent empty frame ([len = 0], [crc32("") = 0]), so a
+   torn residue that happens to end in a run of zero bytes — common
+   inside Marshal payloads — would otherwise count as a resync.  No
+   durable format writes empty payloads, so demanding one non-empty
+   record costs nothing.  Quadratic in the residue in the worst case,
+   but a real torn tail is at most a group-commit's worth of frames. *)
+let resyncs b off =
+  let total = Bytes.length b in
+  let rec clean_to_eof o seen =
+    if o = total then seen
+    else
+      match parse b o with
+      | Record (p, next) -> clean_to_eof next (seen || Bytes.length p > 0)
+      | Torn | Corrupt -> false
+  in
+  let rec scan o = o + 8 <= total && (clean_to_eof o false || scan (o + 1)) in
+  scan (off + 1)
+
 type reader = { buf : Bytes.t; mutable pos : int }
 
 let reader buf = { buf; pos = 0 }

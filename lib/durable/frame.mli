@@ -40,6 +40,16 @@ val parse_all : Bytes.t -> Bytes.t list * [ `Clean | `Torn of int | `Corrupt of 
     on a torn frame, or on a corrupt one (with the byte offset of the
     first bad frame in both cases). *)
 
+val resyncs : Bytes.t -> int -> bool
+(** [resyncs b off]: does a clean frame stream with at least one
+    {e non-empty} record resume at {e some} offset past [off] and run
+    to the end of [b]?  [Torn] at [off] with a later resync is not a
+    torn tail at all — it is a bit flip in a length header stranding
+    valid frames behind it, and must be treated as corruption, not
+    truncated away.  Empty records are not accepted as evidence: an
+    all-zero 8-byte header is a self-consistent empty frame, so any
+    torn residue ending in ≥ 8 zero bytes would spuriously resync. *)
+
 (** {1 Scalar encoding helpers (little-endian)} *)
 
 val add_u32 : Buffer.t -> int -> unit

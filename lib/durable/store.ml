@@ -29,7 +29,6 @@ module Make (T : Topk_core.Sigs.TOPK) = struct
     mode : mode;
     checkpoint_every : int;
     metrics : Metrics.t option;
-    mu : Mutex.t;  (* serializes checkpoints against each other *)
     mutable gen : int;
     mutable wal : I.P.elem Wal.t option;
     mutable seals : int;  (* seals since the last checkpoint *)
@@ -65,46 +64,77 @@ module Make (T : Topk_core.Sigs.TOPK) = struct
     in
     go 3
 
+  (* Sweep every stale generation strictly below [keep] — the one
+     just superseded on the happy path, plus anything an earlier crash
+     stranded between a manifest publish and its GC (which would
+     otherwise leak forever, and linger as a silent stale fallback
+     root).  Manifests go first so a half-swept generation can never
+     be picked as a root whose snapshot is already gone. *)
+  let sweep_below t ~keep =
+    let stale prefix suffix name =
+      let pl = String.length prefix and sl = String.length suffix in
+      let nl = String.length name in
+      nl > pl + sl
+      && String.sub name 0 pl = prefix
+      && String.sub name (nl - sl) sl = suffix
+      &&
+      match int_of_string_opt (String.sub name pl (nl - pl - sl)) with
+      | Some g -> g >= 1 && g < keep
+      | None -> false
+    in
+    let files = Disk.readdir t.dir in
+    List.iter
+      (fun (prefix, suffix) ->
+        List.iter
+          (fun name ->
+            if stale prefix suffix name then
+              Disk.remove (Filename.concat t.dir name))
+          files)
+      [ ("manifest-", ""); ("manifest-", ".tmp");
+        ("snap-", ".dat"); ("snap-", ".dat.tmp");
+        ("wal-", ".log") ]
+
+  (* Every call happens under the ingest wrapper's mutex — sink events
+     fire with it held, and the manual/create/recover paths go through
+     [I.with_durable_state] — so checkpoints are serialized against
+     each other {e and} against writers: no append can slip into the
+     old WAL segment between the captured cut and the rotation. *)
   let do_checkpoint t ~runs ~log =
-    if t.mode <> Volatile then
-      Mutex.protect t.mu (fun () ->
-          let g' = t.gen + 1 in
-          let snap_seq =
-            List.fold_left (fun a (r : _ Ing.run_data) -> max a r.Ing.rd_seq) 0 runs
-          in
-          retrying "snapshot" t (fun () ->
-              Snapshot.write ~dir:t.dir ~gen:g' ~seq:snap_seq ~runs);
-          (* Rotate the WAL: the new segment re-carries the unsealed
-             suffix, making generation g' self-contained before the
-             old root goes away. *)
-          (match t.wal with
-          | Some w ->
-              flush_wal t w;
-              Wal.close w
-          | None -> ());
-          let w' = Wal.create ~dir:t.dir ~gen:g' in
-          List.iter
-            (fun e ->
-              Wal.append w' e;
-              count t.metrics (fun m -> m.Metrics.wal_appends))
-            log;
-          if log <> [] then begin
-            Wal.flush w';
-            count t.metrics (fun m -> m.Metrics.wal_fsyncs)
-          end;
-          Disk.set_phase "manifest";
-          retrying "manifest" t (fun () -> Manifest.publish ~dir:t.dir ~gen:g');
-          let old = t.gen in
-          t.wal <- Some w';
-          t.gen <- g';
-          t.seals <- 0;
-          count t.metrics (fun m -> m.Metrics.checkpoints);
-          (* Generation g' is durably the root; g is garbage. *)
-          if old >= 1 then begin
-            Disk.remove (Manifest.path ~dir:t.dir ~gen:old);
-            Disk.remove (Snapshot.path ~dir:t.dir ~gen:old);
-            Disk.remove (Wal.path ~dir:t.dir ~gen:old)
-          end)
+    if t.mode <> Volatile then begin
+      let g' = t.gen + 1 in
+      let snap_seq =
+        List.fold_left (fun a (r : _ Ing.run_data) -> max a r.Ing.rd_seq) 0 runs
+      in
+      retrying "snapshot" t (fun () ->
+          Snapshot.write ~dir:t.dir ~gen:g' ~seq:snap_seq ~runs);
+      (* Rotate the WAL: the new segment re-carries the unsealed
+         suffix, making generation g' self-contained before the
+         old root goes away. *)
+      (match t.wal with
+      | Some w ->
+          flush_wal t w;
+          Wal.close w
+      | None -> ());
+      let w' = Wal.create ~dir:t.dir ~gen:g' in
+      List.iter
+        (fun e ->
+          Wal.append w' e;
+          count t.metrics (fun m -> m.Metrics.wal_appends))
+        log;
+      if log <> [] then begin
+        Wal.flush w';
+        count t.metrics (fun m -> m.Metrics.wal_fsyncs)
+      end;
+      Disk.set_phase "manifest";
+      retrying "manifest" t (fun () -> Manifest.publish ~dir:t.dir ~gen:g');
+      t.wal <- Some w';
+      t.gen <- g';
+      t.seals <- 0;
+      count t.metrics (fun m -> m.Metrics.checkpoints);
+      (* Generation g' is durably the root; everything below is
+         garbage. *)
+      sweep_below t ~keep:g'
+    end
 
   (* Sink calls arrive under the ingest wrapper's mutex, already
      serialized; [replaying] mutes them while recovery replays the WAL
@@ -155,7 +185,6 @@ module Make (T : Topk_core.Sigs.TOPK) = struct
       mode;
       checkpoint_every;
       metrics;
-      mu = Mutex.create ();
       gen = 0;
       wal = None;
       seals = 0;
@@ -176,8 +205,7 @@ module Make (T : Topk_core.Sigs.TOPK) = struct
        here on some valid recovery root always exists. *)
     if mode <> Volatile then begin
       Disk.set_phase "seal";
-      let runs, log = I.durable_state idx in
-      do_checkpoint t ~runs ~log
+      I.with_durable_state idx (fun ~runs ~log -> do_checkpoint t ~runs ~log)
     end;
     t
 
@@ -230,10 +258,8 @@ module Make (T : Topk_core.Sigs.TOPK) = struct
         t.replaying <- false;
         (* Re-root under a fresh generation: the replayed suffix is
            folded into the new snapshot/WAL and never replayed again. *)
-        if mode <> Volatile then begin
-          let runs, log = I.durable_state idx in
-          do_checkpoint t ~runs ~log
-        end;
+        if mode <> Volatile then
+          I.with_durable_state idx (fun ~runs ~log -> do_checkpoint t ~runs ~log);
         count_m (fun m -> m.Metrics.recoveries);
         (match metrics with
         | Some m ->
@@ -247,11 +273,14 @@ module Make (T : Topk_core.Sigs.TOPK) = struct
   let delete t x = I.delete (the_index t) x
   let query t q ~k = I.query (the_index t) q ~k
 
+  (* The whole checkpoint — capture {e and} commit — runs inside the
+     ingest wrapper's critical section, so a concurrent writer can
+     neither append to the WAL segment being retired nor observe its
+     Sync-acked record deleted with the old generation. *)
   let checkpoint t =
-    if t.mode <> Volatile then begin
-      let runs, log = I.durable_state (the_index t) in
-      do_checkpoint t ~runs ~log
-    end
+    if t.mode <> Volatile then
+      I.with_durable_state (the_index t) (fun ~runs ~log ->
+          do_checkpoint t ~runs ~log)
 
   let close t =
     if not t.closed then begin

@@ -28,9 +28,21 @@
     {b Checkpoint atomicity.}  A checkpoint writes [snap-(g+1)]
     (tmp → fsync → read-back verify → rename), rotates to
     [wal-(g+1)] carrying the unsealed log suffix, publishes
-    [manifest-(g+1)] the same verified way, and only then deletes
-    generation [g] — at every instant at least one valid recovery
-    root exists on disk. *)
+    [manifest-(g+1)] the same verified way, and only then sweeps
+    every stale generation below [g+1] (including artifacts a crash
+    stranded mid-GC) — at every instant at least one valid recovery
+    root exists on disk.  Every checkpoint — sink-driven or manual —
+    runs inside the ingest wrapper's critical section
+    ({!Topk_ingest.Ingest.Make.with_durable_state}), so capture and
+    commit are atomic with respect to concurrent writers.
+
+    {b Crash model.}  The guarantees are verified under the {!Disk}
+    simulated crash model and hold for real process crashes.  Against
+    power loss they hold when no fault plan is installed (the
+    production path), where {!Disk.fsync} issues a real [fsync] and
+    renames/removals sync the containing directory; under an
+    installed plan durability is tracked in the model only, keeping
+    seeded crash sweeps fast and deterministic. *)
 
 type mode = Volatile | Async of int | Sync
 
@@ -94,7 +106,10 @@ module Make (T : Topk_core.Sigs.TOPK) : sig
 
   val checkpoint : t -> unit
   (** Force a checkpoint of a consistent cut of the current state
-      (no-op in [Volatile] mode). *)
+      (no-op in [Volatile] mode).  Safe against concurrent writers:
+      the cut is captured and committed in one critical section of
+      the ingest wrapper, so no acked update can land in the WAL
+      segment being retired. *)
 
   val close : t -> unit
   (** Freeze the index (sealing the remaining buffer, which

@@ -67,7 +67,15 @@ let load ~dir ~gen =
     | _ when bad_decode -> (entries, `Corrupt)
     | `Clean -> (entries, `Clean)
     | `Torn off ->
-        Disk.truncate p off;
-        (entries, `Torn)
+        (* Truncation is destructive repair, licensed only for a
+           genuine un-fsynced tail.  If a clean frame stream resumes
+           past the "tear", the length header was corrupted mid-file
+           and the stranded frames may hold acked records — surface
+           corruption and leave the file as evidence instead. *)
+        if Frame.resyncs b off then (entries, `Corrupt)
+        else begin
+          Disk.truncate p off;
+          (entries, `Torn)
+        end
     | `Corrupt _ -> (entries, `Corrupt)
   end

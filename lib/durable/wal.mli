@@ -41,6 +41,9 @@ val load :
   dir:string -> gen:int -> 'e Topk_ingest.Update_log.entry list * [ `Clean | `Torn | `Corrupt ]
 (** Replayable entries, oldest first, and how the scan ended.  A
     missing segment is [([], `Clean)] (a generation can die before its
-    first append becomes durable).  [`Torn]: the tail was cut off in
-    place.  [`Corrupt]: a mid-file checksum mismatch — replay stops
-    there and the file is left untouched as evidence. *)
+    first append becomes durable).  [`Torn]: a genuine un-fsynced tail
+    — cut off in place.  [`Corrupt]: a mid-file checksum mismatch, or
+    a tear behind which a clean frame stream resumes (a bit-flipped
+    length header, not a short write) — replay stops at the last good
+    record and the file is left untouched as evidence; truncation
+    would silently discard records that may have been acked. *)

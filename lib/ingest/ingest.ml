@@ -738,6 +738,10 @@ module Make (T : Sigs.TOPK) = struct
   let durable_state t =
     Mutex.protect t.mu (fun () -> (run_datas_locked t, log_entries_locked t))
 
+  let with_durable_state t f =
+    Mutex.protect t.mu (fun () ->
+        f ~runs:(run_datas_locked t) ~log:(log_entries_locked t))
+
   let name_of t = t.name
 
   let update_ops t =

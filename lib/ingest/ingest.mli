@@ -209,9 +209,25 @@ module Make (T : Topk_core.Sigs.TOPK) : sig
 
   val durable_state : t -> P.elem run_data list * P.elem Update_log.entry list
   (** {!run_datas} and {!log_entries} captured under one lock hold — a
-      consistent cut even against a concurrent writer, which a manual
-      checkpoint needs ({!run_datas} then {!log_entries} as two calls
-      could lose a seal that lands between them). *)
+      consistent cut even against a concurrent writer ({!run_datas}
+      then {!log_entries} as two calls could lose a seal that lands
+      between them).  The cut is only guaranteed fresh at the instant
+      the lock is released; to {e act} on it atomically, use
+      {!with_durable_state}. *)
+
+  val with_durable_state :
+    t ->
+    (runs:P.elem run_data list -> log:P.elem Update_log.entry list -> 'a) ->
+    'a
+  (** Run [f] over the {!durable_state} cut while {e still holding}
+      the wrapper's mutex: no update is accepted and no {!sink} event
+      fires until [f] returns.  This is what a manual durable
+      checkpoint needs — capturing the cut and committing it must be
+      one critical section, or a concurrent writer could append to a
+      WAL segment the checkpoint is about to retire (losing an acked
+      update), and a sink-driven checkpoint could be overwritten by a
+      staler manual capture.  [f] must not call back into this
+      wrapper. *)
 
   val frozen : t -> bool
   val wedged : t -> bool

@@ -251,6 +251,46 @@ let test_wal_torn_tail () =
       (* The tail was truncated in place: a second load is clean. *)
       Alcotest.(check bool) "repaired" true (Wal.load ~dir:d ~gen:1 = (es, `Clean)))
 
+let test_wal_length_rot_not_truncated () =
+  with_dir (fun d ->
+      let w : int Wal.t = Wal.create ~dir:d ~gen:1 in
+      let es = entries_of 5 in
+      List.iter (Wal.append w) es;
+      Wal.flush w;
+      Wal.close w;
+      let p = Wal.path ~dir:d ~gen:1 in
+      let b = Disk.read_file p in
+      (* Find the third frame's offset, then rot its length header so
+         the claimed payload extends past EOF: parse sees "torn" there
+         even though two intact frames sit right behind it. *)
+      let off =
+        let rec skip o n =
+          if n = 0 then o
+          else
+            match Frame.parse b o with
+            | Frame.Record (_, next) -> skip next (n - 1)
+            | _ -> Alcotest.fail "setup: expected a record"
+        in
+        skip 0 2
+      in
+      let bogus = Bytes.length b in
+      for i = 0 to 3 do
+        Bytes.set b (off + i) (Char.chr ((bogus lsr (8 * i)) land 0xFF))
+      done;
+      let f = Disk.create p in
+      Disk.append f b;
+      Disk.close f;
+      let got, status = Wal.load ~dir:d ~gen:1 in
+      Alcotest.(check bool) "classified corrupt, not torn" true (status = `Corrupt);
+      Alcotest.(check bool) "prefix of two" true
+        (got = [ List.nth es 0; List.nth es 1 ]);
+      Alcotest.(check int) "file left untouched as evidence"
+        (Bytes.length b)
+        (Bytes.length (Disk.read_file p));
+      (* Not a self-repair: a reload sees the same corruption. *)
+      let (_ : int Log.entry list), status' = Wal.load ~dir:d ~gen:1 in
+      Alcotest.(check bool) "still corrupt on reload" true (status' = `Corrupt))
+
 let test_wal_corrupt () =
   with_dir (fun d ->
       let w : int Wal.t = Wal.create ~dir:d ~gen:1 in
@@ -400,6 +440,84 @@ let test_store_roundtrip () =
             (List.exists
                (fun (x : I.t) -> x.I.id = 99)
                (IStore.query st' ((e.I.lo +. e.I.hi) /. 2.) ~k:200));
+          IStore.close st')
+
+(* A crash between a manifest publish and its GC strands a whole
+   superseded generation; the next checkpoint must sweep every stale
+   generation (and tmp leftovers), not just the immediately previous
+   one. *)
+let test_store_gc_sweeps_stale_generations () =
+  with_dir (fun d ->
+      let rng = Rng.create 21 in
+      let st =
+        IStore.create ~params:iparams ~buffer_cap:4 ~fanout:2
+          ~mode:Store.Sync ~checkpoint_every:1 ~dir:d
+          (Array.init 4 (fun i -> random_interval rng i))
+      in
+      for i = 4 to 15 do
+        IStore.insert st (random_interval rng i)
+      done;
+      let g = IStore.generation st in
+      Alcotest.(check bool) "several generations elapsed" true (g >= 2);
+      (* Fabricate a stranded generation-1 (as if an old GC died
+         mid-sweep) plus a tmp leftover. *)
+      let strand name =
+        let f = Disk.create (Filename.concat d name) in
+        Disk.append f (Bytes.of_string "stale");
+        Disk.close f
+      in
+      List.iter strand
+        [ "manifest-1"; "snap-1.dat"; "wal-1.log"; "snap-1.dat.tmp" ];
+      IStore.checkpoint st;
+      let g' = IStore.generation st in
+      Alcotest.(check int) "checkpoint advanced" (g + 1) g';
+      Alcotest.(check (list string)) "only the live generation remains"
+        (List.sort String.compare
+           [ Printf.sprintf "manifest-%d" g';
+             Printf.sprintf "snap-%d.dat" g';
+             Printf.sprintf "wal-%d.log" g' ])
+        (Disk.readdir d);
+      IStore.close st)
+
+(* Manual checkpoints racing concurrent writers: the capture and the
+   WAL rotation are one critical section of the ingest wrapper, so no
+   writer can append to the segment being retired (which used to raise
+   out of the writer) or lose a Sync-acked record with the deleted old
+   generation. *)
+let test_store_checkpoint_vs_writers () =
+  with_dir (fun d ->
+      let rng = Rng.create 31 in
+      let base = Array.init 5 (fun i -> random_interval rng i) in
+      let st =
+        IStore.create ~params:iparams ~buffer_cap:8 ~fanout:2
+          ~mode:Store.Sync ~checkpoint_every:2 ~dir:d base
+      in
+      let n = 150 in
+      let elems = Array.init n (fun i -> random_interval rng (1000 + i)) in
+      let writer =
+        Domain.spawn (fun () -> Array.iter (fun e -> IStore.insert st e) elems)
+      in
+      for _ = 1 to 25 do
+        IStore.checkpoint st
+      done;
+      Domain.join writer;
+      IStore.checkpoint st;
+      let want =
+        List.sort compare
+          (Array.to_list (Array.map (fun (e : I.t) -> e.I.id) base)
+          @ List.init n (fun i -> 1000 + i))
+      in
+      Alcotest.(check (list int)) "no update lost" want (live_ids st);
+      IStore.close st;
+      match
+        IStore.recover ~params:iparams ~buffer_cap:8 ~fanout:2
+          ~mode:Store.Sync ~dir:d ()
+      with
+      | None -> Alcotest.fail "no recovery root"
+      | Some st' ->
+          Alcotest.(check int) "every acked update recovered" n
+            (IStore.recovered_seq st');
+          Alcotest.(check (list int)) "recovered set" want (live_ids st');
           IStore.close st')
 
 let test_store_recover_empty () =
@@ -640,6 +758,8 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
           Alcotest.test_case "torn tail truncated" `Quick test_wal_torn_tail;
           Alcotest.test_case "corrupt frame stops replay" `Quick test_wal_corrupt;
+          Alcotest.test_case "length-header rot is corruption, not a tail" `Quick
+            test_wal_length_rot_not_truncated;
         ] );
       ( "snapshot",
         [
@@ -653,6 +773,10 @@ let () =
         [
           Alcotest.test_case "write, close, recover, continue" `Quick
             test_store_roundtrip;
+          Alcotest.test_case "GC sweeps stale generations" `Quick
+            test_store_gc_sweeps_stale_generations;
+          Alcotest.test_case "manual checkpoint vs concurrent writers" `Quick
+            test_store_checkpoint_vs_writers;
           Alcotest.test_case "recover on empty dir" `Quick test_store_recover_empty;
           Alcotest.test_case "volatile writes nothing" `Quick test_store_volatile;
           Alcotest.test_case "mode_of_string" `Quick test_mode_of_string;
