@@ -33,6 +33,8 @@ let experiments =
     ("e17", "Sharded planner with max-query pruning", E17_shard.run);
     ("e18", "Tracing overhead on the sharded workload", E18_trace.run);
     ("e19", "Live ingestion: update cost and read-side tax", E19_ingest.run);
+    ("e20", "Replication: read capacity and lag vs shipping window",
+     E20_repl.run);
   ]
 
 let () =

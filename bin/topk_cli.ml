@@ -1661,6 +1661,354 @@ let crash_bench_cmd =
       const run $ n_arg $ k_arg $ seed_arg $ updates_arg $ crashes_arg
       $ buffer_cap_arg $ fanout_arg $ checkpoint_every_arg $ group_arg)
 
+(* --- repl-bench --- *)
+
+let repl_bench_cmd =
+  let module IInst = Topk_interval.Instances in
+  let module I = Topk_interval.Interval in
+  let module Rng = Topk_util.Rng in
+  let module Transport = Topk_repl.Transport in
+  let module G = Topk_repl.Group.Make (IInst.Topk_t2) in
+  let module Svc = Topk_service in
+  let base_arg =
+    Arg.(
+      value & opt int 400
+      & info [ "n" ] ~docv:"N" ~doc:"Base elements shared by every node.")
+  in
+  let updates_arg =
+    Arg.(
+      value & opt int 140
+      & info [ "updates" ] ~docv:"U"
+          ~doc:"Inserts + deletes in the update stream, per fault point.")
+  in
+  let points_arg =
+    Arg.(
+      value & opt int 120
+      & info [ "points" ] ~docv:"P"
+          ~doc:"Seeded fault points swept (the full law wants >= 100).")
+  in
+  let replicas_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "replicas" ] ~docv:"R" ~doc:"Read replicas per group (>= 2).")
+  in
+  let quorum_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "quorum" ] ~docv:"Q"
+          ~doc:"Replica acks a synced write waits for (in [1, R]).")
+  in
+  let buffer_cap_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "buffer-cap" ] ~docv:"B" ~doc:"Update-log capacity.")
+  in
+  let fanout_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "fanout" ] ~docv:"F" ~doc:"Merge arity per level (>= 2).")
+  in
+  let retain_arg =
+    Arg.(
+      value & opt int 48
+      & info [ "retain" ] ~docv:"W"
+          ~doc:
+            "Outlog retention in entries: a replica partitioned for longer \
+             is caught up by snapshot install.")
+  in
+  let clean_arg =
+    Arg.(
+      value & flag
+      & info [ "clean" ]
+          ~doc:
+            "Disable randomized frame faults (drop/duplicate/reorder/delay); \
+             scheduled partitions and primary failures still run — \
+             clean-path sanity.")
+  in
+  let run n k seed updates points replicas quorum buffer_cap fanout retain
+      clean =
+    validate_common ~n ~k;
+    require_pos "updates" updates;
+    require_pos "points" points;
+    require_pos "buffer-cap" buffer_cap;
+    require_pos "retain" retain;
+    if replicas < 2 then die "replicas must be >= 2 (got %d)" replicas;
+    if quorum < 1 || quorum > replicas then
+      die "quorum must be in [1, replicas] (got %d)" quorum;
+    if fanout < 2 then die "fanout must be >= 2 (got %d)" fanout;
+    Printf.printf
+      "repl-bench: n=%d updates=%d points=%d replicas=%d quorum=%d \
+       buffer-cap=%d fanout=%d retain=%d\n%!"
+      n updates points replicas quorum buffer_cap fanout retain;
+    let params = IInst.params () in
+    let mk_elem rng id =
+      let lo = Rng.uniform rng in
+      let hi = Float.min 1.0 (lo +. 0.02 +. (0.3 *. Rng.uniform rng)) in
+      (* Weights are distinct by construction (strictly increasing in
+         id), so the oracle's top-k is unique and answers compare by
+         id set. *)
+      I.make ~id ~lo ~hi ~weight:(float_of_int id +. (0.5 *. Rng.uniform rng)) ()
+    in
+    let base =
+      let rng = Rng.create seed in
+      Array.init n (fun i -> mk_elem rng (i + 1))
+    in
+    let metrics = Svc.Metrics.create () in
+    let phases = [| "ship"; "ack"; "install"; "promote" |] in
+    let phase_hits = Hashtbl.create 8 in
+    let violations = ref 0
+    and converged = ref 0
+    and swept = ref 0
+    and rw_checks = ref 0
+    and installs_total = ref 0
+    and failovers_total = ref 0 in
+    let fail point phase fmt =
+      Printf.ksprintf
+        (fun msg ->
+          incr violations;
+          if !violations <= 5 then
+            Printf.printf "  VIOLATION point=%d phase=%s: %s\n%!" point phase
+              msg)
+        fmt
+    in
+    for p = 0 to points - 1 do
+      incr swept;
+      let phase = phases.(p mod Array.length phases) in
+      Hashtbl.replace phase_hits phase
+        (1 + Option.value ~default:0 (Hashtbl.find_opt phase_hits phase));
+      let pseed = seed lxor (p * 7919) lxor 0x5bd1 in
+      let rng = Rng.create pseed in
+      let plan =
+        if clean then Transport.clean ~seed:pseed
+        else
+          match phase with
+          | "ship" ->
+              Transport.plan ~drop:0.25 ~reorder:0.2 ~delay_max:2 ~seed:pseed
+                ()
+          | "ack" -> Transport.plan ~dup:0.2 ~delay_max:1 ~seed:pseed ()
+          | "install" -> Transport.plan ~drop:0.1 ~seed:pseed ()
+          | _ -> Transport.plan ~drop:0.15 ~dup:0.1 ~delay_max:1 ~seed:pseed ()
+      in
+      let g =
+        G.create ~params ~buffer_cap ~fanout ~retain ~plan ~metrics ~quorum
+          ~max_pump:60 ~name:"repl" ~replicas base
+      in
+      (* The surviving timeline, newest first; op at seq [s] is element
+         [hist_len - s] from the head.  A failover truncates it to the
+         promoted head — which must not lose a synced write. *)
+      let hist = ref [] and hist_len = ref 0 in
+      let push op =
+        hist := op :: !hist;
+        incr hist_len
+      in
+      let truncate_to h =
+        while !hist_len > h do
+          hist := List.tl !hist;
+          decr hist_len
+        done
+      in
+      let live_at r =
+        let tbl = Hashtbl.create (2 * n) in
+        Array.iter (fun (e : I.t) -> Hashtbl.replace tbl e.I.id e) base;
+        List.iteri
+          (fun i ((ins, e) : bool * I.t) ->
+            if i + 1 <= r then
+              if ins then Hashtbl.replace tbl e.I.id e
+              else Hashtbl.remove tbl e.I.id)
+          (List.rev !hist);
+        tbl
+      in
+      let oracle_ids r =
+        List.sort compare (Hashtbl.fold (fun id _ a -> id :: a) (live_at r) [])
+      in
+      let synced_seqs = ref [] and last_synced = ref 0 in
+      let next_id = ref (n + 1) in
+      let del_pool = ref [] in
+      let victim = 1 + (p / Array.length phases mod replicas) in
+      let promote_at =
+        match phase with
+        | "promote" -> 1 + Rng.int rng (updates - 1)
+        | _ -> max_int
+      in
+      let partition_at, heal_at =
+        match phase with
+        | "install" -> ((updates / 4) + 1, (updates / 4) + 1 + (updates / 2))
+        | "ack" -> ((updates / 5) + 1, (updates / 5) + 1 + (updates / 3))
+        | _ -> (max_int, max_int)
+      in
+      let cut_acks () =
+        for r = 0 to G.nodes g - 1 do
+          if r <> G.primary g && G.alive g r then
+            Transport.cut (G.transport g) ~src:r ~dst:(G.primary g)
+        done
+      in
+      let heal_acks () =
+        for r = 0 to G.nodes g - 1 do
+          if r <> G.primary g && G.alive g r then
+            Transport.heal (G.transport g) ~src:r ~dst:(G.primary g)
+        done
+      in
+      for u = 1 to updates do
+        if u = promote_at then begin
+          (match G.fail_primary g with
+          | _new_primary ->
+              incr failovers_total;
+              let h = G.head g in
+              List.iter
+                (fun s ->
+                  if s > h then
+                    fail p phase
+                      "synced write seq %d lost by failover (promoted head %d)"
+                      s h)
+                !synced_seqs;
+              truncate_to h;
+              synced_seqs := List.filter (fun s -> s <= h) !synced_seqs;
+              last_synced := min !last_synced h;
+              del_pool :=
+                Hashtbl.fold
+                  (fun id e acc -> if id > n then e :: acc else acc)
+                  (live_at h) []
+          | exception Invalid_argument msg ->
+              fail p phase "failover refused: %s" msg)
+        end;
+        if u = partition_at then
+          if phase = "install" then G.partition g victim else cut_acks ();
+        if u = heal_at then
+          if phase = "install" then G.rejoin g victim else heal_acks ();
+        let ins = Rng.uniform rng <= 0.72 || !del_pool = [] in
+        let outcome =
+          if ins then begin
+            let e = mk_elem rng !next_id in
+            incr next_id;
+            del_pool := e :: !del_pool;
+            push (true, e);
+            G.insert g e
+          end
+          else begin
+            let i = Rng.int rng (List.length !del_pool) in
+            let e = List.nth !del_pool i in
+            del_pool := List.filteri (fun j _ -> j <> i) !del_pool;
+            push (false, e);
+            G.delete g e
+          end
+        in
+        if G.write_seq outcome <> !hist_len then
+          fail p phase "write got seq %d, issued %d" (G.write_seq outcome)
+            !hist_len;
+        if G.synced outcome then begin
+          synced_seqs := !hist_len :: !synced_seqs;
+          last_synced := !hist_len
+        end;
+        (* Read-your-writes probe: a read carrying the last synced seq
+           as its token must answer at or above it, exactly per the
+           from-scratch oracle at the answering snapshot's seq. *)
+        if u mod 13 = 0 && !last_synced > 0 then begin
+          incr rw_checks;
+          let q = Rng.uniform rng in
+          match G.read ~min_seq:!last_synced g q ~k with
+          | None -> fail p phase "read refused a satisfiable token %d"
+              !last_synced
+          | Some resp -> (
+              match Svc.Response.seq_token resp with
+              | None -> fail p phase "replicated read lost its seq token"
+              | Some tok ->
+                  if tok < !last_synced then
+                    fail p phase "stale read: token %d under min_seq %d" tok
+                      !last_synced
+                  else begin
+                    let lives =
+                      Hashtbl.fold (fun _ e a -> e :: a) (live_at tok) []
+                    in
+                    let want =
+                      List.sort compare
+                        (List.map
+                           (fun (e : I.t) -> e.I.id)
+                           (Topk_util.Select.top_k ~cmp:I.compare_weight k
+                              (List.filter (fun e -> I.contains e q) lives)))
+                    in
+                    let got =
+                      List.sort compare
+                        (List.map
+                           (fun (e : I.t) -> e.I.id)
+                           resp.Svc.Response.answers)
+                    in
+                    if got <> want then
+                      fail p phase
+                        "replica answer at seq %d differs from the oracle" tok
+                  end)
+        end
+      done;
+      (* Heal every fault and require convergence: all live nodes catch
+         up to the head and agree with the from-scratch oracle. *)
+      (if phase = "install" then G.rejoin g victim
+       else if phase = "ack" then heal_acks ());
+      if G.settle ~max_ticks:5000 g then incr converged
+      else fail p phase "group did not converge after healing";
+      let want = oracle_ids (G.head g) in
+      for i = 0 to G.nodes g - 1 do
+        if G.alive g i then begin
+          let got =
+            List.sort compare
+              (List.map (fun (e : I.t) -> e.I.id) (G.R.live (G.node g i)))
+          in
+          if got <> want then
+            fail p phase "node %d's surviving set differs from the oracle" i
+        end
+      done;
+      for i = 0 to G.nodes g - 1 do
+        installs_total := !installs_total + G.R.installs (G.node g i)
+      done
+    done;
+    Printf.printf
+      "swept %d fault points: %d converged, %d read-your-writes probes, %d \
+       snapshot installs, %d failovers\n"
+      !swept !converged !rw_checks !installs_total !failovers_total;
+    Printf.printf "phase coverage:%s\n"
+      (String.concat ""
+         (List.map
+            (fun ph ->
+              Printf.sprintf " %s=%d" ph
+                (Option.value ~default:0 (Hashtbl.find_opt phase_hits ph)))
+            (Array.to_list phases)));
+    (* Hard failures: this bench exists to catch them. *)
+    if !violations > 0 then
+      die "%d consistency violations across %d fault points" !violations !swept;
+    if !converged < !swept then
+      die "%d fault points failed to recover" (!swept - !converged);
+    Array.iter
+      (fun ph ->
+        if not (Hashtbl.mem phase_hits ph) then
+          die "no fault point landed in the %s phase (too few points?)" ph)
+      phases;
+    if !installs_total = 0 then
+      die "no snapshot install was exercised (retention too large?)";
+    if !failovers_total = 0 then die "no failover was exercised";
+    let shipped = Svc.Metrics.Counter.get metrics.Svc.Metrics.repl_frames_shipped in
+    let acked = Svc.Metrics.Counter.get metrics.Svc.Metrics.repl_frames_acked in
+    if shipped = 0 || acked = 0 then
+      die "shipping never happened (%d shipped, %d acked)" shipped acked;
+    Printf.printf
+      "repl-bench: OK (%d fault points, %d recoveries, %d installs, %d \
+       failovers, 0 violations)\n"
+      !swept !converged !installs_total !failovers_total
+  in
+  Cmd.v
+    (Cmd.info "repl-bench"
+       ~doc:
+         "Sweep seeded fault points over a replicated ingestion stream: WAL \
+          frames ship to read replicas over a lossy, duplicating, \
+          reordering transport; partitions force snapshot-install catch-up; \
+          injected primary failures force promotion.  At every point the \
+          group must reconverge, every replica answer must equal the \
+          from-scratch oracle at its applied sequence, reads honouring a \
+          seq token must never be stale, and no quorum-acked write may be \
+          lost across failover.  Hard-fails on any violation or an \
+          uncovered fault phase (ship/ack/install/promote).")
+    Term.(
+      const run $ base_arg $ k_arg $ seed_arg $ updates_arg $ points_arg
+      $ replicas_arg $ quorum_arg $ buffer_cap_arg $ fanout_arg $ retain_arg
+      $ clean_arg)
+
 (* --- sample-check --- *)
 
 let sample_check_cmd =
@@ -1721,4 +2069,5 @@ let () =
             trace_cmd;
             ingest_bench_cmd;
             crash_bench_cmd;
+            repl_bench_cmd;
           ]))

@@ -31,7 +31,7 @@ type file = {
 
 type state = {
   mutable p : plan option;
-  mutable rng : int64;
+  rng : Topk_util.Rng.Raw.t;  (* raw-seed splitmix64, see {!Topk_util.Rng.Raw} *)
   mutable ops : int;
   mutable phase : string;
   mutable recording : bool;
@@ -47,7 +47,7 @@ let mu = Mutex.create ()
 let st =
   {
     p = None;
-    rng = 0L;
+    rng = Topk_util.Rng.Raw.create 0L;
     ops = 0;
     phase = "";
     recording = false;
@@ -56,27 +56,14 @@ let st =
     at_risk = [];
   }
 
-(* splitmix64, as in {!Topk_em.Fault} — tiny, seedable, dependency-free. *)
-let next_u64 () =
-  let open Int64 in
-  st.rng <- add st.rng 0x9E3779B97F4A7C15L;
-  let z = st.rng in
-  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
-  logxor z (shift_right_logical z 31)
-
-let uniform () =
-  Int64.to_float (Int64.shift_right_logical (next_u64 ()) 11) /. 9007199254740992.
+let uniform () = Topk_util.Rng.Raw.uniform st.rng
 
 (* Uniform int in [0, n] for n >= 0. *)
-let below_incl n =
-  if n <= 0 then 0
-  else Int64.to_int (Int64.rem (Int64.shift_right_logical (next_u64 ()) 1)
-                       (Int64.of_int (n + 1)))
+let below_incl n = Topk_util.Rng.Raw.below_incl st.rng n
 
 let install_locked p =
   st.p <- Some p;
-  st.rng <- Int64.of_int (p.seed lxor 0x6b7a);
+  Topk_util.Rng.Raw.reseed st.rng (Int64.of_int (p.seed lxor 0x6b7a));
   st.has_crashed <- false
 
 let install p = Mutex.protect mu (fun () -> install_locked p)

@@ -47,26 +47,30 @@ let decode_run payload : 'e Ingest.run_data =
 
 type 'e contents = { seq : int; runs : 'e Ingest.run_data list }
 
+let decode b =
+  match
+    let payloads, status = Frame.parse_all b in
+    match (status, payloads) with
+    | `Clean, header :: run_frames ->
+        let r = Frame.reader header in
+        if Frame.read_string r <> magic then Error `Corrupt
+        else begin
+          let seq = Frame.read_u64 r in
+          let count = Frame.read_u32 r in
+          if count <> List.length run_frames then Error `Corrupt
+          else Ok { seq; runs = List.map decode_run run_frames }
+        end
+    | _ -> Error `Corrupt
+  with
+  | v -> v
+  | exception _ -> Error `Corrupt
+
 let read p =
   if not (Disk.exists p) then Error `Missing
   else
-    match
-      let b = Disk.read_file p in
-      let payloads, status = Frame.parse_all b in
-      match (status, payloads) with
-      | `Clean, header :: run_frames ->
-          let r = Frame.reader header in
-          if Frame.read_string r <> magic then Error `Corrupt
-          else begin
-            let seq = Frame.read_u64 r in
-            let count = Frame.read_u32 r in
-            if count <> List.length run_frames then Error `Corrupt
-            else Ok { seq; runs = List.map decode_run run_frames }
-          end
-      | _ -> Error `Corrupt
-    with
-    | v -> v
-    | exception _ -> Error `Corrupt
+    match decode (Disk.read_file p) with
+    | Ok c -> Ok c
+    | Error `Corrupt -> Error `Corrupt
 
 let write ~dir ~gen ~seq ~runs =
   let final = path ~dir ~gen in

@@ -31,3 +31,19 @@ val read : string -> ('e contents, [ `Missing | `Corrupt ]) result
 (** Parse and verify a snapshot file.  [`Corrupt] covers torn frames,
     checksum mismatches, and structural decode failures alike — a
     snapshot is all-or-nothing. *)
+
+(** {1 The bytes-level codec}
+
+    The serialized form without the file around it, exposed as the
+    snapshot-install hook: {!Topk_repl} ships {!encode}d level sets
+    over its transport to catch a lagging replica up, and the replica
+    {!decode}s and restores — the same format recovery reads off
+    disk. *)
+
+val encode : seq:int -> runs:'e Topk_ingest.Ingest.run_data list -> Bytes.t
+(** The full framed snapshot image {!write} persists: header frame,
+    then one frame per run. *)
+
+val decode : Bytes.t -> ('e contents, [ `Corrupt ]) result
+(** Parse and verify an {!encode}d image ([`Corrupt] exactly as in
+    {!read}). *)

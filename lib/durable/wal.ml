@@ -8,8 +8,7 @@ type 'e t = { file : Disk.file; mutable pending : int }
 
 let create ~dir ~gen = { file = Disk.create (path ~dir ~gen); pending = 0 }
 
-let encode (e : 'e Log.entry) =
-  let buf = Buffer.create 64 in
+let entry_payload (e : 'e Log.entry) =
   let body = Buffer.create 48 in
   Frame.add_u64 body e.Log.seq;
   (match e.Log.op with
@@ -19,7 +18,11 @@ let encode (e : 'e Log.entry) =
   | Log.Delete x ->
       Frame.add_u32 body 1;
       Frame.add_string body (Marshal.to_string x []));
-  Frame.append buf (Buffer.to_bytes body);
+  Buffer.to_bytes body
+
+let encode e =
+  let buf = Buffer.create 64 in
+  Frame.append buf (entry_payload e);
   Buffer.to_bytes buf
 
 let append t e =
@@ -36,7 +39,7 @@ let unflushed t = t.pending
 
 let close t = Disk.close t.file
 
-let decode payload : 'e Log.entry =
+let entry_of_payload payload : 'e Log.entry =
   let r = Frame.reader payload in
   let seq = Frame.read_u64 r in
   let tag = Frame.read_u32 r in
@@ -44,7 +47,9 @@ let decode payload : 'e Log.entry =
   match tag with
   | 0 -> { Log.seq; op = Log.Insert x }
   | 1 -> { Log.seq; op = Log.Delete x }
-  | n -> invalid_arg (Printf.sprintf "Wal.decode: bad op tag %d" n)
+  | n -> invalid_arg (Printf.sprintf "Wal.entry_of_payload: bad op tag %d" n)
+
+let decode = entry_of_payload
 
 let load ~dir ~gen =
   let p = path ~dir ~gen in

@@ -20,6 +20,22 @@
 
 val path : dir:string -> gen:int -> string
 
+(** {1 The record codec}
+
+    Exposed so other layers can reuse the exact WAL record encoding —
+    {!Topk_repl} ships these payloads over its replication transport,
+    making the wire format and the on-disk format one and the same. *)
+
+val entry_payload : 'e Topk_ingest.Update_log.entry -> Bytes.t
+(** One record's {e unframed} payload: [seq | op tag | element].
+    Framing (length + CRC) is the caller's job — {!append} does it via
+    {!Frame.append}. *)
+
+val entry_of_payload : Bytes.t -> 'e Topk_ingest.Update_log.entry
+(** Inverse of {!entry_payload}.
+    @raise Invalid_argument on a structurally bad payload (the CRC of
+    the enclosing frame should have been checked first). *)
+
 type 'e t
 
 val create : dir:string -> gen:int -> 'e t

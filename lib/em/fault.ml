@@ -75,7 +75,7 @@ let with_plan p f =
 type dls = {
   stream : int;  (* stable per-domain stream index, in DLS-init order *)
   mutable epoch : int;
-  mutable rng : int64;
+  rng : Topk_util.Rng.Raw.t;  (* raw-seed splitmix64, see {!Topk_util.Rng.Raw} *)
 }
 
 let stream_counter = Atomic.make 0
@@ -85,21 +85,10 @@ let key =
       {
         stream = Atomic.fetch_and_add stream_counter 1;
         epoch = -1;
-        rng = 0L;
+        rng = Topk_util.Rng.Raw.create 0L;
       })
 
-(* splitmix64: tiny, seedable, and dependency-free. *)
-let next_u64 d =
-  let open Int64 in
-  d.rng <- add d.rng 0x9E3779B97F4A7C15L;
-  let z = d.rng in
-  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
-  logxor z (shift_right_logical z 31)
-
-(* Uniform draw in [0,1): top 53 bits of the next word. *)
-let uniform d =
-  Int64.to_float (Int64.shift_right_logical (next_u64 d) 11) /. 9007199254740992.
+let uniform d = Topk_util.Rng.Raw.uniform d.rng
 
 let seed_for p d = Int64.of_int (p.seed lxor ((d.stream + 1) * 0x9E3779B9))
 
@@ -107,7 +96,7 @@ let local (e, p) =
   let d = Domain.DLS.get key in
   if d.epoch <> e then begin
     d.epoch <- e;
-    d.rng <- seed_for p d
+    Topk_util.Rng.Raw.reseed d.rng (seed_for p d)
   end;
   d
 

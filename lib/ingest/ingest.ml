@@ -565,6 +565,10 @@ module Make (T : Sigs.TOPK) = struct
 
   let view_runs w = List.length w.w_runs
 
+  let view_seq w =
+    if w.w_log_len > 0 then w.w_log.(w.w_log_len - 1).Log.seq
+    else List.fold_left (fun a r -> max a r.r_seq) 0 w.w_runs
+
   let query_view w q ~k =
     if k <= 0 then []
     else begin

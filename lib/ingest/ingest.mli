@@ -158,6 +158,11 @@ module Make (T : Topk_core.Sigs.TOPK) : sig
   (** Number of runs in the pinned level set (the [visited] argument
       of the [Dynamic] cost model in {!Topk_trace.Certify}). *)
 
+  val view_seq : view -> int
+  (** The newest op sequence number folded into this snapshot ([0] for
+      an empty one).  A replicated read reports it as the response's
+      read-your-writes token. *)
+
   (** {1 Integration} *)
 
   val update_ops : t -> P.elem Topk_service.Registry.update_ops

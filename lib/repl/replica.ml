@@ -1,0 +1,128 @@
+module Snapshot = Topk_durable.Snapshot
+module Log = Topk_ingest.Update_log
+
+module Make (T : Topk_core.Sigs.TOPK) = struct
+  module I = Topk_ingest.Ingest.Make (T)
+
+  type t = {
+    r_id : int;
+    olog : I.P.elem Log_ship.Outlog.t;
+    mutable idx : I.t;
+    mutable term : int;
+    mutable installs : int;
+    (* kept so a snapshot install can rebuild the index identically *)
+    params : Topk_core.Params.t option;
+    buffer_cap : int option;
+    fanout : int option;
+  }
+
+  (* The node's single durability hook: every update the index accepts
+     — local write on a primary, replayed frame on a replica — lands
+     in the outlog, so [applied] is always [Outlog.last] and promotion
+     inherits shipping history for free. *)
+  let sink_of olog =
+    {
+      Topk_ingest.Ingest.s_append = Log_ship.Outlog.append olog;
+      s_event = (fun _ ~runs:_ ~log:_ -> ());
+    }
+
+  let create ?params ?buffer_cap ?fanout ?retain ~id base =
+    let olog = Log_ship.Outlog.create ?retain () in
+    let idx = I.create ?params ?buffer_cap ?fanout ~sink:(sink_of olog) base in
+    {
+      r_id = id;
+      olog;
+      idx;
+      term = 0;
+      installs = 0;
+      params;
+      buffer_cap;
+      fanout;
+    }
+
+  let id t = t.r_id
+
+  let index t = t.idx
+
+  let outlog t = t.olog
+
+  let applied t = Log_ship.Outlog.last t.olog
+
+  let term t = t.term
+
+  let promote t ~term = t.term <- max t.term term
+
+  let installs t = t.installs
+
+  (* Frames must apply strictly in sequence: a duplicate (go-back-N
+     retransmit) or a gap (a dropped predecessor) is ignored and the
+     cumulative ack tells the shipper where we really are. *)
+  let apply_entry t (e : I.P.elem Log.entry) =
+    if e.Log.seq = applied t + 1 then begin
+      (match e.Log.op with
+      | Log.Insert x -> I.insert t.idx x
+      | Log.Delete x -> I.delete t.idx x);
+      true
+    end
+    else false
+
+  let install t ~snap ~tail =
+    (match Snapshot.decode snap with
+    | Error `Corrupt -> ()  (* dropped; the shipper's rto re-installs *)
+    | Ok { Snapshot.seq; runs } ->
+        if seq > applied t then begin
+          (* The image supersedes everything we have: rebuild the index
+             from its runs and restart the outlog just above it (the
+             shipped history below [seq] is not replayed, so it cannot
+             be retained). *)
+          Log_ship.Outlog.reset_to t.olog ~seq;
+          t.idx <-
+            I.restore ?params:t.params ?buffer_cap:t.buffer_cap
+              ?fanout:t.fanout ~sink:(sink_of t.olog) ~runs
+              ~next_seq:(seq + 1) ();
+          t.installs <- t.installs + 1
+        end);
+    (* Stale or corrupt images fall through to the tail: its entries
+       may still extend us, and duplicates are ignored as always. *)
+    List.iter (fun e -> ignore (apply_entry t e : bool)) tail
+
+  let handle t (m : I.P.elem Wire.t) =
+    let mt = Wire.term m in
+    if mt < t.term then None  (* fenced: a deposed primary's straggler *)
+    else begin
+      if mt > t.term then t.term <- mt;
+      match m with
+      | Wire.Ship { entry; _ } ->
+          ignore (apply_entry t entry : bool);
+          Some (applied t)
+      | Wire.Install { snap; tail; _ } ->
+          install t ~snap ~tail;
+          Some (applied t)
+      | Wire.Ack _ -> None  (* acks address the shipper, not us *)
+    end
+
+  let read t q ~k =
+    let v = I.pin t.idx in
+    Fun.protect
+      ~finally:(fun () -> I.unpin v)
+      (fun () ->
+        let answers = I.query_view v q ~k in
+        (answers, I.view_seq v))
+
+  let live t =
+    let v = I.pin t.idx in
+    Fun.protect ~finally:(fun () -> I.unpin v) (fun () -> I.view_live v)
+
+  (* The install image for a lagging peer, captured atomically against
+     concurrent writers: the sealed level set as a snapshot image plus
+     the unsealed tail above it. *)
+  let install_image t =
+    I.with_durable_state t.idx (fun ~runs ~log ->
+        let seq =
+          List.fold_left
+            (fun a (r : I.P.elem Topk_ingest.Ingest.run_data) ->
+              max a r.Topk_ingest.Ingest.rd_seq)
+            0 runs
+        in
+        (Snapshot.encode ~seq ~runs, log, applied t))
+end

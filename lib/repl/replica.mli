@@ -1,0 +1,69 @@
+(** One replication node: an {!Topk_ingest.Ingest} index, an
+    {!Log_ship.Outlog} of everything it has applied, and a term.
+
+    Nodes are symmetric — a {e primary} is a node whose index is
+    written directly (the group routes client writes to it) and whose
+    outlog feeds a {!Log_ship} shipper; a {e replica} is a node whose
+    index is written only by {!handle}, replaying shipped WAL frames
+    strictly in sequence.  Because both roles maintain the same
+    outlog-through-the-sink invariant, failover is just: pick the
+    replica with the highest {!applied}, bump its term, attach a
+    shipper to its outlog.
+
+    {b Sequencing.}  [applied t] is the length of the contiguously
+    applied prefix.  {!handle} applies a shipped frame only when its
+    seq is exactly [applied + 1]; duplicates (retransmits) and gaps
+    (losses) are ignored, and the returned cumulative ack tells the
+    shipper where the node really is.
+
+    {b Terms.}  A message below the node's term is dropped without a
+    reply — once a failover bumps the term, stragglers from the
+    deposed primary cannot mutate the new timeline.  A higher term is
+    adopted on first contact. *)
+
+module Make (T : Topk_core.Sigs.TOPK) : sig
+  module I : module type of Topk_ingest.Ingest.Make (T)
+
+  type t
+
+  val create :
+    ?params:Topk_core.Params.t ->
+    ?buffer_cap:int ->
+    ?fanout:int ->
+    ?retain:int ->
+    id:int ->
+    I.P.elem array ->
+    t
+  (** A node over the shared base run, applied seq 0, term 0.
+      [retain] bounds the outlog (see {!Log_ship.Outlog.create}). *)
+
+  val id : t -> int
+  val index : t -> I.t
+  (** The live index.  Write it directly only on the primary. *)
+
+  val outlog : t -> I.P.elem Log_ship.Outlog.t
+  val applied : t -> int
+  val term : t -> int
+  val installs : t -> int
+  (** Snapshot installs this node has performed. *)
+
+  val promote : t -> term:int -> unit
+  (** Adopt the (higher) failover term. *)
+
+  val handle : t -> I.P.elem Wire.t -> int option
+  (** Process one incoming message.  [Some upto]: reply with a
+      cumulative {!Wire.Ack} for [upto].  [None]: fenced (stale term)
+      or not addressed to a replica — send nothing. *)
+
+  val read : t -> I.P.query -> k:int -> I.P.elem list * int
+  (** A pinned query plus the read-your-writes token: the newest seq
+      folded into the answered snapshot. *)
+
+  val live : t -> I.P.elem list
+  (** The surviving set, replayed from scratch — the oracle hook. *)
+
+  val install_image : t -> Bytes.t * I.P.elem Topk_ingest.Update_log.entry list * int
+  (** [(snap, tail, upto)] for a {!Wire.Install}: the snapshot image,
+      the unsealed entries above it, and the seq the pair covers —
+      captured in one critical section against concurrent writers. *)
+end

@@ -1,0 +1,40 @@
+(* Read routing: deterministic replica selection under a staleness
+   bound.  Pure bookkeeping over (id, applied) pairs so it is testable
+   without a group around it. *)
+
+type candidate = {
+  c_id : int;
+  c_applied : int;
+  c_alive : bool;
+  c_primary : bool;
+}
+
+type t = { mutable cursor : int }
+
+let create () = { cursor = 0 }
+
+(* A replica is eligible when it is alive, has applied at least
+   [min_seq] (the caller's read-your-writes token), and lags the head
+   by at most [max_lag].  Eligible replicas are rotated round-robin;
+   the primary — never stale by definition — is the fallback, so a
+   read with a token the replicas cannot honor yet still answers.
+   [None] only when even the primary cannot satisfy [min_seq] (a token
+   from a future the group has not seen — a caller bug or a deposed
+   primary's unreplicated write). *)
+let select t ~head ?(min_seq = 0) ?max_lag cands =
+  if min_seq < 0 then invalid_arg "Router.select: min_seq >= 0";
+  (match max_lag with
+  | Some l when l < 0 -> invalid_arg "Router.select: max_lag >= 0"
+  | _ -> ());
+  let ok c =
+    c.c_alive && c.c_applied >= min_seq
+    && match max_lag with None -> true | Some l -> head - c.c_applied <= l
+  in
+  match List.filter (fun c -> ok c && not c.c_primary) cands with
+  | [] ->
+      List.find_opt (fun c -> c.c_primary && ok c) cands
+      |> Option.map (fun c -> c.c_id)
+  | eligible ->
+      let i = t.cursor mod List.length eligible in
+      t.cursor <- t.cursor + 1;
+      Some (List.nth eligible i).c_id

@@ -1,0 +1,31 @@
+(** Staleness-bounded read routing.
+
+    The router picks which node answers a read: round-robin over the
+    replicas that satisfy the read's freshness demands, with the
+    primary as fallback — a primary read is never stale, so demanding
+    freshness degrades throughput (everything lands on the primary)
+    rather than correctness.
+
+    Freshness has two knobs.  [min_seq] is the read-your-writes token:
+    the node must have applied at least that sequence (callers pass
+    back the {!Topk_service.Response.seq_token} of an earlier
+    response).  [max_lag] bounds how far behind the primary's head the
+    node may be, in operations. *)
+
+type candidate = {
+  c_id : int;
+  c_applied : int;  (** the node's contiguously applied prefix *)
+  c_alive : bool;
+  c_primary : bool;
+}
+
+type t
+(** Round-robin state. *)
+
+val create : unit -> t
+
+val select :
+  t -> head:int -> ?min_seq:int -> ?max_lag:int -> candidate list -> int option
+(** The chosen node id, or [None] when no live node — primary
+    included — has applied [min_seq] yet.
+    @raise Invalid_argument on a negative [min_seq]/[max_lag]. *)

@@ -1,0 +1,187 @@
+module Rng = Topk_util.Rng
+
+(* One directed link's fault knobs.  Like [Disk.plan] and [Fault.plan],
+   a plan is immutable configuration; all randomness comes from a
+   per-link raw-seeded splitmix64 stream, so a (seed, schedule) pair
+   replays bit-identically. *)
+type plan = {
+  seed : int;
+  drop : float;     (* per-message loss probability *)
+  dup : float;      (* per-message duplication probability *)
+  reorder : float;  (* probability of an extra out-of-order delay *)
+  delay_max : int;  (* extra delivery delay, uniform in [0, delay_max] *)
+}
+
+let plan ?(drop = 0.) ?(dup = 0.) ?(reorder = 0.) ?(delay_max = 0) ~seed () =
+  if drop < 0. || drop > 1. then invalid_arg "Transport.plan: drop in [0,1]";
+  if dup < 0. || dup > 1. then invalid_arg "Transport.plan: dup in [0,1]";
+  if reorder < 0. || reorder > 1. then
+    invalid_arg "Transport.plan: reorder in [0,1]";
+  if delay_max < 0 then invalid_arg "Transport.plan: delay_max >= 0";
+  { seed; drop; dup; reorder; delay_max }
+
+let clean ~seed = plan ~seed ()
+
+(* Per-link delivery accounting, exposed for tests and the bench. *)
+type stats = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;    (* plan losses + dead-link discards *)
+  mutable duplicated : int;
+}
+
+type link = {
+  rng : Rng.Raw.t;  (* this link's private fault stream *)
+  st : stats;
+  mutable cut : bool;  (* dead-link latch: drops until [heal] *)
+}
+
+(* An in-flight message: delivery is ordered by (due, order) so equal
+   due times preserve send order and the whole fabric is deterministic
+   under the virtual clock. *)
+type msg = { src : int; dst : int; due : int; order : int; payload : Bytes.t }
+
+type t = {
+  nodes : int;
+  p : plan;
+  links : link array;  (* row-major [src * nodes + dst] *)
+  mutable now : int;
+  mutable next_order : int;
+  mutable flying : msg list;  (* unsorted; scanned at [tick] *)
+  inboxes : (int * Bytes.t) Queue.t array;  (* per-dst (src, payload) *)
+}
+
+let link t ~src ~dst = t.links.((src * t.nodes) + dst)
+
+let create ?(plan = clean ~seed:1) ~nodes () =
+  if nodes < 1 then invalid_arg "Transport.create: nodes >= 1";
+  let links =
+    Array.init (nodes * nodes) (fun i ->
+        (* Decorrelate links the way [Fault] decorrelates domain
+           streams: a per-link lane xor'd into the plan seed. *)
+        let seed = Int64.of_int (plan.seed lxor ((i + 1) * 0x9E3779B9)) in
+        {
+          rng = Rng.Raw.create seed;
+          st = { sent = 0; delivered = 0; dropped = 0; duplicated = 0 };
+          cut = false;
+        })
+  in
+  {
+    nodes;
+    p = plan;
+    links;
+    now = 0;
+    next_order = 0;
+    flying = [];
+    inboxes = Array.init nodes (fun _ -> Queue.create ());
+  }
+
+let now t = t.now
+
+let stats t ~src ~dst = (link t ~src ~dst).st
+
+let check_node t who name =
+  if who < 0 || who >= t.nodes then
+    invalid_arg (Printf.sprintf "Transport.%s: unknown node %d" name who)
+
+let enqueue t ~src ~dst ~delay payload =
+  let order = t.next_order in
+  t.next_order <- order + 1;
+  t.flying <- { src; dst; due = t.now + 1 + delay; order; payload } :: t.flying
+
+let send t ~src ~dst payload =
+  check_node t src "send";
+  check_node t dst "send";
+  let l = link t ~src ~dst in
+  l.st.sent <- l.st.sent + 1;
+  if l.cut then l.st.dropped <- l.st.dropped + 1
+  else begin
+    let draw p = p > 0. && Rng.Raw.uniform l.rng < p in
+    if draw t.p.drop then l.st.dropped <- l.st.dropped + 1
+    else begin
+      let delay () =
+        let base =
+          if t.p.delay_max = 0 then 0
+          else Rng.Raw.below_incl l.rng t.p.delay_max
+        in
+        if draw t.p.reorder then base + 1 + Rng.Raw.below_incl l.rng 3
+        else base
+      in
+      enqueue t ~src ~dst ~delay:(delay ()) payload;
+      if draw t.p.dup then begin
+        l.st.duplicated <- l.st.duplicated + 1;
+        enqueue t ~src ~dst ~delay:(delay ()) payload
+      end
+    end
+  end
+
+(* The dead-link latch: a cut discards everything already in flight on
+   the link (a dead wire loses its photons) and keeps dropping sends
+   until healed. *)
+let cut t ~src ~dst =
+  check_node t src "cut";
+  check_node t dst "cut";
+  let l = link t ~src ~dst in
+  l.cut <- true;
+  t.flying <-
+    List.filter
+      (fun m ->
+        if m.src = src && m.dst = dst then begin
+          l.st.dropped <- l.st.dropped + 1;
+          false
+        end
+        else true)
+      t.flying
+
+let heal t ~src ~dst =
+  check_node t src "heal";
+  check_node t dst "heal";
+  (link t ~src ~dst).cut <- false
+
+let isolate t who =
+  check_node t who "isolate";
+  for peer = 0 to t.nodes - 1 do
+    if peer <> who then begin
+      cut t ~src:who ~dst:peer;
+      cut t ~src:peer ~dst:who
+    end
+  done
+
+let rejoin t who =
+  check_node t who "rejoin";
+  for peer = 0 to t.nodes - 1 do
+    if peer <> who then begin
+      heal t ~src:who ~dst:peer;
+      heal t ~src:peer ~dst:who
+    end
+  done
+
+let tick t =
+  t.now <- t.now + 1;
+  let due, flying = List.partition (fun m -> m.due <= t.now) t.flying in
+  t.flying <- flying;
+  List.iter
+    (fun m ->
+      let l = link t ~src:m.src ~dst:m.dst in
+      l.st.delivered <- l.st.delivered + 1;
+      Queue.add (m.src, m.payload) t.inboxes.(m.dst))
+    (List.sort
+       (fun a b ->
+         match compare a.due b.due with 0 -> compare a.order b.order | c -> c)
+       due)
+
+let recv t ~dst =
+  check_node t dst "recv";
+  let q = t.inboxes.(dst) in
+  let rec drain acc =
+    match Queue.take_opt q with
+    | None -> List.rev acc
+    | Some m -> drain (m :: acc)
+  in
+  drain []
+
+let idle t =
+  t.flying = [] && Array.for_all Queue.is_empty t.inboxes
+
+let total_dropped t =
+  Array.fold_left (fun a l -> a + l.st.dropped) 0 t.links

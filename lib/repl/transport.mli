@@ -1,0 +1,83 @@
+(** A deterministic in-process message fabric with seeded fault
+    injection — the replication subsystem's network.
+
+    Nodes are small integers; every directed pair is a {e link} with
+    its own private splitmix64 stream (raw-seeded, like
+    {!Topk_em.Fault} and {!Topk_durable.Disk}), so one [(plan, seed)]
+    pair replays the exact same loss/duplication/reorder schedule on
+    every run.  Time is a {e virtual clock}: {!send} stamps each
+    message with a delivery tick, {!tick} advances the clock and moves
+    due messages into per-node inboxes (equal due times preserve send
+    order).  No wall time, no threads — a whole partition-and-failover
+    scenario is a pure function of its seed.
+
+    A {!cut} link latches dead — it drops its in-flight messages at
+    cut time and every later send until {!heal} — which is how the
+    bench models partitions and primary crashes. *)
+
+type plan
+
+val plan :
+  ?drop:float ->
+  ?dup:float ->
+  ?reorder:float ->
+  ?delay_max:int ->
+  seed:int ->
+  unit ->
+  plan
+(** Per-message fault probabilities ([drop], [dup], [reorder] in
+    [[0,1]], all default [0]) and a uniform extra delivery delay in
+    [[0, delay_max]] ticks.  A reordered message takes a further
+    [1 + uniform[0,3]] ticks, letting later sends overtake it.
+    @raise Invalid_argument out of range. *)
+
+val clean : seed:int -> plan
+(** No faults: in-order delivery on the next tick. *)
+
+type stats = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;  (** plan losses plus dead-link discards *)
+  mutable duplicated : int;
+}
+
+type t
+
+val create : ?plan:plan -> nodes:int -> unit -> t
+(** A fabric over nodes [0 .. nodes-1] (default plan {!clean} with
+    seed 1). @raise Invalid_argument if [nodes < 1]. *)
+
+val now : t -> int
+(** The virtual clock, in ticks. *)
+
+val send : t -> src:int -> dst:int -> Bytes.t -> unit
+(** Submit one message; its fate (drop, duplicate, delay) is drawn
+    from the link's stream at send time. *)
+
+val tick : t -> unit
+(** Advance the clock one tick and deliver everything due. *)
+
+val recv : t -> dst:int -> (int * Bytes.t) list
+(** Drain [dst]'s inbox: [(src, payload)] in delivery order. *)
+
+val cut : t -> src:int -> dst:int -> unit
+(** Latch the directed link dead: in-flight messages are discarded
+    (counted as dropped) and later sends drop until {!heal}. *)
+
+val heal : t -> src:int -> dst:int -> unit
+
+val isolate : t -> int -> unit
+(** {!cut} both directions between the node and every peer — a
+    partition (or, left unhealed, a crash). *)
+
+val rejoin : t -> int -> unit
+(** {!heal} both directions between the node and every peer. *)
+
+val stats : t -> src:int -> dst:int -> stats
+(** The link's live counters (shared, not a copy). *)
+
+val total_dropped : t -> int
+(** Messages dropped across all links so far. *)
+
+val idle : t -> bool
+(** Nothing in flight and every inbox drained. *)

@@ -1,0 +1,77 @@
+module Frame = Topk_durable.Frame
+module Wal = Topk_durable.Wal
+module Log = Topk_ingest.Update_log
+
+type 'e t =
+  | Ship of { term : int; entry : 'e Log.entry }
+  | Ack of { term : int; upto : int }
+  | Install of { term : int; snap : Bytes.t; tail : 'e Log.entry list }
+
+let tag_ship = 0
+let tag_ack = 1
+let tag_install = 2
+
+let encode m =
+  let b = Buffer.create 64 in
+  (match m with
+  | Ship { term; entry } ->
+      Frame.add_u32 b tag_ship;
+      Frame.add_u64 b term;
+      Frame.add_string b (Bytes.to_string (Wal.entry_payload entry))
+  | Ack { term; upto } ->
+      Frame.add_u32 b tag_ack;
+      Frame.add_u64 b term;
+      Frame.add_u64 b upto
+  | Install { term; snap; tail } ->
+      Frame.add_u32 b tag_install;
+      Frame.add_u64 b term;
+      Frame.add_string b (Bytes.to_string snap);
+      Frame.add_u32 b (List.length tail);
+      List.iter
+        (fun e -> Frame.add_string b (Bytes.to_string (Wal.entry_payload e)))
+        tail);
+  Frame.frame (Buffer.to_bytes b)
+
+let decode bytes =
+  match Frame.parse bytes 0 with
+  | Frame.Torn | Frame.Corrupt -> Error `Corrupt
+  | Frame.Record (_, stop) when stop <> Bytes.length bytes ->
+      Error `Corrupt (* trailing garbage: not one whole message *)
+  | Frame.Record (payload, _) -> (
+      match
+        let r = Frame.reader payload in
+        let tag = Frame.read_u32 r in
+        if tag = tag_ship then
+          let term = Frame.read_u64 r in
+          let entry =
+            Wal.entry_of_payload (Bytes.of_string (Frame.read_string r))
+          in
+          Ship { term; entry }
+        else if tag = tag_ack then
+          let term = Frame.read_u64 r in
+          Ack { term; upto = Frame.read_u64 r }
+        else if tag = tag_install then begin
+          let term = Frame.read_u64 r in
+          let snap = Bytes.of_string (Frame.read_string r) in
+          let n = Frame.read_u32 r in
+          let tail =
+            List.init n (fun _ ->
+                Wal.entry_of_payload (Bytes.of_string (Frame.read_string r)))
+          in
+          Install { term; snap; tail }
+        end
+        else invalid_arg "Wire.decode: unknown tag"
+      with
+      | m -> Ok m
+      | exception _ -> Error `Corrupt)
+
+let term = function
+  | Ship { term; _ } | Ack { term; _ } | Install { term; _ } -> term
+
+let pp ppf = function
+  | Ship { term; entry } ->
+      Format.fprintf ppf "ship[t%d seq=%d]" term entry.Log.seq
+  | Ack { term; upto } -> Format.fprintf ppf "ack[t%d upto=%d]" term upto
+  | Install { term; snap; tail } ->
+      Format.fprintf ppf "install[t%d %dB +%d tail]" term (Bytes.length snap)
+        (List.length tail)

@@ -1,0 +1,37 @@
+(** The replication wire protocol: three message kinds, framed and
+    checksummed exactly like the durable files.
+
+    A [Ship] carries one WAL record — {e the same bytes}
+    {!Topk_durable.Wal} appends on disk ({!Topk_durable.Wal.entry_payload}),
+    wrapped in one {!Topk_durable.Frame} — so the wire format and the
+    on-disk format are the same codec and a checksum bug in either is
+    caught by both test surfaces.  An [Ack] is cumulative: it promises
+    every sequence up to [upto] is applied.  An [Install] is the
+    catch-up path: a full {!Topk_durable.Snapshot.encode}d level-set
+    image plus the unsealed tail entries above it.
+
+    Every message carries the sender's {e term} — the failover
+    generation.  Replicas reject lower-term traffic, which fences
+    stragglers from a deposed primary out of the new timeline. *)
+
+type 'e t =
+  | Ship of { term : int; entry : 'e Topk_ingest.Update_log.entry }
+  | Ack of { term : int; upto : int }
+  | Install of {
+      term : int;
+      snap : Bytes.t;  (** a {!Topk_durable.Snapshot.encode} image *)
+      tail : 'e Topk_ingest.Update_log.entry list;
+          (** entries above the image's seq, oldest first *)
+    }
+
+val encode : 'e t -> Bytes.t
+(** One CRC-framed message. *)
+
+val decode : Bytes.t -> ('e t, [ `Corrupt ]) result
+(** [`Corrupt] on a checksum mismatch, a truncated or overlong buffer,
+    or a structurally bad payload — a corrupt message is dropped, and
+    the shipper's retransmit timer recovers. *)
+
+val term : 'e t -> int
+
+val pp : Format.formatter -> 'e t -> unit

@@ -143,6 +143,13 @@ type t = {
   checksum_failures : Counter.t; (* CRC mismatches detected anywhere *)
   scrubs : Counter.t;            (* background scrub passes completed *)
   recovery_time_us : Histogram.t;(* manifest-to-replayed recovery wall time *)
+  (* replication (recorded by Topk_repl) *)
+  repl_frames_shipped : Counter.t; (* WAL frames sent to replicas *)
+  repl_frames_acked : Counter.t;   (* cumulative-ack advances received *)
+  repl_frames_dropped : Counter.t; (* messages lost in the transport *)
+  snapshot_installs : Counter.t;   (* replicas caught up by snapshot install *)
+  failovers : Counter.t;           (* primary promotions completed *)
+  replica_lag : Gauge.t;           (* max replica lag, in op sequences *)
 }
 
 let create () =
@@ -187,6 +194,12 @@ let create () =
     checksum_failures = Counter.create ();
     scrubs = Counter.create ();
     recovery_time_us = Histogram.create ();
+    repl_frames_shipped = Counter.create ();
+    repl_frames_acked = Counter.create ();
+    repl_frames_dropped = Counter.create ();
+    snapshot_installs = Counter.create ();
+    failovers = Counter.create ();
+    replica_lag = Gauge.create ();
   }
 
 let uptime t = Unix.gettimeofday () -. t.started
@@ -258,6 +271,12 @@ let report t =
   line "topk_checksum_failures %d" (Counter.get t.checksum_failures);
   line "topk_scrubs %d" (Counter.get t.scrubs);
   histo "topk_recovery_time_us" t.recovery_time_us;
+  line "topk_repl_frames_shipped %d" (Counter.get t.repl_frames_shipped);
+  line "topk_repl_frames_acked %d" (Counter.get t.repl_frames_acked);
+  line "topk_repl_frames_dropped %d" (Counter.get t.repl_frames_dropped);
+  line "topk_repl_snapshot_installs %d" (Counter.get t.snapshot_installs);
+  line "topk_repl_failovers %d" (Counter.get t.failovers);
+  line "topk_repl_replica_lag %d" (Gauge.get t.replica_lag);
   line "topk_traces_stored %d" (Topk_trace.Trace.Store.length ());
   line "topk_traces_total %d" (Topk_trace.Trace.Store.total ());
   Buffer.contents buf

@@ -97,6 +97,12 @@ type t = {
   checksum_failures : Counter.t;(** durable: CRC mismatches detected *)
   scrubs : Counter.t;         (** durable: background scrub passes *)
   recovery_time_us : Histogram.t;(** durable: recovery wall time, µs *)
+  repl_frames_shipped : Counter.t;(** repl: WAL frames sent to replicas *)
+  repl_frames_acked : Counter.t;(** repl: cumulative-ack advances received *)
+  repl_frames_dropped : Counter.t;(** repl: messages lost in the transport *)
+  snapshot_installs : Counter.t;(** repl: replicas caught up by snapshot *)
+  failovers : Counter.t;      (** repl: primary promotions completed *)
+  replica_lag : Gauge.t;      (** repl: max replica lag, in op sequences *)
 }
 
 val create : unit -> t

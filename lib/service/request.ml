@@ -79,6 +79,7 @@ let make (type q e) (handle : (q, e) Registry.handle)
            worker;
            instance;
            k;
+           seq_token = None;
          }
         : bool);
     {
@@ -164,6 +165,7 @@ let make_task ~name ?(limits = Limits.none) (f : unit -> unit) :
            worker;
            instance = name;
            k = 0;
+           seq_token = None;
          }
         : bool);
     {

@@ -25,7 +25,10 @@ type 'e t = {
   worker : int;
   instance : string;
   k : int;
+  seq_token : int option;
 }
+
+let seq_token r = r.seq_token
 
 let zero_summary =
   { cost = Stats.zero_snapshot; rounds = 0; attempts = 0; certified = None }

@@ -35,7 +35,15 @@ type 'e t = {
   worker : int;     (** index of the worker that served it *)
   instance : string;  (** registry name the query ran against *)
   k : int;            (** requested k *)
+  seq_token : int option;
+      (** read-your-writes token: the newest update sequence folded
+          into the state this answer was computed over.  Replicated
+          reads ({!Topk_repl}) set it; passing it back as the
+          [min_seq] of a later read guarantees that read observes at
+          least this write prefix.  [None] on unreplicated paths. *)
 }
+
+val seq_token : 'e t -> int option
 
 val zero_summary : summary
 

@@ -3,17 +3,11 @@ type 'a strategy =
   | Range of ('a -> float)
   | Balanced
 
-(* splitmix64 finalizer: decorrelates bucket choice from dense or
-   structured ids, so [Hash P.id] behaves like a random assignment. *)
-let mix64 x =
-  let open Int64 in
-  let z = add x 0x9E3779B97F4A7C15L in
-  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
-  logxor z (shift_right_logical z 31)
-
 let bucket_of_key ~shards key =
-  let h = mix64 (Int64.of_int key) in
+  (* splitmix64 finalizer ({!Topk_util.Rng.mix64}): decorrelates bucket
+     choice from dense or structured ids, so [Hash P.id] behaves like a
+     random assignment. *)
+  let h = Topk_util.Rng.mix64 (Int64.of_int key) in
   (* Use the top bits, which mix best, and keep the result
      non-negative. *)
   Int64.to_int (Int64.rem (Int64.shift_right_logical h 1) (Int64.of_int shards))

@@ -5,6 +5,11 @@
     algorithmic phases underneath it — Theorem-1 core-set descents,
     Theorem-2 sample-ladder rounds, cost-monitored prioritized probes,
     shard-planner bound checks, scatter legs, executor retry rounds.
+    The replication layer roots its own spans for operations that do
+    not run under a query: [repl.read] (a routed replica read, with
+    the answering snapshot's cost delta), [repl.install] (capturing
+    and shipping a snapshot image to a lagging peer) and
+    [repl.promote] (failover).
     Every span carries wall-clock start/stop timestamps and the
     {!Topk_em.Stats} delta (I/Os, scanned elements, queries) charged on
     the recording domain while it was open, so a finished trace shows

@@ -16,6 +16,35 @@ let bits64 t =
   t.state <- Int64.add t.state golden;
   mix t.state
 
+let mix64 x = mix (Int64.add x golden)
+
+(* The raw-seed stream: state starts at the seed itself (not mixed),
+   so components that seeded the generator with structured values
+   ({!Topk_em.Fault}, {!Topk_durable.Disk}) keep their historical,
+   bit-identical fault/crash schedules. *)
+module Raw = struct
+  type nonrec t = t
+
+  let create s = { state = s }
+
+  let reseed t s = t.state <- s
+
+  let next = bits64
+
+  (* Top 53 bits into [0,1) — the divisor form the historical copies
+     used; 2^53 is exact in a float, so this equals [*. 0x1.0p-53]. *)
+  let uniform t =
+    Int64.to_float (Int64.shift_right_logical (next t) 11) /. 9007199254740992.
+
+  (* Uniform-ish int in [0, n] for n >= 0 (modulo bias accepted — the
+     historical draw used by torn-tail lengths and bit picks). *)
+  let below_incl t n =
+    if n <= 0 then 0
+    else
+      Int64.to_int
+        (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int (n + 1)))
+end
+
 let split t = { state = bits64 t }
 
 let copy t = { state = t.state }

@@ -41,3 +41,31 @@ val shuffle : t -> 'a array -> unit
 val sample : t -> p:float -> 'a array -> 'a array
 (** [sample t ~p arr] keeps each element independently with probability
     [p] — the p-sample of Section 3.1. *)
+
+val mix64 : int64 -> int64
+(** The splitmix64 finalizer applied to [x + golden]: a stateless
+    64-bit mixer (what {!Topk_shard.Partitioner} hashes ids with). *)
+
+(** The {e raw-seed} splitmix64 stream: the state starts at the given
+    word itself rather than at [mix seed].  This is the stream the
+    fault-injection layers ({!Topk_em.Fault}, {!Topk_durable.Disk},
+    {!Topk_repl.Transport}) draw from; it is exposed separately so
+    their historical seeded schedules stay bit-identical. *)
+module Raw : sig
+  type t
+
+  val create : int64 -> t
+
+  val reseed : t -> int64 -> unit
+  (** Restart the stream at a new raw state. *)
+
+  val next : t -> int64
+  (** Next 64 bits: [state <- state + golden; mix state]. *)
+
+  val uniform : t -> float
+  (** Top 53 bits of {!next} into [0,1). *)
+
+  val below_incl : t -> int -> int
+  (** Uniform-ish draw in [0, n] ([0] when [n <= 0]); the historical
+      modulo draw, kept for schedule compatibility. *)
+end

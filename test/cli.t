@@ -163,3 +163,34 @@ restore an acknowledged-prefix oracle, and all four durability phases
 
   $ topk crash-bench -n 200 --updates 120 --crashes 12 --seed 7 | tail -n 1
   crash-bench: OK (27 crash points, 25 recoveries, 0 violations)
+
+Repl-bench validation.
+
+  $ topk repl-bench --updates 0
+  topk: updates must be positive (got 0)
+  [2]
+
+  $ topk repl-bench --points 0
+  topk: points must be positive (got 0)
+  [2]
+
+  $ topk repl-bench --replicas 1
+  topk: replicas must be >= 2 (got 1)
+  [2]
+
+  $ topk repl-bench --quorum 5
+  topk: quorum must be in [1, replicas] (got 5)
+  [2]
+
+  $ topk repl-bench --retain 0
+  topk: retain must be positive (got 0)
+  [2]
+
+Replication is deterministic for a fixed seed: every seeded fault
+point (lossy shipping, lost acks, partition-forced snapshot installs,
+injected primary failures) must reconverge, every replica answer must
+match a from-scratch oracle at its applied sequence, and no
+quorum-acked write may be lost across failover.
+
+  $ topk repl-bench -n 200 --updates 90 --points 24 --retain 24 --seed 7 | tail -n 1
+  repl-bench: OK (24 fault points, 24 recoveries, 24 installs, 6 failovers, 0 violations)

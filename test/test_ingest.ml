@@ -121,6 +121,68 @@ let test_epoch_refcounts () =
   Alcotest.(check (option int)) "nothing pinned" None (Epoch.oldest_pinned ep);
   Alcotest.(check string) "with_pin" "ab" (Epoch.with_pin ep (fun v -> v))
 
+(* Four domains race the epoch manager: one writer publishing versions
+   (the version payload always equals its epoch id), two readers
+   hammering pin/unpin, one monitor sampling the gauges.  A pinned
+   epoch must never be reclaimed out from under its reader — observed
+   as [value p = pin_id p] holding for the whole pin — and
+   [oldest_pinned]/[current_id] must be monotone under the races. *)
+let test_epoch_domain_races () =
+  let ep = Epoch.create 0 in
+  let rounds = 3000 in
+  let stop = Atomic.make false in
+  let writer =
+    Domain.spawn (fun () ->
+        for _ = 1 to rounds do
+          ignore (Epoch.publish ep (fun v -> v + 1) : int)
+        done;
+        Atomic.set stop true)
+  in
+  let reader () =
+    Domain.spawn (fun () ->
+        let bad = ref 0 in
+        while not (Atomic.get stop) do
+          let p = Epoch.pin ep in
+          if Epoch.value p <> Epoch.pin_id p then incr bad;
+          (* Hold the pin across a few publishes, then re-check: a
+             reclaim-while-pinned would have dropped this version. *)
+          for _ = 1 to 5 do
+            Domain.cpu_relax ()
+          done;
+          if Epoch.value p <> Epoch.pin_id p then incr bad;
+          Epoch.unpin p
+        done;
+        !bad)
+  in
+  let monitor =
+    Domain.spawn (fun () ->
+        let bad = ref 0 in
+        let last_oldest = ref 0 and last_current = ref 0 in
+        while not (Atomic.get stop) do
+          let c = Epoch.current_id ep in
+          if c < !last_current then incr bad;
+          last_current := max !last_current c;
+          (match Epoch.oldest_pinned ep with
+          | Some o ->
+              if o < !last_oldest then incr bad;
+              if o > Epoch.current_id ep then incr bad;
+              last_oldest := max !last_oldest o
+          | None -> ());
+          if Epoch.lag ep < 0 then incr bad
+        done;
+        !bad)
+  in
+  let r1 = reader () and r2 = reader () in
+  Domain.join writer;
+  Alcotest.(check int) "reader 1 saw no torn pins" 0 (Domain.join r1);
+  Alcotest.(check int) "reader 2 saw no torn pins" 0 (Domain.join r2);
+  Alcotest.(check int) "monitor saw monotone gauges" 0 (Domain.join monitor);
+  Alcotest.(check int) "all epochs published" rounds (Epoch.current_id ep);
+  (* Every reader unpinned: everything superseded was reclaimed. *)
+  Alcotest.(check int) "nothing retired" 0 (Epoch.retired_count ep);
+  Alcotest.(check int) "no lag" 0 (Epoch.lag ep);
+  Alcotest.(check (option int)) "nothing pinned" None (Epoch.oldest_pinned ep)
+
 (* ------------------------------------------------------------------ *)
 (* Ingest, inline mode (no pool): exactness through seals and merges   *)
 
@@ -461,7 +523,11 @@ let () =
           Alcotest.test_case "replay" `Quick test_log_replay;
         ] );
       ( "epoch",
-        [ Alcotest.test_case "refcounts" `Quick test_epoch_refcounts ] );
+        [
+          Alcotest.test_case "refcounts" `Quick test_epoch_refcounts;
+          Alcotest.test_case "4-domain pin/unpin races" `Slow
+            test_epoch_domain_races;
+        ] );
       ( "ingest",
         [
           Alcotest.test_case "inline trace" `Slow test_ingest_trace_inline;

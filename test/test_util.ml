@@ -9,6 +9,75 @@ module Gen = Topk_util.Gen
 
 (* --- Rng --- *)
 
+(* Seed-compat law for the deduplicated splitmix64: {!Rng.Raw} and
+   {!Rng.mix64} must reproduce, bit for bit, the private copies they
+   replaced in lib/em/fault.ml, lib/durable/disk.ml and
+   lib/shard/partitioner.ml — otherwise every historical seeded fault,
+   crash and shard schedule silently changes.  The reference below is a
+   verbatim transcription of the retired copies. *)
+
+let reference_next st =
+  let open Int64 in
+  st := add !st 0x9E3779B97F4A7C15L;
+  let z = !st in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let test_raw_seed_compat () =
+  List.iter
+    (fun seed ->
+      (* The Fault-layer per-domain stream seed shape… *)
+      let fault_seed = Int64.of_int (seed lxor (1 * 0x9E3779B9)) in
+      (* …and the Disk-layer global stream seed shape. *)
+      let disk_seed = Int64.of_int (seed lxor 0x6b7a) in
+      List.iter
+        (fun s ->
+          let st = ref s in
+          let raw = Rng.Raw.create s in
+          for i = 1 to 200 do
+            let want = reference_next st in
+            Alcotest.(check int64)
+              (Printf.sprintf "raw stream (seed %Ld, draw %d)" s i)
+              want (Rng.Raw.next raw)
+          done;
+          (* The two derived draws, from identical stream positions. *)
+          let st = ref s and raw = Rng.Raw.create s in
+          for _ = 1 to 50 do
+            let w = reference_next st in
+            Alcotest.(check (float 0.))
+              "uniform"
+              (Int64.to_float (Int64.shift_right_logical w 11)
+              /. 9007199254740992.)
+              (Rng.Raw.uniform raw);
+            let w = reference_next st in
+            Alcotest.(check int) "below_incl"
+              (Int64.to_int
+                 (Int64.rem (Int64.shift_right_logical w 1) 17L))
+              (Rng.Raw.below_incl raw 16)
+          done)
+        [ fault_seed; disk_seed ])
+    [ 0; 42; 7; 123456789; -3 ];
+  (* The Partitioner finalizer: mix64 x = mix (x + golden) = the first
+     draw of a raw stream started at x. *)
+  List.iter
+    (fun x ->
+      Alcotest.(check int64)
+        (Printf.sprintf "mix64 %Ld" x)
+        (reference_next (ref x))
+        (Rng.mix64 x))
+    [ 0L; 1L; -1L; 42L; 0x123456789ABCDEFL ]
+
+let test_raw_reseed () =
+  let a = Rng.Raw.create 99L in
+  ignore (Rng.Raw.next a : int64);
+  ignore (Rng.Raw.next a : int64);
+  Rng.Raw.reseed a 99L;
+  let b = Rng.Raw.create 99L in
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "reseed restarts" (Rng.Raw.next b) (Rng.Raw.next a)
+  done
+
 let test_rng_deterministic () =
   let a = Rng.create 42 and b = Rng.create 42 in
   for _ = 1 to 100 do
@@ -266,6 +335,8 @@ let () =
           Alcotest.test_case "int uniform" `Slow test_rng_int_roughly_uniform;
           Alcotest.test_case "bernoulli" `Quick test_rng_bernoulli;
           Alcotest.test_case "sample rate" `Quick test_rng_sample_rate;
+          Alcotest.test_case "raw seed-compat" `Quick test_raw_seed_compat;
+          Alcotest.test_case "raw reseed" `Quick test_raw_reseed;
         ] );
       ( "heap",
         [
