@@ -439,22 +439,33 @@ let serve_bench_cmd =
           queries seq_elapsed
           (float_of_int queries /. Float.max 1e-9 seq_elapsed)
           (Format.asprintf "%a" Stats.pp seq);
-        (* Concurrent pass through the pool. *)
+        (* Concurrent pass through the pool, behind the Client facade:
+           queries consult the shared answer cache before enqueueing.
+           The stab/range points are distinct draws, so the cache stays
+           cold and the worker I/O totals remain comparable to the
+           sequential reference. *)
         let pool =
           Svc.Executor.create ~workers ~queue_capacity:capacity
             ~batch_max:batch ()
+        in
+        let client = Svc.Client.create ~metrics:(Svc.Executor.metrics pool) () in
+        let itv_c = Svc.Client.attach client (Svc.Client.pooled pool itv_h) in
+        let range_c =
+          Option.map
+            (fun h -> Svc.Client.attach client (Svc.Client.pooled pool h))
+            range_h
         in
         let t1 = Unix.gettimeofday () in
         let futures =
           List.init queries (fun i ->
               if mixed && i land 1 = 1 then
-                match range_h with
-                | Some h ->
-                    let fut = Svc.Executor.submit pool h ranges.(i) ~k in
+                match range_c with
+                | Some c ->
+                    let fut = Svc.Client.query c ranges.(i) ~k in
                     fun () -> ignore (Svc.Future.await fut)
                 | None -> assert false
               else
-                let fut = Svc.Executor.submit pool itv_h stabs.(i) ~k in
+                let fut = Svc.Client.query itv_c stabs.(i) ~k in
                 fun () -> ignore (Svc.Future.await fut))
         in
         List.iter (fun wait -> wait ()) futures;
@@ -478,9 +489,8 @@ let serve_bench_cmd =
            query comes back flagged with a certified prefix instead of
            stalling a worker. *)
         let starved =
-          Svc.Future.await
-            (Svc.Executor.submit pool itv_h stabs.(0) ~k:(max 64 k)
-               ~limits:(Svc.Limits.make ~budget:2 ()))
+          Svc.Client.query_sync itv_c stabs.(0) ~k:(max 64 k)
+            ~limits:(Svc.Limits.make ~budget:2 ())
         in
         Printf.printf "under-budgeted query (budget=2 I/Os): %s, %d answer(s)%s\n"
           (Svc.Response.status_string starved.Svc.Response.status)
@@ -653,7 +663,7 @@ let chaos_bench_cmd =
            uncaught exception. *)
         let submit h q =
           try Svc.Executor.submit pool h q ~k
-          with Svc.Executor.Overloaded ->
+          with Svc.Error.Error Svc.Error.Overloaded ->
             die
               "circuit breaker opened mid-run: the armed fault plan leaves \
                (almost) no query succeeding; lower --fault-rate or raise \
@@ -1905,7 +1915,9 @@ let repl_bench_cmd =
         if u mod 13 = 0 && !last_synced > 0 then begin
           incr rw_checks;
           let q = Rng.uniform rng in
-          match G.read ~min_seq:!last_synced g q ~k with
+          match
+            G.read ~consistency:(Svc.Consistency.At_least !last_synced) g q ~k
+          with
           | None -> fail p phase "read refused a satisfiable token %d"
               !last_synced
           | Some resp -> (
@@ -1913,7 +1925,7 @@ let repl_bench_cmd =
               | None -> fail p phase "replicated read lost its seq token"
               | Some tok ->
                   if tok < !last_synced then
-                    fail p phase "stale read: token %d under min_seq %d" tok
+                    fail p phase "stale read: token %d under At_least floor %d" tok
                       !last_synced
                   else begin
                     let lives =
@@ -2009,6 +2021,397 @@ let repl_bench_cmd =
       $ replicas_arg $ quorum_arg $ buffer_cap_arg $ fanout_arg $ retain_arg
       $ clean_arg)
 
+(* --- cache-bench --- *)
+
+let cache_bench_cmd =
+  let module IInst = Topk_interval.Instances in
+  let module I = Topk_interval.Interval in
+  let module Rng = Topk_util.Rng in
+  let module Transport = Topk_repl.Transport in
+  let module G = Topk_repl.Group.Make (IInst.Topk_t2) in
+  let module Svc = Topk_service in
+  let module Cache = Topk_cache.Cache in
+  let base_arg =
+    Arg.(
+      value & opt int 400
+      & info [ "n" ] ~docv:"N" ~doc:"Base elements shared by every node.")
+  in
+  let queries_arg =
+    Arg.(
+      value & opt int 2400
+      & info [ "queries" ] ~docv:"Q" ~doc:"Reads replayed against the group.")
+  in
+  let distinct_arg =
+    Arg.(
+      value & opt int 24
+      & info [ "distinct" ] ~docv:"D"
+          ~doc:"Distinct query points in the Zipf-sampled pool.")
+  in
+  let theta_arg =
+    Arg.(
+      value & opt float 1.2
+      & info [ "theta" ] ~docv:"THETA"
+          ~doc:"Zipf skew exponent over the query pool (> 0).")
+  in
+  let write_every_arg =
+    Arg.(
+      value & opt int 40
+      & info [ "write-every" ] ~docv:"W"
+          ~doc:"Interleave one insert/delete every W reads.")
+  in
+  let replicas_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "replicas" ] ~docv:"R" ~doc:"Read replicas in the group (>= 2).")
+  in
+  let min_hit_rate_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "min-hit-rate" ] ~docv:"H"
+          ~doc:"Hard-fail below this cache hit rate (cached pass only).")
+  in
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:
+            "Run only the uncached baseline pass (oracle checks still \
+             apply; hit-rate and I/O-reduction gates are skipped).")
+  in
+  let clean_arg =
+    Arg.(
+      value & flag
+      & info [ "clean" ]
+          ~doc:
+            "Disable randomized frame faults on the replication \
+             transport; the mid-run failover still happens.")
+  in
+  let run n k seed queries distinct theta write_every replicas min_hit_rate
+      no_cache clean =
+    validate_common ~n ~k;
+    require_pos "queries" queries;
+    require_pos "distinct" distinct;
+    require_pos "write-every" write_every;
+    require_pos_float "theta" theta;
+    if replicas < 2 then die "replicas must be >= 2 (got %d)" replicas;
+    if queries < 4 then die "queries must be >= 4 (got %d)" queries;
+    if min_hit_rate < 0.0 || min_hit_rate > 1.0 then
+      die "min-hit-rate must be in [0, 1] (got %g)" min_hit_rate;
+    Printf.printf
+      "cache-bench: n=%d queries=%d distinct=%d theta=%g write-every=%d \
+       replicas=%d%s\n%!"
+      n queries distinct theta write_every replicas
+      (if no_cache then " (no-cache)" else "");
+    let params = IInst.params () in
+    let mk_elem rng id =
+      let lo = Rng.uniform rng in
+      let hi = Float.min 1.0 (lo +. 0.02 +. (0.3 *. Rng.uniform rng)) in
+      (* Strictly increasing distinct weights: the oracle's top-k is
+         unique, so answers compare by id set. *)
+      I.make ~id ~lo ~hi ~weight:(float_of_int id +. (0.5 *. Rng.uniform rng)) ()
+    in
+    let base =
+      let rng = Rng.create seed in
+      Array.init n (fun i -> mk_elem rng (i + 1))
+    in
+    (* Zipf sampler over ranks 1..distinct: P(r) proportional to
+       1/r^theta, inverted by scanning the cumulative weights. *)
+    let zipf_cum =
+      let c = Array.make distinct 0.0 in
+      let acc = ref 0.0 in
+      for r = 0 to distinct - 1 do
+        acc := !acc +. (1.0 /. Float.pow (float_of_int (r + 1)) theta);
+        c.(r) <- !acc
+      done;
+      c
+    in
+    let zipf rng =
+      let u = Rng.uniform rng *. zipf_cum.(distinct - 1) in
+      let i = ref 0 in
+      while !i < distinct - 1 && zipf_cum.(!i) < u do
+        incr i
+      done;
+      !i
+    in
+    let qpool =
+      let rng = Rng.create (seed lxor 0x51f3) in
+      Array.init distinct (fun _ -> Rng.uniform rng)
+    in
+    let failover_at = queries / 2 in
+    (* One full replay of the identical query/update schedule; the two
+       passes differ only in whether the group carries an answer
+       cache, so their charged read I/O is directly comparable. *)
+    let sweep ~use_cache =
+      let metrics = Svc.Metrics.create () in
+      let cache =
+        if use_cache then
+          Some
+            (Cache.create ~stripes:8
+               ~capacity:(4 * distinct)
+               ~min_cost:1
+               ~on_evict:(fun () ->
+                 Svc.Metrics.Counter.incr metrics.Svc.Metrics.cache_evictions)
+               ())
+        else None
+      in
+      let plan =
+        if clean then Transport.clean ~seed
+        else Transport.plan ~drop:0.05 ~delay_max:1 ~seed ()
+      in
+      let g =
+        G.create ~params ~buffer_cap:16 ~fanout:2 ~retain:64 ~plan ~metrics
+          ~quorum:2 ~max_pump:120 ?cache ~name:"cache" ~replicas base
+      in
+      let violations = ref 0 in
+      let fail fmt =
+        Printf.ksprintf
+          (fun msg ->
+            incr violations;
+            if !violations <= 5 then
+              Printf.printf "  VIOLATION (%scached): %s\n%!"
+                (if use_cache then "" else "un")
+                msg)
+          fmt
+      in
+      let hist = ref [] and hist_len = ref 0 in
+      let push op =
+        hist := op :: !hist;
+        incr hist_len
+      in
+      let truncate_to h =
+        while !hist_len > h do
+          hist := List.tl !hist;
+          decr hist_len
+        done
+      in
+      let live_at r =
+        let tbl = Hashtbl.create (2 * n) in
+        Array.iter (fun (e : I.t) -> Hashtbl.replace tbl e.I.id e) base;
+        List.iteri
+          (fun i ((ins, e) : bool * I.t) ->
+            if i + 1 <= r then
+              if ins then Hashtbl.replace tbl e.I.id e
+              else Hashtbl.remove tbl e.I.id)
+          (List.rev !hist);
+        tbl
+      in
+      let wrng = Rng.create (seed lxor 0x9e37)
+      and qrng = Rng.create (seed lxor 0x7f4a) in
+      let last_synced = ref 0 and synced_seqs = ref [] in
+      let next_id = ref (n + 1) in
+      let del_pool = ref [] in
+      let reads = ref 0
+      and rw_probes = ref 0
+      and served_hits = ref 0
+      and read_ios = ref 0
+      and failovers = ref 0 in
+      for i = 1 to queries do
+        if i = failover_at then begin
+          (match G.fail_primary g with
+          | _new_primary ->
+              incr failovers;
+              let h = G.head g in
+              List.iter
+                (fun s ->
+                  if s > h then
+                    fail "synced write seq %d lost by failover (head %d)" s h)
+                !synced_seqs;
+              truncate_to h;
+              synced_seqs := List.filter (fun s -> s <= h) !synced_seqs;
+              last_synced := min !last_synced h;
+              del_pool :=
+                Hashtbl.fold
+                  (fun id e acc -> if id > n then e :: acc else acc)
+                  (live_at h) []
+          | exception Invalid_argument msg -> fail "failover refused: %s" msg);
+          ignore (G.settle ~max_ticks:4000 g)
+        end;
+        if i mod write_every = 0 then begin
+          let ins = Rng.uniform wrng <= 0.7 || !del_pool = [] in
+          let outcome =
+            if ins then begin
+              let e = mk_elem wrng !next_id in
+              incr next_id;
+              del_pool := e :: !del_pool;
+              push (true, e);
+              G.insert g e
+            end
+            else begin
+              let j = Rng.int wrng (List.length !del_pool) in
+              let e = List.nth !del_pool j in
+              del_pool := List.filteri (fun l _ -> l <> j) !del_pool;
+              push (false, e);
+              G.delete g e
+            end
+          in
+          if G.write_seq outcome <> !hist_len then
+            fail "write got seq %d, issued %d" (G.write_seq outcome) !hist_len;
+          if G.synced outcome then begin
+            synced_seqs := !hist_len :: !synced_seqs;
+            last_synced := !hist_len
+          end;
+          (* Let the replicas catch up so the hot keys re-warm at the
+             new head; the cache must drop to the recomputed answers
+             on its own — staleness here is a hard violation below. *)
+          ignore (G.settle ~max_ticks:4000 g)
+        end;
+        let q = qpool.(zipf qrng) in
+        let consistency, floor_tok =
+          if i mod 7 = 0 && !last_synced > 0 then begin
+            incr rw_probes;
+            (Svc.Consistency.At_least !last_synced, !last_synced)
+          end
+          else if i mod 11 = 0 then (Svc.Consistency.Max_lag 3, 0)
+          else (Svc.Consistency.Any, 0)
+        in
+        incr reads;
+        match G.read ~consistency g q ~k with
+        | None ->
+            fail "read %d refused (%s)" i
+              (Svc.Consistency.to_string consistency)
+        | Some resp -> (
+            (match resp.Svc.Response.status with
+            | Svc.Response.Complete -> ()
+            | st ->
+                fail "read %d not complete: %s" i
+                  (Svc.Response.status_string st));
+            match Svc.Response.seq_token resp with
+            | None -> fail "read %d lost its seq token" i
+            | Some tok ->
+                if tok > !hist_len then
+                  fail
+                    "read %d answered at seq %d beyond the surviving \
+                     timeline %d (a fenced pre-failover answer leaked)"
+                    i tok !hist_len
+                else if tok < floor_tok then
+                  fail "stale read %d: token %d under floor %d" i tok
+                    floor_tok
+                else begin
+                  let lives =
+                    Hashtbl.fold (fun _ e a -> e :: a) (live_at tok) []
+                  in
+                  let want =
+                    List.sort compare
+                      (List.map
+                         (fun (e : I.t) -> e.I.id)
+                         (Topk_util.Select.top_k ~cmp:I.compare_weight k
+                            (List.filter (fun e -> I.contains e q) lives)))
+                  in
+                  let got =
+                    List.sort compare
+                      (List.map
+                         (fun (e : I.t) -> e.I.id)
+                         resp.Svc.Response.answers)
+                  in
+                  if got <> want then
+                    fail
+                      "read %d differs from the from-scratch oracle at seq \
+                       %d (%s)"
+                      i tok
+                      (Svc.Consistency.to_string consistency);
+                  let ios =
+                    (Svc.Response.cost resp).Topk_em.Stats.ios
+                  in
+                  read_ios := !read_ios + ios;
+                  if resp.Svc.Response.worker = -1 then begin
+                    incr served_hits;
+                    if ios <> 0 then
+                      fail "cache hit on read %d charged %d I/Os" i ios
+                  end
+                end)
+      done;
+      if not (G.settle ~max_ticks:8000 g) then
+        fail "group did not converge after the replay";
+      let want_final =
+        List.sort compare
+          (Hashtbl.fold (fun id _ a -> id :: a) (live_at !hist_len) [])
+      in
+      for j = 0 to G.nodes g - 1 do
+        if G.alive g j then begin
+          let got =
+            List.sort compare
+              (List.map (fun (e : I.t) -> e.I.id) (G.R.live (G.node g j)))
+          in
+          if got <> want_final then
+            fail "node %d's surviving set differs from the oracle" j
+        end
+      done;
+      let hits = Svc.Metrics.Counter.get metrics.Svc.Metrics.cache_hits in
+      let misses = Svc.Metrics.Counter.get metrics.Svc.Metrics.cache_misses in
+      ( !violations,
+        !reads,
+        !rw_probes,
+        !served_hits,
+        !read_ios,
+        !failovers,
+        hits,
+        misses )
+    in
+    let v_u, reads_u, probes_u, _, ios_u, fo_u, _, _ =
+      sweep ~use_cache:false
+    in
+    Printf.printf
+      "uncached: %d reads (%d read-your-writes probes), %d charged read \
+       I/Os, %d failover\n%!"
+      reads_u probes_u ios_u fo_u;
+    if no_cache then begin
+      if v_u > 0 then die "%d violations in the uncached pass" v_u;
+      if fo_u <> 1 then die "expected exactly 1 failover, got %d" fo_u;
+      Printf.printf "cache-bench: OK (uncached pass only, 0 violations)\n"
+    end
+    else begin
+      let v_c, reads_c, probes_c, hits_c, ios_c, fo_c, m_hits, m_misses =
+        sweep ~use_cache:true
+      in
+      let lookups = m_hits + m_misses in
+      let rate =
+        if lookups = 0 then 0.0
+        else float_of_int m_hits /. float_of_int lookups
+      in
+      Printf.printf
+        "cached:   %d reads (%d read-your-writes probes), %d charged read \
+         I/Os, %d failover\n"
+        reads_c probes_c ios_c fo_c;
+      Printf.printf "          %d hits / %d lookups (rate %.3f), %d served \
+                     with zero I/O\n%!"
+        m_hits lookups rate hits_c;
+      if v_u > 0 then die "%d violations in the uncached pass" v_u;
+      if v_c > 0 then die "%d violations in the cached pass" v_c;
+      if fo_u <> 1 || fo_c <> 1 then
+        die "expected exactly 1 failover per pass (got %d/%d)" fo_u fo_c;
+      if hits_c = 0 then die "the cache never served a hit";
+      if hits_c <> m_hits then
+        die "metrics disagree with served hits (%d counted, %d served)"
+          m_hits hits_c;
+      if rate < min_hit_rate then
+        die "hit rate %.3f below the required %.3f" rate min_hit_rate;
+      if ios_c >= ios_u then
+        die "caching did not reduce charged read I/O (%d cached >= %d \
+             uncached)"
+          ios_c ios_u;
+      Printf.printf
+        "cache-bench: OK (hit rate %.3f, read I/O %d -> %d, -%.1f%%, 0 \
+         violations)\n"
+        rate ios_u ios_c
+        (100.0 *. (1.0 -. (float_of_int ios_c /. float_of_int ios_u)))
+    end
+  in
+  Cmd.v
+    (Cmd.info "cache-bench"
+       ~doc:
+         "Replay a Zipf-skewed query stream against a replicated group with \
+          the epoch-consistent answer cache on, interleaved with ingestion \
+          and one primary failover, then replay the identical schedule \
+          uncached.  Every answer (hit or miss) must equal the from-scratch \
+          oracle at its seq token, read-your-writes probes must never be \
+          stale, cache hits must charge zero I/O, the skewed run must reach \
+          the required hit rate, and total charged read I/O must drop \
+          versus the uncached pass.  Hard-fails on any violation.")
+    Term.(
+      const run $ base_arg $ k_arg $ seed_arg $ queries_arg $ distinct_arg
+      $ theta_arg $ write_every_arg $ replicas_arg $ min_hit_rate_arg
+      $ no_cache_arg $ clean_arg)
+
 (* --- sample-check --- *)
 
 let sample_check_cmd =
@@ -2070,4 +2473,5 @@ let () =
             ingest_bench_cmd;
             crash_bench_cmd;
             repl_bench_cmd;
+            cache_bench_cmd;
           ]))

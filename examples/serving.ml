@@ -2,11 +2,14 @@
 
    Scenario: the session log from quickstart.ml, now served to many
    clients at once.  We register the built index under a name, spawn a
-   worker pool sharing that one immutable snapshot, fire a burst of
-   queries through the bounded queue, and read the pool's metrics.
-   One query is submitted with a deliberately tiny I/O budget to show
-   graceful degradation: it comes back flagged, carrying a certified
-   prefix of the true top-k instead of stalling a worker.
+   worker pool sharing that one immutable snapshot, and put the
+   Client facade in front of it: one typed [query] entry point that
+   consults the shared answer cache before enqueueing.  A burst of
+   queries goes through the bounded queue, a repeated hot query comes
+   back from the cache with zero charged I/O, and one query is
+   submitted with a deliberately tiny I/O budget to show graceful
+   degradation: it comes back flagged, carrying a certified prefix of
+   the true top-k instead of stalling a worker.
 
    Run with:  dune exec examples/serving.exe *)
 
@@ -39,16 +42,21 @@ let () =
     (fun info -> Format.printf "serving %a@." Svc.Registry.pp_info info)
     (Svc.Registry.list registry);
 
-  (* 3. Spawn the pool.  Workers share the snapshot; the queue is
-        bounded, so submission applies backpressure when overloaded. *)
+  (* 3. Spawn the pool and attach it to a Client.  Workers share the
+        snapshot; the queue is bounded, so submission applies
+        backpressure when overloaded.  The client fronts the pool with
+        the answer cache — pass the pool's metrics so serving and
+        caching land in one report. *)
   let pool = Svc.Executor.create ~workers:4 ~queue_capacity:256 () in
+  let client = Svc.Client.create ~metrics:(Svc.Executor.metrics pool) () in
+  let sessions_c =
+    Svc.Client.attach client (Svc.Client.pooled pool sessions_h)
+  in
 
   (* 4. A burst of queries: the 5 heaviest sessions at 1000 random
         times of day. *)
   let times = Array.init 1000 (fun _ -> Rng.float rng 86_400.) in
-  let futures =
-    Array.map (fun t -> Svc.Executor.submit pool sessions_h t ~k:5) times
-  in
+  let futures = Array.map (fun t -> Svc.Client.query sessions_c t ~k:5) times in
   let responses = Array.map Svc.Future.await futures in
   let r0 = responses.(0) in
   Printf.printf "first response: %d answers, %s, %d I/Os, worker %d\n"
@@ -56,20 +64,37 @@ let () =
     (Svc.Response.status_string r0.Svc.Response.status)
     (Svc.Response.cost r0).Topk_em.Stats.ios r0.Svc.Response.worker;
 
-  (* 5. Graceful degradation: an absurdly under-budgeted query returns
-        a flagged, certified prefix instead of blocking the pool. *)
+  (* 5. Hot queries: a dashboard refreshing the same time-of-day asks
+        an identical question, so the second round is served straight
+        from the answer cache — same answers, zero charged I/O, no
+        worker involved.  A smaller k rides the same entry (prefix
+        serving). *)
+  let again = Svc.Client.query_sync sessions_c times.(0) ~k:5 in
+  Printf.printf "repeated hot query: %d answers, %d I/Os (cache hit)\n"
+    (List.length again.Svc.Response.answers)
+    (Svc.Response.cost again).Topk_em.Stats.ios;
+  assert (again.Svc.Response.answers = r0.Svc.Response.answers);
+  let top3 = Svc.Client.query_sync sessions_c times.(0) ~k:3 in
+  Printf.printf "same query at k=3: %d answers, %d I/Os (prefix hit)\n"
+    (List.length top3.Svc.Response.answers)
+    (Svc.Response.cost top3).Topk_em.Stats.ios;
+
+  (* 6. Graceful degradation: an absurdly under-budgeted query returns
+        a flagged, certified prefix instead of blocking the pool.
+        Budgeted queries bypass the cache in both directions — a
+        cached complete answer must never shadow the cutoff the budget
+        would have produced. *)
   let starved =
-    Svc.Future.await
-      (Svc.Executor.submit pool sessions_h
-         ~limits:(Svc.Limits.make ~budget:2 ())
-         times.(0) ~k:100)
+    Svc.Client.query_sync sessions_c
+      ~limits:(Svc.Limits.make ~budget:2 ())
+      times.(0) ~k:100
   in
   Printf.printf "under-budgeted query: %s, %d of 100 answers%s\n"
     (Svc.Response.status_string starved.Svc.Response.status)
     (List.length starved.Svc.Response.answers)
     (if Svc.Response.is_partial starved then " (certified prefix)" else "");
 
-  (* 6. Per-worker EM accounting and the pool's metrics. *)
+  (* 7. Per-worker EM accounting and the pool's metrics. *)
   Svc.Executor.drain pool;
   List.iter
     (fun (w, s) ->
@@ -82,5 +107,9 @@ let () =
     (Svc.Metrics.Histogram.percentile m.Svc.Metrics.latency_us 0.95)
     (Svc.Metrics.Histogram.percentile m.Svc.Metrics.latency_us 0.99)
     (Svc.Metrics.cutoff_rate m);
+  Printf.printf "cache: %d hits, %d misses (hit rate %.4f)\n"
+    (Svc.Metrics.Counter.get m.Svc.Metrics.cache_hits)
+    (Svc.Metrics.Counter.get m.Svc.Metrics.cache_misses)
+    (Svc.Metrics.cache_hit_rate m);
   Svc.Executor.shutdown pool;
   print_endline "pool shut down cleanly."

@@ -1,0 +1,27 @@
+type t = { term : int; seq : int }
+
+let make ~term ~seq =
+  if term < 0 then
+    invalid_arg (Printf.sprintf "Version.make: term must be >= 0 (got %d)" term);
+  if seq < 0 then
+    invalid_arg (Printf.sprintf "Version.make: seq must be >= 0 (got %d)" seq);
+  { term; seq }
+
+let static = { term = 0; seq = 0 }
+
+let term t = t.term
+
+let seq t = t.seq
+
+let compare a b =
+  match Int.compare a.term b.term with
+  | 0 -> Int.compare a.seq b.seq
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let newer_than a b = compare a b > 0
+
+let bump_term t = { t with term = t.term + 1 }
+
+let pp ppf t = Format.fprintf ppf "t%d.s%d" t.term t.seq

@@ -1,0 +1,45 @@
+(** The version a cached answer was computed at.
+
+    Every certified answer in the system is exact over some snapshot,
+    and the serving layers already name those snapshots: an ingest
+    wrapper's op-sequence numbers ({!Topk_ingest.Ingest.Make.view_seq},
+    [last_seq]), a replica's applied sequence, a replication group's
+    election term.  A version pairs the two so cached answers inherit
+    invalidation from machinery that exists anyway:
+
+    - [seq] is the newest op sequence folded into the snapshot the
+      answer was computed over ([0] for a static, never-updated
+      instance).
+    - [term] is the failover epoch.  A promoted replica may have
+      {e truncated} unreplicated writes, so sequence numbers are only
+      comparable within one term; bumping the term fences every
+      pre-failover entry at once.
+
+    Versions order lexicographically by [(term, seq)]. *)
+
+type t = private { term : int; seq : int }
+
+val make : term:int -> seq:int -> t
+(** @raise Invalid_argument if either component is negative. *)
+
+val static : t
+(** [{term = 0; seq = 0}] — the version of a static instance.  An
+    answer computed over a structure that never updates is valid
+    forever. *)
+
+val term : t -> int
+val seq : t -> int
+
+val compare : t -> t -> int
+(** Lexicographic on [(term, seq)]. *)
+
+val equal : t -> t -> bool
+
+val newer_than : t -> t -> bool
+(** [newer_than a b] is [compare a b > 0]. *)
+
+val bump_term : t -> t
+(** Same sequence, next term — what a failover does to the live
+    version. *)
+
+val pp : Format.formatter -> t -> unit

@@ -31,6 +31,8 @@ module Make (T : Topk_core.Sigs.TOPK) : sig
     ?metrics:Topk_service.Metrics.t ->
     ?quorum:int ->
     ?max_pump:int ->
+    ?cache:I.P.elem list Topk_cache.Cache.t ->
+    ?qkey:(I.P.query -> string) ->
     name:string ->
     replicas:int ->
     I.P.elem array ->
@@ -42,7 +44,15 @@ module Make (T : Topk_core.Sigs.TOPK) : sig
       write pumps before reporting {!Lagged}; [retain]/[window]/[rto]
       parameterize {!Log_ship}; [plan] the {!Transport} faults.
       [metrics] receives the [repl_*] counters and the [replica_lag]
-      gauge. @raise Invalid_argument on a bad parameter. *)
+      gauge.
+
+      [cache] enables answer caching on {!read}: entries are tagged
+      [(term, seq)] where [seq] is the answering node's applied prefix
+      and [term] the group's failover term, so {!fail_primary}'s term
+      bump implicitly invalidates every pre-failover entry.  [qkey]
+      canonicalizes queries into cache keys (default: marshalled
+      runtime representation — supply it if [I.P.query] contains
+      functions).  @raise Invalid_argument on a bad parameter. *)
 
   (** {1 Writes} *)
 
@@ -62,17 +72,20 @@ module Make (T : Topk_core.Sigs.TOPK) : sig
   (** {1 Reads} *)
 
   val read :
-    ?min_seq:int ->
-    ?max_lag:int ->
+    ?consistency:Topk_service.Consistency.t ->
     t ->
     I.P.query ->
     k:int ->
     I.P.elem Topk_service.Response.t option
   (** Route the query per {!Router.select} and answer it on the chosen
-      node's pinned snapshot.  The response's
-      {!Topk_service.Response.seq_token} carries the snapshot's newest
-      applied seq — pass it back as [min_seq] for read-your-writes.
-      [None] when no live node has applied [min_seq]. *)
+      node's pinned snapshot — or, when the group carries a cache,
+      serve a cached answer whose version the [consistency] level
+      (default [Any]) admits, with zero charged I/O.  The response's
+      {!Topk_service.Response.seq_token} carries the answering
+      snapshot's newest applied seq — pass it back as
+      [At_least seq_token] for read-your-writes.  [None] when no live
+      node satisfies the level.
+      @raise Invalid_argument on a negative token/lag. *)
 
   (** {1 Time} *)
 

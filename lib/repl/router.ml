@@ -1,6 +1,8 @@
-(* Read routing: deterministic replica selection under a staleness
-   bound.  Pure bookkeeping over (id, applied) pairs so it is testable
-   without a group around it. *)
+module Consistency = Topk_service.Consistency
+
+(* Read routing: deterministic replica selection under one
+   {!Consistency.t} level.  Pure bookkeeping over (id, applied) pairs
+   so it is testable without a group around it. *)
 
 type candidate = {
   c_id : int;
@@ -13,22 +15,27 @@ type t = { mutable cursor : int }
 
 let create () = { cursor = 0 }
 
-(* A replica is eligible when it is alive, has applied at least
-   [min_seq] (the caller's read-your-writes token), and lags the head
-   by at most [max_lag].  Eligible replicas are rotated round-robin;
-   the primary — never stale by definition — is the fallback, so a
-   read with a token the replicas cannot honor yet still answers.
-   [None] only when even the primary cannot satisfy [min_seq] (a token
-   from a future the group has not seen — a caller bug or a deposed
-   primary's unreplicated write). *)
-let select t ~head ?(min_seq = 0) ?max_lag cands =
-  if min_seq < 0 then invalid_arg "Router.select: min_seq >= 0";
-  (match max_lag with
-  | Some l when l < 0 -> invalid_arg "Router.select: max_lag >= 0"
-  | _ -> ());
+(* A replica is eligible when it is alive and its applied prefix
+   satisfies the consistency level: [At_least s] is the caller's
+   read-your-writes token, [Max_lag l] bounds its distance behind the
+   head, [Pinned p] demands exactly the snapshot [p] (a node that has
+   already applied past [p] answers over a newer state and cannot
+   serve the pin).  Eligible replicas are rotated round-robin; the
+   primary — never stale by definition — is the fallback, so a read
+   with a token the replicas cannot honor yet still answers.  [None]
+   only when even the primary cannot satisfy the level (a token from a
+   future the group has not seen — a caller bug or a deposed primary's
+   unreplicated write — or an unpinnable [Pinned]). *)
+let select t ~head ?(consistency = Consistency.Any) cands =
+  Consistency.validate consistency;
   let ok c =
-    c.c_alive && c.c_applied >= min_seq
-    && match max_lag with None -> true | Some l -> head - c.c_applied <= l
+    c.c_alive
+    &&
+    match consistency with
+    | Consistency.Any -> true
+    | Consistency.At_least s -> c.c_applied >= s
+    | Consistency.Pinned p -> c.c_applied = p
+    | Consistency.Max_lag l -> head - c.c_applied <= l
   in
   match List.filter (fun c -> ok c && not c.c_primary) cands with
   | [] ->

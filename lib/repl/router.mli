@@ -1,16 +1,16 @@
 (** Staleness-bounded read routing.
 
     The router picks which node answers a read: round-robin over the
-    replicas that satisfy the read's freshness demands, with the
-    primary as fallback — a primary read is never stale, so demanding
-    freshness degrades throughput (everything lands on the primary)
-    rather than correctness.
+    replicas that satisfy the read's {!Topk_service.Consistency.t}
+    level, with the primary as fallback — a primary read is never
+    stale, so demanding freshness degrades throughput (everything
+    lands on the primary) rather than correctness.
 
-    Freshness has two knobs.  [min_seq] is the read-your-writes token:
-    the node must have applied at least that sequence (callers pass
-    back the {!Topk_service.Response.seq_token} of an earlier
-    response).  [max_lag] bounds how far behind the primary's head the
-    node may be, in operations. *)
+    [At_least s] is the read-your-writes token (callers pass back the
+    {!Topk_service.Response.seq_token} of an earlier response),
+    [Max_lag l] bounds how far behind the primary's head the node may
+    be, [Pinned p] demands a node whose applied prefix is exactly
+    [p]. *)
 
 type candidate = {
   c_id : int;
@@ -25,7 +25,12 @@ type t
 val create : unit -> t
 
 val select :
-  t -> head:int -> ?min_seq:int -> ?max_lag:int -> candidate list -> int option
+  t ->
+  head:int ->
+  ?consistency:Topk_service.Consistency.t ->
+  candidate list ->
+  int option
 (** The chosen node id, or [None] when no live node — primary
-    included — has applied [min_seq] yet.
-    @raise Invalid_argument on a negative [min_seq]/[max_lag]. *)
+    included — satisfies the level (default
+    {!Topk_service.Consistency.Any}).
+    @raise Invalid_argument on a negative token/lag. *)

@@ -1,0 +1,6 @@
+(* Re-export: the consistency vocabulary is defined next to the cache
+   (below the service layer in the dependency order) so the cache's
+   staleness rule, the replication router and this facade all share
+   the single type.  [Topk_service.Consistency.t] is the canonical
+   spelling at call sites. *)
+include Topk_cache.Consistency

@@ -117,7 +117,8 @@ let park t job delay =
   | `Parked -> ()
   | `Abort ->
       Metrics.Counter.incr t.metrics.aborted;
-      record_final t (Request.abort job ~worker:(-1) ~reason:"shutdown")
+      record_final t
+        (Request.abort job ~worker:(-1) ~reason:(Error.Failed "shutdown"))
 
 let process_job t idx job =
   Metrics.Gauge.decr t.metrics.queue_depth;
@@ -132,7 +133,7 @@ let process_job t idx job =
     with e ->
       Request.Completed
         (Request.abort job ~worker:idx
-           ~reason:("uncaught: " ^ Printexc.to_string e))
+           ~reason:(Error.Failed ("uncaught: " ^ Printexc.to_string e)))
   in
   Metrics.Gauge.decr t.metrics.inflight;
   match res with
@@ -142,8 +143,9 @@ let process_job t idx job =
       let attempt = Request.attempts job in
       if attempt > t.retry.max_retries then begin
         let reason =
-          Printf.sprintf "transient fault persisted after %d attempts: %s"
-            attempt msg
+          Error.Failed
+            (Printf.sprintf "transient fault persisted after %d attempts: %s"
+               attempt msg)
         in
         record_final t (Request.abort job ~worker:idx ~reason)
       end
@@ -332,24 +334,22 @@ let inject_worker_crash t idx =
 
 (* --- submission --- *)
 
-exception Shut_down
-
-exception Overloaded
+let shut_down () = Error.fail (Error.Failed "shutdown")
 
 let admit t =
   if not (Breaker.admit t.breaker ~now:(now ())) then begin
     Metrics.Counter.incr t.metrics.breaker_rejected;
-    raise Overloaded
+    Error.fail Error.Overloaded
   end
 
 let enqueue_blocking t req =
   Mutex.protect t.mutex (fun () ->
-      if t.stopping then raise Shut_down;
+      if t.stopping then shut_down ();
       admit t;
       while Queue.length t.queue >= t.capacity && not t.stopping do
         Condition.wait t.not_full t.mutex
       done;
-      if t.stopping then raise Shut_down;
+      if t.stopping then shut_down ();
       Queue.push req t.queue;
       t.pending <- t.pending + 1;
       Metrics.Gauge.incr t.metrics.queue_depth;
@@ -359,7 +359,7 @@ let enqueue_blocking t req =
 let enqueue_nonblocking t req =
   let accepted =
     Mutex.protect t.mutex (fun () ->
-        if t.stopping then raise Shut_down;
+        if t.stopping then shut_down ();
         if not (Breaker.admit t.breaker ~now:(now ())) then begin
           Metrics.Counter.incr t.metrics.breaker_rejected;
           `Breaker
@@ -382,7 +382,7 @@ let enqueue_nonblocking t req =
   | `Breaker -> false
 
 let submit t handle ?limits q ~k =
-  let req, fut = Request.make handle ?limits q ~k in
+  let req, fut = Request.prepare handle ?limits q ~k in
   enqueue_blocking t req;
   fut
 
@@ -392,7 +392,7 @@ let submit_task t ?limits ~name f =
   fut
 
 let try_submit t handle ?limits q ~k =
-  let req, fut = Request.make handle ?limits q ~k in
+  let req, fut = Request.prepare handle ?limits q ~k in
   if enqueue_nonblocking t req then Some fut else None
 
 let submit_batch t handle ?limits queries ~k =
@@ -437,7 +437,9 @@ let shutdown t =
   let abort_job from_queue job =
     if from_queue then Metrics.Gauge.decr t.metrics.queue_depth;
     Metrics.Counter.incr t.metrics.aborted;
-    let o = Request.abort job ~worker:(-1) ~reason:"shutdown" in
+    let o =
+      Request.abort job ~worker:(-1) ~reason:(Error.Failed "shutdown")
+    in
     record_outcome t.metrics o
   in
   List.iter (abort_job true) queued;

@@ -40,13 +40,6 @@
 
 type t
 
-exception Shut_down
-(** Raised by submission after {!shutdown}. *)
-
-exception Overloaded
-(** Raised by {!submit} when the circuit breaker is open (the pool has
-    been failing persistently; shed load and retry later). *)
-
 (** Retry policy for transient faults.  Attempt [a] (1-based) backs
     off [min max_backoff (base_backoff * 2^(a-1))] seconds, scaled by
     a uniform factor in [[1-jitter, 1+jitter]]. *)
@@ -92,10 +85,11 @@ val submit :
     {!Limits.none}); fan-out layers ({!Topk_shard.Scatter}) pass an
     absolute [Limits.At] horizon so every per-shard leg of a logical
     query races the same clock.
-    @raise Shut_down if the pool has been shut down.
-    @raise Overloaded if the circuit breaker is open.
+    @raise Error.Error [(Failed "shutdown")] if the pool has been shut
+    down, [Overloaded] if the circuit breaker is open (the pool has
+    been failing persistently; shed load and retry later).
     @raise Invalid_argument on a malformed request (see
-    {!Request.make}). *)
+    {!Request.prepare}). *)
 
 val submit_task :
   t ->
@@ -107,8 +101,8 @@ val submit_task :
     queue as queries: it shares the pool's retry, supervision and
     per-worker EM accounting.  The ingestion layer uses this to run
     level merges.  Blocks while the queue is full.
-    @raise Shut_down if the pool has been shut down.
-    @raise Overloaded if the circuit breaker is open. *)
+    @raise Error.Error [(Failed "shutdown")] after shutdown,
+    [Overloaded] while the breaker is open. *)
 
 val try_submit :
   t ->
@@ -120,7 +114,7 @@ val try_submit :
 (** Non-blocking admission: [None] when the queue is at capacity (a
     queue-full rejection is counted) or the breaker is open (a breaker
     rejection is counted).
-    @raise Shut_down if the pool has been shut down. *)
+    @raise Error.Error [(Failed "shutdown")] after shutdown. *)
 
 val submit_batch :
   t ->

@@ -23,3 +23,11 @@ val poll : 'a t -> 'a option
 (** Non-blocking read. *)
 
 val is_filled : 'a t -> bool
+
+val on_fill : 'a t -> ('a -> unit) -> unit
+(** Run [f] with the value once it is available: immediately (on the
+    calling domain) if already filled, otherwise on the domain that
+    eventually fills the cell, outside the cell's lock.  Callbacks
+    run in no guaranteed order and must not fill this future.  The
+    {!Client} facade uses this to admit completed pool responses into
+    the answer cache without blocking the submitter. *)

@@ -150,6 +150,12 @@ type t = {
   snapshot_installs : Counter.t;   (* replicas caught up by snapshot install *)
   failovers : Counter.t;           (* primary promotions completed *)
   replica_lag : Gauge.t;           (* max replica lag, in op sequences *)
+  (* answer cache (recorded by Client / Topk_cache integrations) *)
+  cache_hits : Counter.t;        (* lookups served from the cache *)
+  cache_misses : Counter.t;      (* lookups that fell through *)
+  cache_evictions : Counter.t;   (* entries dropped by LRU/TTL pressure *)
+  cache_bypasses : Counter.t;    (* answers too cheap to admit *)
+  cache_hit_age_us : Histogram.t;(* age of served entries, microseconds *)
 }
 
 let create () =
@@ -200,7 +206,16 @@ let create () =
     snapshot_installs = Counter.create ();
     failovers = Counter.create ();
     replica_lag = Gauge.create ();
+    cache_hits = Counter.create ();
+    cache_misses = Counter.create ();
+    cache_evictions = Counter.create ();
+    cache_bypasses = Counter.create ();
+    cache_hit_age_us = Histogram.create ();
   }
+
+let cache_hit_rate t =
+  let h = Counter.get t.cache_hits and m = Counter.get t.cache_misses in
+  if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)
 
 let uptime t = Unix.gettimeofday () -. t.started
 
@@ -277,6 +292,12 @@ let report t =
   line "topk_repl_snapshot_installs %d" (Counter.get t.snapshot_installs);
   line "topk_repl_failovers %d" (Counter.get t.failovers);
   line "topk_repl_replica_lag %d" (Gauge.get t.replica_lag);
+  line "topk_cache_hits %d" (Counter.get t.cache_hits);
+  line "topk_cache_misses %d" (Counter.get t.cache_misses);
+  line "topk_cache_evictions %d" (Counter.get t.cache_evictions);
+  line "topk_cache_bypasses %d" (Counter.get t.cache_bypasses);
+  line "topk_cache_hit_rate %.4f" (cache_hit_rate t);
+  histo "topk_cache_hit_age_us" t.cache_hit_age_us;
   line "topk_traces_stored %d" (Topk_trace.Trace.Store.length ());
   line "topk_traces_total %d" (Topk_trace.Trace.Store.total ());
   Buffer.contents buf

@@ -103,6 +103,11 @@ type t = {
   snapshot_installs : Counter.t;(** repl: replicas caught up by snapshot *)
   failovers : Counter.t;      (** repl: primary promotions completed *)
   replica_lag : Gauge.t;      (** repl: max replica lag, in op sequences *)
+  cache_hits : Counter.t;     (** cache: lookups served from the cache *)
+  cache_misses : Counter.t;   (** cache: lookups that fell through *)
+  cache_evictions : Counter.t;(** cache: entries dropped by LRU/TTL *)
+  cache_bypasses : Counter.t; (** cache: answers too cheap to admit *)
+  cache_hit_age_us : Histogram.t;(** cache: age of served entries, µs *)
 }
 
 val create : unit -> t
@@ -115,6 +120,9 @@ val qps : t -> float
 val cutoff_rate : t -> float
 (** Fraction of completed queries that were cut off (budget or
     deadline). *)
+
+val cache_hit_rate : t -> float
+(** [hits / (hits + misses)]; [0.] before any lookup. *)
 
 val report : t -> string
 (** Text exposition: one [name value] line per scalar metric, plus

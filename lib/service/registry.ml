@@ -190,7 +190,7 @@ let resolve t name =
         |> List.sort compare
         |> List.map snd
       in
-      Error (`Not_found suggestions)
+      Error (Error.Not_found suggestions)
 
 let mem t name = Result.is_ok (resolve t name)
 

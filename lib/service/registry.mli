@@ -70,10 +70,11 @@ val freeze : ('q, 'e) handle -> unit
 val list : t -> info list
 (** In registration order. *)
 
-val resolve : t -> string -> (info, [ `Not_found of string list ]) result
-(** Look up an instance by name.  On a miss, the error carries every
-    registered name ranked by edit distance to the query — closest
-    first — so callers can print "did you mean ...?" diagnostics. *)
+val resolve : t -> string -> (info, Error.t) result
+(** Look up an instance by name.  On a miss, the {!Error.Not_found}
+    carries every registered name ranked by edit distance to the query
+    — closest first — so callers can print "did you mean ...?"
+    diagnostics. *)
 
 val mem : t -> string -> bool
 

@@ -35,21 +35,21 @@ type t = {
   spec : spec;
   attempts : int ref;  (* executions started, including retries *)
   run_ : worker:int -> attempt:int -> attempt;
-  abort_ : worker:int -> reason:string -> outcome;
+  abort_ : worker:int -> reason:Error.t -> outcome;
 }
 
 let spec t = t.spec
 
 let attempts t = !(t.attempts)
 
-let make (type q e) (handle : (q, e) Registry.handle)
+let prepare (type q e) (handle : (q, e) Registry.handle)
     ?(limits = Limits.none) (q : q) ~k : t * e Response.t Future.t =
   if k <= 0 then
-    invalid_arg (Printf.sprintf "Request.make: k must be positive (got %d)" k);
+    invalid_arg (Printf.sprintf "Request: k must be positive (got %d)" k);
   (match limits.Limits.budget with
   | Some b when b < 0 ->
       invalid_arg
-        (Printf.sprintf "Request.make: budget must be >= 0 (got %d)" b)
+        (Printf.sprintf "Request: budget must be >= 0 (got %d)" b)
   | _ -> ());
   let submitted = Unix.gettimeofday () in
   let budget, deadline = Limits.resolve limits ~now:submitted in
@@ -128,13 +128,15 @@ let make (type q e) (handle : (q, e) Registry.handle)
     | `Raised msg ->
         Completed
           (finish ~worker ~attempt ~trace_id ~certified:None []
-             (Response.Failed msg) Stats.zero_snapshot 0)
+             (Response.Failed (Error.Failed msg)) Stats.zero_snapshot 0)
   in
   let abort_ ~worker ~reason =
     finish ~worker ~attempt:!attempts ~trace_id:None ~certified:None []
       (Response.Failed reason) Stats.zero_snapshot 0
   in
   ({ spec; attempts; run_; abort_ }, fut)
+
+let make = prepare
 
 (* A background job (e.g. an ingest level merge) travelling the same
    queue as queries: it shares the retry/supervision machinery — a
@@ -201,7 +203,8 @@ let make_task ~name ?(limits = Limits.none) (f : unit -> unit) :
     | `Fault msg -> Transient msg
     | `Raised (msg, cost) ->
         Completed
-          (finish ~worker ~attempt ~trace_id (Response.Failed msg) cost)
+          (finish ~worker ~attempt ~trace_id
+             (Response.Failed (Error.Failed msg)) cost)
   in
   let abort_ ~worker ~reason =
     finish ~worker ~attempt:!attempts ~trace_id:None

@@ -23,7 +23,7 @@
 type spec = {
   instance : string;
   k : int;
-  limits : Limits.t;        (** as given at {!make} *)
+  limits : Limits.t;        (** as given at {!prepare} *)
   deadline : float option;
       (** absolute wall-clock deadline resolved at submission *)
   submitted : float;        (** wall-clock submission time *)
@@ -54,7 +54,7 @@ val attempts : t -> int
 (** Number of execution attempts started so far (including the one in
     progress, once {!run} has been entered). *)
 
-val make :
+val prepare :
   ('q, 'e) Registry.handle ->
   ?limits:Limits.t ->
   'q ->
@@ -65,8 +65,21 @@ val make :
     submission); fan-out layers pass an absolute [Limits.At] so every
     per-shard leg of one logical query shares a single deadline
     instead of restarting the clock per leg.
+
+    This is serving-infrastructure plumbing: application code should
+    go through {!Client.query} (or [Executor.submit]) instead of
+    preparing requests by hand.
     @raise Invalid_argument if [k <= 0] or the limits carry a negative
     budget. *)
+
+val make :
+  ('q, 'e) Registry.handle ->
+  ?limits:Limits.t ->
+  'q ->
+  k:int ->
+  t * 'e Response.t Future.t
+[@@deprecated "use Client.query (or Executor.submit); \
+               Request.prepare remains for serving infrastructure"]
 
 val make_task :
   name:string ->
@@ -88,7 +101,7 @@ val run : t -> worker:int -> attempt
     {!Topk_em.Fault.Em_fault}, which is reported as [Transient] with
     the future left unresolved for a retry. *)
 
-val abort : t -> worker:int -> reason:string -> outcome
+val abort : t -> worker:int -> reason:Error.t -> outcome
 (** Resolve the future with [Failed reason] (no-op on the future if it
     is already resolved — resolution races are benign) and return the
     outcome for metrics.  Used when retries are exhausted and when

@@ -5,7 +5,7 @@ type status =
   | Complete
   | Cutoff_budget
   | Cutoff_deadline
-  | Failed of string
+  | Failed of Error.t
 
 (* Per-query cost accounting, separated from the answer payload so the
    serving layers can combine/inspect it without touching answers. *)
@@ -69,7 +69,7 @@ let status_string = function
   | Complete -> "complete"
   | Cutoff_budget -> "cutoff:budget"
   | Cutoff_deadline -> "cutoff:deadline"
-  | Failed msg -> "failed:" ^ msg
+  | Failed e -> "failed:" ^ Error.to_string e
 
 let pp_status ppf s = Format.pp_print_string ppf (status_string s)
 

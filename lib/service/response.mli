@@ -5,7 +5,7 @@ type status =
   | Complete          (** the full top-k answer *)
   | Cutoff_budget     (** I/O budget exhausted: a certified prefix *)
   | Cutoff_deadline   (** deadline passed: a certified prefix *)
-  | Failed of string  (** the query raised; answers is [[]] *)
+  | Failed of Error.t (** the query failed; answers is [[]] *)
 
 (** The per-query cost accounting, carried on every response (and
     combinable across fan-out legs) instead of being re-derived ad hoc
@@ -38,9 +38,10 @@ type 'e t = {
   seq_token : int option;
       (** read-your-writes token: the newest update sequence folded
           into the state this answer was computed over.  Replicated
-          reads ({!Topk_repl}) set it; passing it back as the
-          [min_seq] of a later read guarantees that read observes at
-          least this write prefix.  [None] on unreplicated paths. *)
+          reads ({!Topk_repl}) and cache hits on versioned instances
+          set it; passing it back as [Consistency.At_least] on a
+          later read guarantees that read observes at least this
+          write prefix.  [None] on unreplicated paths. *)
 }
 
 val seq_token : 'e t -> int option

@@ -6,6 +6,8 @@ module Future = Topk_service.Future
 module Metrics = Topk_service.Metrics
 module Limits = Topk_service.Limits
 module Tr = Topk_trace.Trace
+module Cache = Topk_cache.Cache
+module Version = Topk_cache.Version
 
 module Make
     (SS : Shard_set.S)
@@ -20,6 +22,7 @@ struct
     handles : (P.query, P.elem) Registry.handle array;
     wave : int;
     name : string;  (* registration prefix; also the trace instance *)
+    cache : P.elem list Cache.t option;  (* per-leg answer cache *)
   }
 
   type result = {
@@ -32,7 +35,7 @@ struct
     empty : int;
   }
 
-  let create ?wave pool registry ~name set =
+  let create ?wave ?cache pool registry ~name set =
     let wave =
       match wave with Some w -> w | None -> Executor.worker_count pool
     in
@@ -47,7 +50,7 @@ struct
             (module T) sh.SS.topk)
         (SS.shards set)
     in
-    { pool; set; handles; wave; name }
+    { pool; set; handles; wave; name; cache }
 
   let shard_set t = t.set
 
@@ -77,6 +80,16 @@ struct
              (Array.length d)
              (SS.shard_count t.set))
     | _ -> ());
+    (* Per-leg caching is sound only on the static, unbudgeted path: a
+       delta'd leg's answer depends on the caller's buffer/tombstones,
+       and under a budget the pool may return a cutoff prefix where the
+       cache would serve a complete answer.  Shards are immutable, so
+       entries live at {!Version.static} and never go stale. *)
+    let leg_cache =
+      match (t.cache, deltas, limits.Limits.budget) with
+      | Some c, None, None -> Some (c, Marshal.to_string q [])
+      | _ -> None
+    in
     (* Without pending updates every delta is empty and the plan below
        degenerates to the static scatter path. *)
     let deltas =
@@ -168,21 +181,65 @@ struct
             | [] -> ()
             | _ ->
                 let now_wave, rest = take t.wave live in
-                let futs =
+                let leg_name i =
+                  (Registry.info t.handles.(i)).Registry.name
+                in
+                let consult i k_leg =
+                  match leg_cache with
+                  | None -> None
+                  | Some (c, qkey) -> (
+                      let ts = Unix.gettimeofday () in
+                      match
+                        Cache.find c ~instance:(leg_name i) ~qkey
+                          ~current:Version.static ~k:k_leg ~now:ts ()
+                      with
+                      | Cache.Hit e ->
+                          Metrics.Counter.incr m.Metrics.cache_hits;
+                          Metrics.Histogram.observe m.Metrics.cache_hit_age_us
+                            (int_of_float
+                               ((ts -. e.Cache.e_inserted) *. 1e6));
+                          Tr.event "cache.hit"
+                            ~attrs:[ ("shard", Tr.Int i) ];
+                          Some (fst (take k_leg e.Cache.e_payload))
+                      | Cache.Stale | Cache.Miss ->
+                          Metrics.Counter.incr m.Metrics.cache_misses;
+                          None)
+                in
+                (* Submit every missed leg of the wave before gathering
+                   any of them, so cached legs cost no parallelism. *)
+                let jobs =
                   List.map
                     (fun (i, _) ->
                       (* Widen the static leg by the shard's tombstone
                          count so that filtering the dead still leaves
                          the top-k survivors (see Delta). *)
                       let k_leg = k + deltas.(i).Delta.d_dead_count in
-                      ( i,
-                        Executor.submit t.pool t.handles.(i)
-                          ~limits:leg_limits q ~k:k_leg ))
+                      match consult i k_leg with
+                      | Some answers -> (i, k_leg, `Hit answers)
+                      | None ->
+                          ( i,
+                            k_leg,
+                            `Fut
+                              (Executor.submit t.pool t.handles.(i)
+                                 ~limits:leg_limits q ~k:k_leg) ))
                     now_wave
                 in
-                fanout := !fanout + List.length futs;
                 List.iter
-                  (fun (i, fut) ->
+                  (fun (_, _, job) ->
+                    match job with
+                    | `Fut _ -> incr fanout
+                    | `Hit _ -> ())
+                  jobs;
+                List.iter
+                  (fun (i, k_leg, job) ->
+                    match job with
+                    | `Hit answers ->
+                        (* A cached leg is a complete certified answer,
+                           served with zero charged I/O. *)
+                        legs := (answers, true) :: !legs;
+                        candidates :=
+                          Gather.union ~cmp:W.compare ~k !candidates answers
+                    | `Fut fut ->
                     let r =
                       Tr.with_span "scatter.leg"
                         ~attrs:[ ("shard", Tr.Int i) ]
@@ -227,6 +284,22 @@ struct
                     | Response.Complete -> legs := (live, true) :: !legs
                     | Response.Cutoff_budget | Response.Cutoff_deadline ->
                         legs := (live, false) :: !legs);
+                    (match (leg_cache, r.Response.status) with
+                    | Some (c, qkey), Response.Complete -> (
+                        match
+                          Cache.admit c ~instance:(leg_name i) ~qkey
+                            ~version:Version.static ~k:k_leg
+                            ~len:(List.length live)
+                            ~cost:(Response.cost r).Stats.ios
+                            ~now:(Unix.gettimeofday ()) live
+                        with
+                        | `Bypassed ->
+                            Metrics.Counter.incr m.Metrics.cache_bypasses
+                        | `Admitted ->
+                            Tr.event "cache.admit"
+                              ~attrs:[ ("shard", Tr.Int i) ]
+                        | `Superseded -> ())
+                    | _ -> ());
                     (* Resident bookkeeping between waves: the leg's
                        reporting cost was charged worker-side;
                        [merge_certified] below is the single charged
@@ -234,7 +307,7 @@ struct
                     candidates :=
                       Gather.union ~cmp:W.compare ~k !candidates
                         (Gather.union ~cmp:W.compare ~k live buffered))
-                  futs;
+                  jobs;
                 waves rest
           in
           waves order;

@@ -54,6 +54,7 @@ module Make
 
   val create :
     ?wave:int ->
+    ?cache:SS.P.elem list Topk_cache.Cache.t ->
     Topk_service.Executor.t ->
     Topk_service.Registry.t ->
     name:string ->
@@ -63,6 +64,15 @@ module Make
       ["name#i"] and return the fan-out front-end.  [wave] (default:
       the pool's worker count) is the number of shard jobs in flight
       per gathering round.
+
+      [cache] enables per-leg answer caching: before a shard job is
+      submitted, the cache is consulted under the leg's registry name;
+      a hit joins the gather as a complete certified leg with zero
+      charged I/O (and no pool submission), and completed legs are
+      admitted back, tagged {!Topk_cache.Version.static} (the shard
+      snapshot is immutable).  Legs run with [deltas] or under an I/O
+      budget bypass the cache entirely, so caching never changes an
+      answer.  Hits/misses/bypasses land in the pool's metrics.
       @raise Invalid_argument on [wave <= 0] or a duplicate name. *)
 
   val shard_set : t -> SS.t
@@ -96,7 +106,7 @@ module Make
       matching top-k joins the certified merge (see {!Delta}).
       @raise Invalid_argument if [k <= 0], the limits carry a
       negative budget, or [deltas] has the wrong length.
-      @raise Topk_service.Executor.Shut_down if the pool is down. *)
+      @raise Topk_service.Error.Error if the pool is shut down. *)
 
   val pp_result : Format.formatter -> result -> unit
   (** Summary line (does not print the answers). *)

@@ -194,3 +194,33 @@ quorum-acked write may be lost across failover.
 
   $ topk repl-bench -n 200 --updates 90 --points 24 --retain 24 --seed 7 | tail -n 1
   repl-bench: OK (24 fault points, 24 recoveries, 24 installs, 6 failovers, 0 violations)
+
+Cache-bench validation.
+
+  $ topk cache-bench --distinct 0
+  topk: distinct must be positive (got 0)
+  [2]
+
+  $ topk cache-bench --write-every 0
+  topk: write-every must be positive (got 0)
+  [2]
+
+  $ topk cache-bench --theta 0
+  topk: theta must be positive (got 0)
+  [2]
+
+  $ topk cache-bench --replicas 1
+  topk: replicas must be >= 2 (got 1)
+  [2]
+
+  $ topk cache-bench --min-hit-rate 1.5
+  topk: min-hit-rate must be in [0, 1] (got 1.5)
+  [2]
+
+The cached and uncached replays of one seeded schedule must agree with
+the from-scratch oracle at every answer's seq token, hits must charge
+zero I/O, and the Zipf-skewed run must clear the hit-rate and
+I/O-reduction gates.
+
+  $ topk cache-bench -n 150 --queries 600 --seed 7 | tail -n 1
+  cache-bench: OK (hit rate 0.653, read I/O 1565 -> 542, -65.4%, 0 violations)

@@ -27,6 +27,7 @@ module Breaker = Topk_service.Breaker
 module Response = Topk_service.Response
 module Future = Topk_service.Future
 module Metrics = Topk_service.Metrics
+module Error = Topk_service.Error
 
 let interval_ids = List.map (fun (e : I.t) -> e.I.id)
 
@@ -215,7 +216,7 @@ let test_shutdown_under_chaos_resolves_everything () =
         List.partition
           (fun wait ->
             match wait () with
-            | Response.Failed "shutdown" -> true
+            | Response.Failed (Error.Failed "shutdown") -> true
             | _ -> false)
           futs
       in

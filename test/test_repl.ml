@@ -15,6 +15,7 @@ module Ship = Topk_repl.Log_ship
 module Outlog = Topk_repl.Log_ship.Outlog
 module Router = Topk_repl.Router
 module Metrics = Topk_service.Metrics
+module Consistency = Topk_service.Consistency
 module Response = Topk_service.Response
 module G = Topk_repl.Group.Make (Inst.Topk_t2)
 module R = Topk_repl.Replica.Make (Inst.Topk_t2)
@@ -267,16 +268,18 @@ let test_router () =
   (* A staleness bound filters the laggard. *)
   let r = Router.create () in
   Alcotest.(check (option int)) "max_lag filters" (Some 1)
-    (Router.select r ~head:100 ~max_lag:15 cands);
+    (Router.select r ~head:100 ~consistency:(Consistency.Max_lag 15) cands);
   Alcotest.(check (option int)) "max_lag second" (Some 2)
-    (Router.select r ~head:100 ~max_lag:15 cands);
+    (Router.select r ~head:100 ~consistency:(Consistency.Max_lag 15) cands);
   (* A token no replica holds falls back to the primary. *)
   let r = Router.create () in
   Alcotest.(check (option int)) "primary fallback" (Some 0)
-    (Router.select r ~head:100 ~min_seq:95 [ cand ~primary:true 0 100; cand 2 90 ]);
+    (Router.select r ~head:100 ~consistency:(Consistency.At_least 95)
+       [ cand ~primary:true 0 100; cand 2 90 ]);
   (* A token from the future answers nowhere. *)
   Alcotest.(check (option int)) "unsatisfiable token" None
-    (Router.select r ~head:100 ~min_seq:101 [ cand ~primary:true 0 100 ]);
+    (Router.select r ~head:100 ~consistency:(Consistency.At_least 101)
+       [ cand ~primary:true 0 100 ]);
   (* Dead nodes are skipped. *)
   Alcotest.(check (option int)) "dead skipped" (Some 2)
     (Router.select r ~head:100 [ cand ~alive:false 1 100; cand 2 90 ])

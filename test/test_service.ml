@@ -17,6 +17,7 @@ module Response = Topk_service.Response
 module Limits = Topk_service.Limits
 module Future = Topk_service.Future
 module Metrics = Topk_service.Metrics
+module Error = Topk_service.Error
 
 let interval_ids = List.map (fun (e : I.t) -> e.I.id)
 
@@ -104,7 +105,8 @@ let test_pool_matches_oracle () =
     "completed counter" (2 * Array.length fx.stabs)
     (Metrics.Counter.get m.Metrics.completed);
   Executor.shutdown pool;
-  Alcotest.check_raises "submit after shutdown" Executor.Shut_down (fun () ->
+  Alcotest.check_raises "submit after shutdown"
+    (Error.Error (Error.Failed "shutdown")) (fun () ->
       ignore (Executor.submit pool fx.itv_h 0.5 ~k))
 
 (* (b) Per-domain I/O counters aggregated across the pool's workers
@@ -269,7 +271,8 @@ let test_raising_handler_is_contained () =
   List.iter
     (fun f ->
       match (Future.await f).Response.status with
-      | Response.Failed msg ->
+      | Response.Failed e ->
+          let msg = Error.to_string e in
           Alcotest.(check bool)
             (Printf.sprintf "failure names the exception (got %S)" msg)
             true
@@ -354,7 +357,8 @@ let test_breaker_admission_control () =
   Alcotest.(check string)
     "tripped open" "open"
     (Breaker.state_string (Executor.breaker_state pool));
-  Alcotest.check_raises "submit sheds load" Executor.Overloaded (fun () ->
+  Alcotest.check_raises "submit sheds load" (Error.Error Error.Overloaded)
+    (fun () ->
       ignore (Executor.submit pool h () ~k:1));
   Alcotest.(check bool)
     "try_submit sheds load" true
@@ -408,10 +412,11 @@ let test_registry () =
      suggestion, ranked by edit distance to the requested name. *)
   (match Registry.resolve fx.registry "interval" with
   | Ok _ -> Alcotest.fail "resolve miss"
-  | Error (`Not_found suggestions) ->
+  | Error (Error.Not_found suggestions) ->
       Alcotest.(check (list string))
         "suggestions ranked by distance" [ "intervals"; "range1d" ]
-        suggestions);
+        suggestions
+  | Error e -> Alcotest.failf "expected Not_found, got %s" (Error.to_string e));
   (* Duplicate registration: the error names the incumbent structure. *)
   Alcotest.check_raises "duplicate name"
     (Invalid_argument
@@ -426,12 +431,12 @@ let test_registry () =
 let test_request_validation () =
   let fx = make_fixture ~n:100 ~queries:1 ~seed:3 () in
   Alcotest.check_raises "k = 0"
-    (Invalid_argument "Request.make: k must be positive (got 0)") (fun () ->
-      ignore (Topk_service.Request.make fx.itv_h 0.5 ~k:0));
+    (Invalid_argument "Request: k must be positive (got 0)") (fun () ->
+      ignore (Topk_service.Request.prepare fx.itv_h 0.5 ~k:0));
   Alcotest.check_raises "negative budget"
-    (Invalid_argument "Request.make: budget must be >= 0 (got -1)") (fun () ->
+    (Invalid_argument "Request: budget must be >= 0 (got -1)") (fun () ->
       ignore
-        (Topk_service.Request.make fx.itv_h
+        (Topk_service.Request.prepare fx.itv_h
            ~limits:{ Limits.budget = Some (-1); horizon = Limits.Unbounded }
            0.5 ~k:1));
   Alcotest.check_raises "Limits.make rejects negative budget"
@@ -483,7 +488,15 @@ let test_metrics_report () =
       "topk_checksum_failures";
       "topk_scrubs";
       "topk_queries_submitted";
+      "topk_cache_hits";
+      "topk_cache_misses";
+      "topk_cache_evictions";
+      "topk_cache_bypasses";
     ];
+  Alcotest.(check bool) "fresh cache hit rate" true
+    (has "topk_cache_hit_rate 0.0000\n" r0);
+  Alcotest.(check bool) "hit-age histogram" true
+    (has "topk_cache_hit_age_us_count 0\n" r0);
   (* An empty histogram renders zeros (and a 0.0 mean, not a NaN). *)
   Alcotest.(check bool) "empty histogram count" true
     (has "topk_recovery_time_us_count 0\n" r0);
