@@ -35,6 +35,7 @@ let experiments =
     ("e19", "Live ingestion: update cost and read-side tax", E19_ingest.run);
     ("e20", "Replication: read capacity and lag vs shipping window",
      E20_repl.run);
+    ("e21", "QoS lanes: interactive p99 vs background pressure", E21_sched.run);
   ]
 
 let () =

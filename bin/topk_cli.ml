@@ -2412,6 +2412,383 @@ let cache_bench_cmd =
       $ theta_arg $ write_every_arg $ replicas_arg $ min_hit_rate_arg
       $ no_cache_arg $ clean_arg)
 
+(* --- sched-bench --- *)
+
+let sched_bench_cmd =
+  let module Svc = Topk_service in
+  let module Lane = Topk_service.Lane in
+  let module Sched = Topk_service.Sched in
+  let module Stats = Topk_em.Stats in
+  let module Rng = Topk_util.Rng in
+  let module IInst = Topk_interval.Instances in
+  let module I = Topk_interval.Interval in
+  let module Ing = Topk_ingest.Ingest.Make (IInst.Topk_t2) in
+  let n_arg =
+    Arg.(
+      value & opt int 1500
+      & info [ "n" ] ~docv:"N" ~doc:"Base elements in the live index.")
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "rounds" ] ~docv:"R"
+          ~doc:"Update/storm/query rounds per pass.")
+  in
+  let qpr_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "queries-per-round" ] ~docv:"Q"
+          ~doc:"Interactive queries issued per round.")
+  in
+  let upr_arg =
+    Arg.(
+      value & opt int 160
+      & info [ "updates-per-round" ] ~docv:"U"
+          ~doc:"Inserts/deletes applied per round (feeds the merge storm).")
+  in
+  let storm_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "storm" ] ~docv:"S"
+          ~doc:"Synthetic batch-lane storm tasks submitted per round.")
+  in
+  let storm_ms_arg =
+    Arg.(
+      value & opt float 3.0
+      & info [ "storm-ms" ] ~docv:"MS"
+          ~doc:"Wall-clock milliseconds each storm task burns.")
+  in
+  let distinct_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "distinct" ] ~docv:"D"
+          ~doc:"Distinct query points in the Zipf-sampled pool.")
+  in
+  let theta_arg =
+    Arg.(
+      value & opt float 1.2
+      & info [ "theta" ] ~docv:"THETA"
+          ~doc:"Zipf skew exponent over the query pool (> 0).")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"W" ~doc:"Worker domains in the pool.")
+  in
+  let buffer_cap_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "buffer-cap" ] ~docv:"C" ~doc:"Update-log capacity.")
+  in
+  let fanout_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "fanout" ] ~docv:"F" ~doc:"Merge arity per level (>= 2).")
+  in
+  let only_arg =
+    Arg.(
+      value
+      & opt (enum [ ("both", `Both); ("lanes", `Lanes); ("unified", `Unified) ])
+          `Both
+      & info [ "only" ] ~docv:"PASS"
+          ~doc:
+            "Run only one pass: $(b,lanes) (isolated), $(b,unified) \
+             (single-queue baseline), or $(b,both) (default; also gates \
+             the p99 comparison).")
+  in
+  let run n k seed rounds qpr upr storm storm_ms distinct theta workers
+      buffer_cap fanout only block =
+    validate_common ~n ~k;
+    require_pos "rounds" rounds;
+    require_pos "queries-per-round" qpr;
+    require_pos "updates-per-round" upr;
+    require_pos "storm" storm;
+    require_pos "distinct" distinct;
+    require_pos "workers" workers;
+    require_pos "buffer-cap" buffer_cap;
+    require_pos_float "storm-ms" storm_ms;
+    require_pos_float "theta" theta;
+    if fanout < 2 then die "fanout must be >= 2 (got %d)" fanout;
+    with_model block (fun () ->
+        Printf.printf
+          "sched-bench: n=%d rounds=%d queries/round=%d updates/round=%d \
+           storm=%dx%.1fms workers=%d k=%d buffer-cap=%d fanout=%d\n%!"
+          n rounds qpr upr storm storm_ms workers k buffer_cap fanout;
+        (* The Zipf query pool is fixed up front, shared by both
+           passes. *)
+        let qpool =
+          let qrng = Rng.create (seed lxor 0x51f3) in
+          Array.init distinct (fun _ -> Rng.uniform qrng)
+        in
+        let zipf_cum =
+          let c = Array.make distinct 0.0 in
+          let acc = ref 0.0 in
+          for r = 0 to distinct - 1 do
+            acc := !acc +. (1.0 /. Float.pow (float_of_int (r + 1)) theta);
+            c.(r) <- !acc
+          done;
+          c
+        in
+        let zipf rng =
+          let u = Rng.uniform rng *. zipf_cum.(distinct - 1) in
+          let i = ref 0 in
+          while !i < distinct - 1 && zipf_cum.(!i) < u do
+            incr i
+          done;
+          !i
+        in
+        (* Strictly increasing distinct weights: the oracle's top-k is
+           unique, so answers compare by id list. *)
+        let mk_elem rng id =
+          let lo = Rng.uniform rng in
+          let hi = Float.min 1.0 (lo +. 0.02 +. (0.3 *. Rng.uniform rng)) in
+          I.make ~id ~lo ~hi
+            ~weight:(float_of_int id +. (0.5 *. Rng.uniform rng))
+            ()
+        in
+        let ids l = List.map (fun (e : I.t) -> e.I.id) l in
+        let p99 latencies =
+          let a = Array.of_list latencies in
+          Array.sort Float.compare a;
+          let len = Array.length a in
+          a.(max 0 (int_of_float (ceil (0.99 *. float_of_int len)) - 1))
+        in
+        let aging_bound =
+          let cfg = Sched.default_config () in
+          cfg.Sched.aging_rounds + Lane.count
+        in
+        (* One full pass over the identical seeded schedule.  The
+           surviving set is fixed caller-side before each round's query
+           burst (merges only restructure runs, never change the
+           answer), so every pooled query racing the storm must still
+           equal the from-scratch oracle. *)
+        let run_pass ~unified =
+          let label = if unified then "unified" else "lanes" in
+          let lanes_cfg =
+            if unified then Sched.unified_config () else Sched.default_config ()
+          in
+          (* batch_max 1: every dequeue is a scheduling decision, so
+             the weighted-fair policy (or the FIFO baseline) is what's
+             actually measured — a bigger batch would let one worker
+             swallow the whole storm in a single grant. *)
+          let pool = Svc.Executor.create ~workers ~batch_max:1 ~lanes:lanes_cfg () in
+          let m = Svc.Executor.metrics pool in
+          let rng = Rng.create seed in
+          let base = Array.init n (fun i -> mk_elem rng (i + 1)) in
+          let t =
+            Ing.create ~params:(IInst.params ()) ~buffer_cap ~fanout ~pool base
+          in
+          let live = Hashtbl.create (2 * n) in
+          Array.iter (fun (e : I.t) -> Hashtbl.replace live e.I.id e) base;
+          let next_id = ref (n + 1) in
+          let one_update () =
+            let insert () =
+              let e = mk_elem rng !next_id in
+              incr next_id;
+              Hashtbl.replace live e.I.id e;
+              Ing.insert t e
+            in
+            (* 70% inserts, the rest delete a live element (falling
+               back to an insert when the bounded probe misses). *)
+            if Rng.uniform rng <= 0.7 then insert ()
+            else begin
+              let victim = ref None in
+              let tries = ref 0 in
+              while !victim = None && !tries < 64 do
+                incr tries;
+                let id = 1 + Rng.int rng (!next_id - 1) in
+                match Hashtbl.find_opt live id with
+                | Some e -> victim := Some e
+                | None -> ()
+              done;
+              match !victim with
+              | Some e ->
+                  Hashtbl.remove live e.I.id;
+                  Ing.delete t e
+              | None -> insert ()
+            end
+          in
+          let oracle_memo = Array.make distinct None in
+          let oracle qi =
+            match oracle_memo.(qi) with
+            | Some ans -> ans
+            | None ->
+                let q = qpool.(qi) in
+                let ans =
+                  ids
+                    (Topk_util.Select.top_k ~cmp:I.compare_weight k
+                       (Hashtbl.fold
+                          (fun _ e acc ->
+                            if I.contains e q then e :: acc else acc)
+                          live []))
+                in
+                oracle_memo.(qi) <- Some ans;
+                ans
+          in
+          let spin () =
+            let stop = Unix.gettimeofday () +. (storm_ms /. 1e3) in
+            while Unix.gettimeofday () < stop do
+              ignore (Sys.opaque_identity ())
+            done
+          in
+          (* Warm the pool (domain spawn is ms-scale) so startup
+             doesn't land on the first measured queries. *)
+          ignore
+            (Svc.Future.await
+               (Svc.Executor.submit_task pool ~lane:Lane.Interactive
+                  ~name:"warmup" (fun () -> ()))
+              : unit Svc.Response.t);
+          let latencies = ref [] in
+          let mismatched = ref 0 and checked = ref 0 in
+          let maint_done = ref 0 in
+          let maint_futs = ref [] in
+          for _round = 1 to rounds do
+            (* Fix this round's content, feeding the merge storm... *)
+            for _ = 1 to upr do
+              one_update ()
+            done;
+            Array.fill oracle_memo 0 distinct None;
+            (* ...pile synthetic batch work in front of the queries... *)
+            for _ = 1 to storm do
+              ignore
+                (Svc.Executor.submit_task pool ~name:"storm" spin
+                  : unit Svc.Response.t Svc.Future.t)
+            done;
+            (* ...keep the maintenance heartbeat alive... *)
+            maint_futs :=
+              Svc.Executor.submit_task pool ~lane:Lane.Maintenance
+                ~name:"scrub" (fun () -> ())
+              :: !maint_futs;
+            (* ...and race the interactive stream against all of it.
+               Each query is awaited before the next is issued, so its
+               latency measures queueing behind batch work plus its own
+               execution — the thing lane isolation protects — rather
+               than the round's makespan, which is work-conserving and
+               identical under any scheduling policy. *)
+            for _ = 1 to qpr do
+              let qi = zipf rng in
+              let slot = ref [] in
+              let fut =
+                Svc.Executor.submit_task pool ~lane:Lane.Interactive
+                  ~name:"query" (fun () -> slot := Ing.query t qpool.(qi) ~k)
+              in
+              let r = Svc.Future.await fut in
+              incr checked;
+              (match r.Svc.Response.status with
+              | Svc.Response.Complete ->
+                  if ids !slot <> oracle qi then begin
+                    incr mismatched;
+                    if !mismatched <= 3 then
+                      Printf.printf
+                        "  MISMATCH (%s pass, q=%g): got %d ids, oracle %d\n"
+                        label qpool.(qi)
+                        (List.length !slot)
+                        (List.length (oracle qi))
+                  end
+              | _ -> incr mismatched);
+              latencies := r.Svc.Response.latency :: !latencies
+            done
+          done;
+          Ing.freeze t;
+          Svc.Executor.drain pool;
+          List.iter
+            (fun f ->
+              match (Svc.Future.await f).Svc.Response.status with
+              | Svc.Response.Complete -> incr maint_done
+              | _ -> ())
+            !maint_futs;
+          let pool_ios = (Svc.Executor.aggregate_stats pool).Stats.ios in
+          Svc.Executor.shutdown pool;
+          let get c = Svc.Metrics.Counter.get c in
+          let lane_ios =
+            Array.map get m.Svc.Metrics.lane_ios |> Array.to_list
+          in
+          let maint_wait =
+            Svc.Metrics.Histogram.max_value
+              m.Svc.Metrics.lane_wait_rounds.(Lane.index Lane.Maintenance)
+          in
+          let merges = get m.Svc.Metrics.merges in
+          let q99 = p99 !latencies in
+          Printf.printf
+            "pass %-7s: %d/%d exact, interactive p99 %.2fms, merges=%d, \
+             maintenance %d/%d done (max wait %d rounds), lane I/O %s = \
+             pool %d\n%!"
+            label
+            (!checked - !mismatched)
+            !checked (q99 *. 1e3) merges !maint_done rounds maint_wait
+            (String.concat "+" (List.map string_of_int lane_ios))
+            pool_ios;
+          (* Hard gates that apply to each pass on its own. *)
+          if !mismatched > 0 then
+            die "%s pass: %d answers disagree with the from-scratch oracle"
+              label !mismatched;
+          if !maint_done <> rounds then
+            die "%s pass: %d of %d maintenance tasks starved (never ran)"
+              label (rounds - !maint_done) rounds;
+          if merges = 0 then
+            die "%s pass: the update stream never merged a level" label;
+          if List.fold_left ( + ) 0 lane_ios <> pool_ios then
+            die
+              "%s pass: per-lane charged I/O (%s) does not sum to the \
+               pool's aggregate (%d)"
+              label
+              (String.concat "+" (List.map string_of_int lane_ios))
+              pool_ios;
+          if (not unified) && maint_wait > aging_bound then
+            die
+              "lanes pass: a maintenance task waited %d dispatch rounds \
+               (aging bound %d)"
+              maint_wait aging_bound;
+          q99
+        in
+        match only with
+        | `Lanes ->
+            ignore (run_pass ~unified:false : float);
+            Printf.printf
+              "sched-bench: OK (%d/%d exact, %d/%d maintenance on time, \
+               lane I/O exact)\n"
+              (rounds * qpr) (rounds * qpr) rounds rounds
+        | `Unified ->
+            ignore (run_pass ~unified:true : float);
+            Printf.printf
+              "sched-bench: OK (%d/%d exact, %d/%d maintenance on time, \
+               lane I/O exact)\n"
+              (rounds * qpr) (rounds * qpr) rounds rounds
+        | `Both ->
+            let p99_unified = run_pass ~unified:true in
+            let p99_lanes = run_pass ~unified:false in
+            Printf.printf
+              "isolation: interactive p99 %.2fms (unified) -> %.2fms \
+               (lanes), %+.1f%%\n"
+              (p99_unified *. 1e3) (p99_lanes *. 1e3)
+              (100.0 *. ((p99_lanes /. Float.max 1e-9 p99_unified) -. 1.0));
+            if not (p99_lanes < p99_unified) then
+              die
+                "lane isolation did not improve interactive p99 under the \
+                 merge storm (%.2fms lanes vs %.2fms unified)"
+                (p99_lanes *. 1e3) (p99_unified *. 1e3);
+            Printf.printf
+              "sched-bench: OK (%d/%d exact per pass, %d/%d maintenance on \
+               time, lane I/O exact, interactive p99 improved)\n"
+              (rounds * qpr) (rounds * qpr) rounds rounds)
+  in
+  Cmd.v
+    (Cmd.info "sched-bench"
+       ~doc:
+         "Race a Zipf-skewed interactive query stream against a \
+          live-ingesting index under a batch-lane merge storm and a \
+          maintenance heartbeat, twice on the identical seeded schedule: \
+          once on the single-queue (unified) baseline, once with QoS lane \
+          isolation.  Hard-fails unless every answer matches the \
+          from-scratch oracle on both passes, interactive p99 improves \
+          with lanes, no maintenance task starves (bounded max wait in \
+          dispatch rounds), and per-lane charged I/O sums exactly to the \
+          pool's EM aggregate.")
+    Term.(
+      const run $ n_arg $ k_arg $ seed_arg $ rounds_arg $ qpr_arg $ upr_arg
+      $ storm_arg $ storm_ms_arg $ distinct_arg $ theta_arg $ workers_arg
+      $ buffer_cap_arg $ fanout_arg $ only_arg $ block_arg)
+
 (* --- sample-check --- *)
 
 let sample_check_cmd =
@@ -2474,4 +2851,5 @@ let () =
             crash_bench_cmd;
             repl_bench_cmd;
             cache_bench_cmd;
+            sched_bench_cmd;
           ]))

@@ -37,7 +37,8 @@ let run_once ?metrics ~dir () =
 let spawn ~pool ?metrics ~dir () =
   let result = ref None in
   let fut =
-    Executor.submit_task pool ~name:"scrub" (fun () ->
+    Executor.submit_task pool ~lane:Topk_service.Lane.Maintenance
+      ~name:"scrub" (fun () ->
         result := Some (run_once ?metrics ~dir ()))
   in
   fun () ->

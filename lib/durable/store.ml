@@ -1,6 +1,8 @@
 (* Durable ingestion store — see store.mli. *)
 
 module Metrics = Topk_service.Metrics
+module Executor = Topk_service.Executor
+module Lane = Topk_service.Lane
 module Ing = Topk_ingest.Ingest
 module Log = Topk_ingest.Update_log
 
@@ -29,6 +31,7 @@ module Make (T : Topk_core.Sigs.TOPK) = struct
     mode : mode;
     checkpoint_every : int;
     metrics : Metrics.t option;
+    pool : Executor.t option;  (* offloads GC sweeps to Maintenance *)
     mutable gen : int;
     mutable wal : I.P.elem Wal.t option;
     mutable seals : int;  (* seals since the last checkpoint *)
@@ -132,8 +135,23 @@ module Make (T : Topk_core.Sigs.TOPK) = struct
       t.seals <- 0;
       count t.metrics (fun m -> m.Metrics.checkpoints);
       (* Generation g' is durably the root; everything below is
-         garbage. *)
-      sweep_below t ~keep:g'
+         garbage.  With a pool the sweep is housekeeping on the
+         [Maintenance] lane instead of synchronous work inside the
+         checkpoint's critical section — safe to defer because the new
+         root is already published, the predicate only ever matches
+         generations below it (files of g' and later are untouchable
+         however late the task runs), and [Disk.remove] shrugs off a
+         path a newer sweep already claimed.  If the pool refuses the
+         task (shutdown, open breaker), sweep inline as before. *)
+      (match t.pool with
+      | Some pool -> (
+          match
+            Executor.submit_task pool ~lane:Lane.Maintenance
+              ~name:"store.gc" (fun () -> sweep_below t ~keep:g')
+          with
+          | (_ : unit Topk_service.Response.t Topk_service.Future.t) -> ()
+          | exception Topk_service.Error.Error _ -> sweep_below t ~keep:g')
+      | None -> sweep_below t ~keep:g')
     end
 
   (* Sink calls arrive under the ingest wrapper's mutex, already
@@ -170,7 +188,7 @@ module Make (T : Topk_core.Sigs.TOPK) = struct
           end);
     }
 
-  let mk_state ~dir ~mode ~checkpoint_every ~metrics =
+  let mk_state ~dir ~mode ~checkpoint_every ~metrics ~pool =
     (match mode with
     | Async n when n < 1 ->
         invalid_arg
@@ -185,6 +203,7 @@ module Make (T : Topk_core.Sigs.TOPK) = struct
       mode;
       checkpoint_every;
       metrics;
+      pool;
       gen = 0;
       wal = None;
       seals = 0;
@@ -196,7 +215,7 @@ module Make (T : Topk_core.Sigs.TOPK) = struct
 
   let create ?params ?buffer_cap ?fanout ?pool ?metrics ?(mode = Sync)
       ?(checkpoint_every = 4) ~dir elems =
-    let t = mk_state ~dir ~mode ~checkpoint_every ~metrics in
+    let t = mk_state ~dir ~mode ~checkpoint_every ~metrics ~pool in
     Disk.mkdir_p dir;
     let sink = if mode = Volatile then None else Some (mk_sink t) in
     let idx = I.create ?params ?buffer_cap ?fanout ?pool ?metrics ?sink elems in
@@ -238,7 +257,7 @@ module Make (T : Topk_core.Sigs.TOPK) = struct
     match root (Manifest.gens ~dir) with
     | None -> None
     | Some (g, snap_seq, runs, entries) ->
-        let t = mk_state ~dir ~mode ~checkpoint_every ~metrics in
+        let t = mk_state ~dir ~mode ~checkpoint_every ~metrics ~pool in
         t.gen <- g;
         t.replaying <- true;
         let sink = if mode = Volatile then None else Some (mk_sink t) in

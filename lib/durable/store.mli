@@ -72,7 +72,11 @@ module Make (T : Topk_core.Sigs.TOPK) : sig
       WAL + manifest) before returning, so a crash at any later point
       recovers.  [mode] defaults to [Sync]; [checkpoint_every]
       (default 4) checkpoints every that-many seals (merges and
-      freeze always checkpoint).
+      freeze always checkpoint).  [pool] (shared with the ingest
+      index for merges) additionally offloads each checkpoint's GC
+      sweep of superseded generations onto the pool's [Maintenance]
+      lane — safe because the new root is durably published before
+      the sweep is scheduled; without a pool the sweep runs inline.
       @raise Invalid_argument on a bad [mode]/[checkpoint_every] or
       ingest parameter. *)
 

@@ -415,8 +415,8 @@ module Make (T : Sigs.TOPK) = struct
         | None -> run_merge t job
         | Some pool ->
             let fut =
-              Executor.submit_task pool ~name:(t.name ^ ".merge") (fun () ->
-                  run_merge t job)
+              Executor.submit_task pool ~lane:Topk_service.Lane.Batch
+                ~name:(t.name ^ ".merge") (fun () -> run_merge t job)
             in
             (* Record the future only if this merge is still the
                outstanding one: a fast worker may have completed it (and

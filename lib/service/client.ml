@@ -266,7 +266,10 @@ let query ?(limits = Limits.none) ?(consistency = Consistency.Any) h q ~k :
                 local_response h ~k ~since (Response.Failed Error.Shed)
             | Direct handle -> run_direct handle ~limits q ~k
             | Pooled (pool, handle) -> (
-                match Executor.submit pool handle ~limits q ~k with
+                match
+                  Executor.submit pool handle ~lane:Lane.Interactive ~limits
+                    q ~k
+                with
                 | fut -> fut
                 | exception Error.Error e ->
                     (* Uniform surface: admission refusals become

@@ -32,9 +32,8 @@ type t = {
   not_empty : Condition.t;  (* signalled on enqueue / kill / shutdown *)
   not_full : Condition.t;   (* signalled when queue space frees up *)
   idle : Condition.t;       (* signalled when the pool fully drains *)
-  queue : Request.t Queue.t;
+  sched : Request.t Sched.t;  (* the multi-lane queue; under [mutex] *)
   mutable parked : (float * Request.t) list;  (* backoff: (ready_at, req) *)
-  capacity : int;
   batch_max : int;
   retry : retry_policy;
   rand : Random.State.t;  (* backoff jitter; under [mutex] *)
@@ -44,7 +43,11 @@ type t = {
   mutable supervisor : unit Domain.t option;
   n_workers : int;
   metrics : Metrics.t;
-  breaker : Breaker.t;
+  breakers : Breaker.t array;
+      (* one per lane (Lane.index), so a wedged background job cannot
+         trip admission for interactive reads; in unified mode every
+         entry is the same breaker — the old single-queue cross-talk,
+         kept as the sched-bench baseline *)
 }
 
 let default_workers () = max 1 (Domain.recommended_domain_count () - 1)
@@ -58,8 +61,9 @@ let now () = Unix.gettimeofday ()
    domain really terminates; the supervisor respawns it. *)
 exception Killed
 
-let record_outcome metrics (o : Request.outcome) =
+let record_outcome metrics ~lane (o : Request.outcome) =
   let open Metrics in
+  let li = Lane.index lane in
   Counter.incr metrics.completed;
   (match o.Request.o_status with
   | Response.Complete -> ()
@@ -73,20 +77,28 @@ let record_outcome metrics (o : Request.outcome) =
   | None -> ());
   Histogram.observe metrics.latency_us
     (int_of_float (o.Request.o_latency *. 1e6));
-  Histogram.observe metrics.ios o.Request.o_ios
+  Histogram.observe metrics.lane_latency_us.(li)
+    (int_of_float (o.Request.o_latency *. 1e6));
+  Histogram.observe metrics.ios o.Request.o_ios;
+  Counter.add metrics.lane_ios.(li) o.Request.o_ios
 
 let finish_pending t =
   Mutex.protect t.mutex (fun () ->
       t.pending <- t.pending - 1;
       if t.pending = 0 then Condition.broadcast t.idle)
 
-(* A request reached its final resolution: metrics, breaker, pending. *)
-let record_final t (o : Request.outcome) =
-  record_outcome t.metrics o;
+let lane_of job = (Request.spec job).Request.lane
+
+(* A request reached its final resolution: metrics, the breaker of its
+   own lane (so a failing merge storm cannot open the interactive
+   breaker), pending. *)
+let record_final t job (o : Request.outcome) =
+  let lane = lane_of job in
+  record_outcome t.metrics ~lane o;
   let ok =
     match o.Request.o_status with Response.Failed _ -> false | _ -> true
   in
-  Breaker.record t.breaker ~now:(now ()) ~ok;
+  Breaker.record t.breakers.(Lane.index lane) ~now:(now ()) ~ok;
   finish_pending t
 
 (* Capped exponential backoff with jitter: attempt [a] (1-based) waits
@@ -117,11 +129,12 @@ let park t job delay =
   | `Parked -> ()
   | `Abort ->
       Metrics.Counter.incr t.metrics.aborted;
-      record_final t
+      record_final t job
         (Request.abort job ~worker:(-1) ~reason:(Error.Failed "shutdown"))
 
 let process_job t idx job =
   Metrics.Gauge.decr t.metrics.queue_depth;
+  Metrics.Gauge.decr t.metrics.lane_depth.(Lane.index (lane_of job));
   Metrics.Gauge.incr t.metrics.inflight;
   let res =
     (* Supervision guard: *nothing* a handler raises may kill the
@@ -137,7 +150,7 @@ let process_job t idx job =
   in
   Metrics.Gauge.decr t.metrics.inflight;
   match res with
-  | Request.Completed outcome -> record_final t outcome
+  | Request.Completed outcome -> record_final t job outcome
   | Request.Transient msg ->
       Metrics.Counter.incr t.metrics.faults_injected;
       let attempt = Request.attempts job in
@@ -147,7 +160,7 @@ let process_job t idx job =
             (Printf.sprintf "transient fault persisted after %d attempts: %s"
                attempt msg)
         in
-        record_final t (Request.abort job ~worker:idx ~reason)
+        record_final t job (Request.abort job ~worker:idx ~reason)
       end
       else begin
         Metrics.Counter.incr t.metrics.retries;
@@ -158,7 +171,7 @@ let pop_batch t idx =
   let slot = t.slots.(idx) in
   Mutex.protect t.mutex (fun () ->
       while
-        Queue.is_empty t.queue && not t.stopping && not (Atomic.get slot.kill)
+        Sched.is_empty t.sched && not t.stopping && not (Atomic.get slot.kill)
       do
         Condition.wait t.not_empty t.mutex
       done;
@@ -166,15 +179,18 @@ let pop_batch t idx =
       if t.stopping then []
         (* New backlog is not served once stopping: the shutdown sweep
            resolves whatever is still queued as [Failed "shutdown"]. *)
-      else begin
-        let n = min t.batch_max (Queue.length t.queue) in
-        let rec pop acc n =
-          if n = 0 then List.rev acc else pop (Queue.pop t.queue :: acc) (n - 1)
-        in
-        let jobs = pop [] n in
-        if n > 0 then Condition.broadcast t.not_full;
-        jobs
-      end)
+      else
+        match Sched.pop_batch t.sched ~max:t.batch_max with
+        | None -> assert false (* the wait loop held the mutex: non-empty *)
+        | Some (_, popped) ->
+            List.iter
+              (fun (job, waited) ->
+                Metrics.Histogram.observe
+                  t.metrics.lane_wait_rounds.(Lane.index (lane_of job))
+                  waited)
+              popped;
+            Condition.broadcast t.not_full;
+            List.map fst popped)
 
 let rec worker_loop t idx =
   match pop_batch t idx with
@@ -220,9 +236,11 @@ let supervisor_tick t =
             (fun (_, job) ->
               (* Retries bypass the capacity check: they already hold a
                  pending slot, and blocking the supervisor on a full
-                 queue would stall respawns. *)
-              Queue.push job t.queue;
+                 lane would stall respawns. *)
+              Sched.push t.sched (lane_of job) job;
               Metrics.Gauge.incr t.metrics.queue_depth;
+              Metrics.Gauge.incr
+                t.metrics.lane_depth.(Lane.index (lane_of job));
               Condition.signal t.not_empty)
             due;
           List.length due
@@ -255,7 +273,7 @@ let supervisor_loop t =
 (* --- pool management --- *)
 
 let create ?workers ?(queue_capacity = 1024) ?(batch_max = 32)
-    ?(retry = default_retry_policy) ?breaker ?(seed = 0x5EED) () =
+    ?(retry = default_retry_policy) ?breaker ?lanes ?(seed = 0x5EED) () =
   let n_workers =
     match workers with None -> default_workers () | Some w -> w
   in
@@ -269,14 +287,38 @@ let create ?workers ?(queue_capacity = 1024) ?(batch_max = 32)
     invalid_arg "Executor.create: backoff must be >= 0";
   if not (retry.jitter >= 0. && retry.jitter <= 1.) then
     invalid_arg "Executor.create: jitter must be in [0,1]";
+  let lane_cfg =
+    match lanes with
+    | Some cfg ->
+        Sched.validate cfg;
+        cfg
+    | None -> Sched.default_config ~capacity:queue_capacity ()
+  in
   let metrics = Metrics.create () in
-  let breaker =
+  let mk_breaker lane =
     Breaker.create ?policy:breaker
       ~on_transition:(fun st ->
-        Metrics.Gauge.set metrics.Metrics.breaker_state (Breaker.state_code st);
+        let code = Breaker.state_code st in
+        Metrics.Gauge.set
+          metrics.Metrics.lane_breaker_state.(Lane.index lane) code;
+        (* The legacy gauge tracks the interactive lane — the one
+           admission callers care about. *)
+        if lane = Lane.Interactive then
+          Metrics.Gauge.set metrics.Metrics.breaker_state code;
         if st = Breaker.Open then
           Metrics.Counter.incr metrics.Metrics.breaker_opens)
       ()
+  in
+  let breakers =
+    if lane_cfg.Sched.unified then
+      (* One shared breaker: background failures count toward query
+         admission, exactly the cross-talk the lanes exist to remove. *)
+      Array.make Lane.count (mk_breaker Lane.Interactive)
+    else Array.init Lane.count (fun i -> mk_breaker (Lane.of_index i))
+  in
+  let sched =
+    Sched.create lane_cfg ~deadline:(fun job ->
+        (Request.spec job).Request.deadline)
   in
   let t =
     {
@@ -284,9 +326,8 @@ let create ?workers ?(queue_capacity = 1024) ?(batch_max = 32)
       not_empty = Condition.create ();
       not_full = Condition.create ();
       idle = Condition.create ();
-      queue = Queue.create ();
+      sched;
       parked = [];
-      capacity = queue_capacity;
       batch_max;
       retry;
       rand = Random.State.make [| seed |];
@@ -304,7 +345,7 @@ let create ?workers ?(queue_capacity = 1024) ?(batch_max = 32)
       supervisor = None;
       n_workers;
       metrics;
-      breaker;
+      breakers;
     }
   in
   Array.iteri
@@ -317,9 +358,16 @@ let worker_count t = t.n_workers
 
 let metrics t = t.metrics
 
-let breaker_state t = Breaker.state t.breaker
+let breaker_state t = Breaker.state t.breakers.(Lane.index Lane.Interactive)
 
-let queue_depth t = Mutex.protect t.mutex (fun () -> Queue.length t.queue)
+let lane_breaker_state t lane = Breaker.state t.breakers.(Lane.index lane)
+
+let queue_depth t = Mutex.protect t.mutex (fun () -> Sched.length t.sched)
+
+let lane_depth t lane =
+  Mutex.protect t.mutex (fun () -> Sched.lane_depth t.sched lane)
+
+let lanes t = Sched.config t.sched
 
 let retry_policy t = t.retry
 
@@ -336,41 +384,49 @@ let inject_worker_crash t idx =
 
 let shut_down () = Error.fail (Error.Failed "shutdown")
 
-let admit t =
-  if not (Breaker.admit t.breaker ~now:(now ())) then begin
+let admit t lane =
+  if not (Breaker.admit t.breakers.(Lane.index lane) ~now:(now ())) then begin
     Metrics.Counter.incr t.metrics.breaker_rejected;
+    Metrics.Counter.incr t.metrics.lane_shed.(Lane.index lane);
     Error.fail Error.Overloaded
   end
 
+let accept_locked t lane req =
+  Sched.push t.sched lane req;
+  t.pending <- t.pending + 1;
+  Metrics.Gauge.incr t.metrics.queue_depth;
+  Metrics.Gauge.incr t.metrics.lane_depth.(Lane.index lane);
+  Metrics.Counter.incr t.metrics.submitted;
+  Metrics.Counter.incr t.metrics.lane_admitted.(Lane.index lane);
+  Condition.signal t.not_empty
+
 let enqueue_blocking t req =
+  let lane = lane_of req in
   Mutex.protect t.mutex (fun () ->
       if t.stopping then shut_down ();
-      admit t;
-      while Queue.length t.queue >= t.capacity && not t.stopping do
+      admit t lane;
+      (* Backpressure is per lane: a full batch lane blocks only batch
+         producers; interactive submissions keep flowing. *)
+      while not (Sched.has_room t.sched lane) && not t.stopping do
         Condition.wait t.not_full t.mutex
       done;
       if t.stopping then shut_down ();
-      Queue.push req t.queue;
-      t.pending <- t.pending + 1;
-      Metrics.Gauge.incr t.metrics.queue_depth;
-      Metrics.Counter.incr t.metrics.submitted;
-      Condition.signal t.not_empty)
+      accept_locked t lane req)
 
 let enqueue_nonblocking t req =
+  let lane = lane_of req in
   let accepted =
     Mutex.protect t.mutex (fun () ->
         if t.stopping then shut_down ();
-        if not (Breaker.admit t.breaker ~now:(now ())) then begin
+        if not (Breaker.admit t.breakers.(Lane.index lane) ~now:(now ()))
+        then begin
           Metrics.Counter.incr t.metrics.breaker_rejected;
+          Metrics.Counter.incr t.metrics.lane_shed.(Lane.index lane);
           `Breaker
         end
-        else if Queue.length t.queue >= t.capacity then `Full
+        else if not (Sched.has_room t.sched lane) then `Full
         else begin
-          Queue.push req t.queue;
-          t.pending <- t.pending + 1;
-          Metrics.Gauge.incr t.metrics.queue_depth;
-          Metrics.Counter.incr t.metrics.submitted;
-          Condition.signal t.not_empty;
+          accept_locked t lane req;
           `Accepted
         end)
   in
@@ -378,25 +434,26 @@ let enqueue_nonblocking t req =
   | `Accepted -> true
   | `Full ->
       Metrics.Counter.incr t.metrics.rejected;
+      Metrics.Counter.incr t.metrics.lane_shed.(Lane.index lane);
       false
   | `Breaker -> false
 
-let submit t handle ?limits q ~k =
-  let req, fut = Request.prepare handle ?limits q ~k in
+let submit t handle ?lane ?limits q ~k =
+  let req, fut = Request.prepare handle ?lane ?limits q ~k in
   enqueue_blocking t req;
   fut
 
-let submit_task t ?limits ~name f =
-  let req, fut = Request.make_task ~name ?limits f in
+let submit_task t ?lane ?limits ~name f =
+  let req, fut = Request.make_task ~name ?lane ?limits f in
   enqueue_blocking t req;
   fut
 
-let try_submit t handle ?limits q ~k =
-  let req, fut = Request.prepare handle ?limits q ~k in
+let try_submit t handle ?lane ?limits q ~k =
+  let req, fut = Request.prepare handle ?lane ?limits q ~k in
   if enqueue_nonblocking t req then Some fut else None
 
-let submit_batch t handle ?limits queries ~k =
-  List.map (fun q -> submit t handle ?limits q ~k) queries
+let submit_batch t handle ?lane ?limits queries ~k =
+  List.map (fun q -> submit t handle ?lane ?limits q ~k) queries
 
 (* --- lifecycle --- *)
 
@@ -424,8 +481,7 @@ let shutdown t =
      their callers.  In-flight requests finish normally. *)
   let queued, parked =
     Mutex.protect t.mutex (fun () ->
-        let queued = List.of_seq (Queue.to_seq t.queue) in
-        Queue.clear t.queue;
+        let queued = Sched.drain_all t.sched in
         let parked = List.map snd t.parked in
         t.parked <- [];
         let dropped = List.length queued + List.length parked in
@@ -435,12 +491,15 @@ let shutdown t =
         (queued, parked))
   in
   let abort_job from_queue job =
-    if from_queue then Metrics.Gauge.decr t.metrics.queue_depth;
+    if from_queue then begin
+      Metrics.Gauge.decr t.metrics.queue_depth;
+      Metrics.Gauge.decr t.metrics.lane_depth.(Lane.index (lane_of job))
+    end;
     Metrics.Counter.incr t.metrics.aborted;
     let o =
       Request.abort job ~worker:(-1) ~reason:(Error.Failed "shutdown")
     in
-    record_outcome t.metrics o
+    record_outcome t.metrics ~lane:(lane_of job) o
   in
   List.iter (abort_job true) queued;
   List.iter (abort_job false) parked;

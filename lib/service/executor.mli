@@ -1,11 +1,21 @@
-(** The worker pool: OCaml 5 [Domain]-based workers behind one bounded
-    MPMC request queue, under supervision.
+(** The worker pool: OCaml 5 [Domain]-based workers behind a
+    multi-lane bounded MPMC scheduler ({!Sched}), under supervision.
 
     Index structures are immutable once built (the paper's structures
     are static or rebuilt wholesale), so a single snapshot is shared by
     every worker with no per-query synchronisation; the only contended
-    state is the queue itself, and workers amortise that by popping
+    state is the scheduler itself, and workers amortise that by popping
     requests in batches of up to [batch_max].
+
+    {b QoS lanes.}  Every submission is tagged with a {!Lane.t}
+    (queries default to [Interactive], tasks to [Batch]); each lane
+    has its own bounded queue, backpressure, shed accounting and
+    circuit breaker.  Workers dequeue lanes weighted-fair (8/2/1) with
+    aging, and order the interactive lane by absolute deadline — see
+    {!Sched} for the policy and its starvation-freedom bound.  Passing
+    a [unified] {!Sched.config} collapses everything back into the one
+    FIFO queue with a single shared breaker; [topk sched-bench] runs
+    that as its baseline.
 
     {b Supervision and self-healing.}  The pool is built to degrade
     gracefully under the EM fault model ({!Topk_em.Fault}) instead of
@@ -25,11 +35,14 @@
     - {!shutdown} resolves {e every} unserved future as
       [Failed "shutdown"] instead of dropping it.
 
-    Admission control: {!submit} applies backpressure (blocks while the
-    queue is at capacity), {!try_submit} sheds load instead (returns
-    [None] and counts a rejection), and a failure-rate-driven
-    {!Breaker} in front of both rejects new work while the pool is
-    persistently failing (closed → open → half-open).  Per-query
+    Admission control is per lane: {!submit} applies backpressure
+    (blocks while the request's lane is at capacity — a full batch
+    lane never blocks interactive submitters), {!try_submit} sheds
+    load instead (returns [None] and counts a rejection), and a
+    failure-rate-driven {!Breaker} {e per lane} in front of both
+    rejects new work while that lane is persistently failing (closed →
+    open → half-open) — so a wedged merge storm cannot trip admission
+    for reads.  Per-query
     graceful degradation — budget and deadline cutoff with
     certified-prefix answers — is handled in {!Registry.exec} on the
     worker.
@@ -63,62 +76,74 @@ val create :
   ?batch_max:int ->
   ?retry:retry_policy ->
   ?breaker:Breaker.policy ->
+  ?lanes:Sched.config ->
   ?seed:int ->
   unit ->
   t
 (** Spawn the pool (workers + one supervisor domain).  Defaults:
-    {!default_workers} workers, capacity 1024, batches of up to 32,
-    {!default_retry_policy}, {!Breaker.default_policy}; [seed] feeds
-    the backoff jitter.
+    {!default_workers} workers, batches of up to 32,
+    {!default_retry_policy}, and {!Sched.default_config} with every
+    lane bounded at [queue_capacity] (default 1024).  [lanes]
+    overrides the whole scheduler config (then [queue_capacity] is
+    ignored); [breaker] sets the policy applied to {e each} lane's
+    breaker; [seed] feeds the backoff jitter.
     @raise Invalid_argument on non-positive parameters or a malformed
-    retry/breaker policy. *)
+    retry/breaker/lane policy. *)
 
 val submit :
   t ->
   ('q, 'e) Registry.handle ->
+  ?lane:Lane.t ->
   ?limits:Limits.t ->
   'q ->
   k:int ->
   'e Response.t Future.t
-(** Enqueue a query; blocks while the queue is full ({e backpressure}).
-    [limits] bundles the I/O budget and time horizon (default
-    {!Limits.none}); fan-out layers ({!Topk_shard.Scatter}) pass an
-    absolute [Limits.At] horizon so every per-shard leg of a logical
-    query races the same clock.
+(** Enqueue a query; blocks while its lane is full ({e backpressure}).
+    [lane] defaults to [Interactive]; fan-out layers pass the parent
+    query's lane so shard legs inherit its priority.  [limits] bundles
+    the I/O budget and time horizon (default {!Limits.none});
+    {!Topk_shard.Scatter} passes an absolute [Limits.At] horizon so
+    every per-shard leg of a logical query races the same clock.
     @raise Error.Error [(Failed "shutdown")] if the pool has been shut
-    down, [Overloaded] if the circuit breaker is open (the pool has
-    been failing persistently; shed load and retry later).
+    down, [Overloaded] if the lane's circuit breaker is open (that
+    lane has been failing persistently; shed load and retry later).
     @raise Invalid_argument on a malformed request (see
     {!Request.prepare}). *)
 
 val submit_task :
   t ->
+  ?lane:Lane.t ->
   ?limits:Limits.t ->
   name:string ->
   (unit -> unit) ->
   unit Response.t Future.t
-(** Enqueue a background job (see {!Request.make_task}) on the same
-    queue as queries: it shares the pool's retry, supervision and
-    per-worker EM accounting.  The ingestion layer uses this to run
-    level merges.  Blocks while the queue is full.
+(** Enqueue a background job (see {!Request.make_task}) through the
+    same scheduler as queries — on its own lane ([lane] defaults to
+    [Batch]; durable scrub/GC pass [Maintenance]) so it shares the
+    pool's retry, supervision and per-worker EM accounting without
+    sitting in front of interactive work.  The ingestion layer uses
+    this to run level merges.  Blocks while the lane is full.
     @raise Error.Error [(Failed "shutdown")] after shutdown,
-    [Overloaded] while the breaker is open. *)
+    [Overloaded] while the lane's breaker is open. *)
 
 val try_submit :
   t ->
   ('q, 'e) Registry.handle ->
+  ?lane:Lane.t ->
   ?limits:Limits.t ->
   'q ->
   k:int ->
   'e Response.t Future.t option
-(** Non-blocking admission: [None] when the queue is at capacity (a
-    queue-full rejection is counted) or the breaker is open (a breaker
-    rejection is counted).
+(** Non-blocking admission: [None] when the lane is at capacity (a
+    queue-full rejection is counted) or the lane's breaker is open (a
+    breaker rejection is counted); both also count on the lane's shed
+    counter.
     @raise Error.Error [(Failed "shutdown")] after shutdown. *)
 
 val submit_batch :
   t ->
   ('q, 'e) Registry.handle ->
+  ?lane:Lane.t ->
   ?limits:Limits.t ->
   'q list ->
   k:int ->
@@ -138,10 +163,19 @@ val shutdown : t -> unit
 val worker_count : t -> int
 
 val queue_depth : t -> int
+(** Requests queued across all lanes. *)
+
+val lane_depth : t -> Lane.t -> int
+
+val lanes : t -> Sched.config
 
 val metrics : t -> Metrics.t
 
 val breaker_state : t -> Breaker.state
+(** The interactive lane's breaker (the one admission callers care
+    about); see {!lane_breaker_state} for the others. *)
+
+val lane_breaker_state : t -> Lane.t -> Breaker.state
 
 val retry_policy : t -> retry_policy
 

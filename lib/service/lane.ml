@@ -1,0 +1,22 @@
+type t = Interactive | Batch | Maintenance
+
+let count = 3
+
+let all = [ Interactive; Batch; Maintenance ]
+
+let index = function Interactive -> 0 | Batch -> 1 | Maintenance -> 2
+
+let of_index = function
+  | 0 -> Interactive
+  | 1 -> Batch
+  | 2 -> Maintenance
+  | i -> invalid_arg (Printf.sprintf "Lane.of_index: no lane %d" i)
+
+let name = function
+  | Interactive -> "interactive"
+  | Batch -> "batch"
+  | Maintenance -> "maintenance"
+
+let default_weight = function Interactive -> 8 | Batch -> 2 | Maintenance -> 1
+
+let pp ppf t = Format.pp_print_string ppf (name t)

@@ -1,0 +1,40 @@
+(** QoS lanes: the vocabulary of the multi-lane scheduler.
+
+    Every piece of work travelling through the {!Executor} is tagged
+    with the lane of its producer:
+
+    - [Interactive] — latency-sensitive foreground queries:
+      {!Client.query} and every {!Topk_shard.Scatter} leg (legs
+      inherit the parent query's lane and deadline).
+    - [Batch] — throughput-oriented background work whose latency is
+      amortized by design: {!Topk_ingest} level merges.
+    - [Maintenance] — housekeeping that must eventually run but never
+      ahead of the other two: durable scrub passes and checkpoint GC
+      sweeps.
+
+    The scheduler ({!Sched}) gives each lane its own bounded queue,
+    capacity, shed policy and circuit breaker, and dequeues them
+    weighted-fair with aging so no lane starves. *)
+
+type t = Interactive | Batch | Maintenance
+
+val count : int
+(** Number of lanes (3). *)
+
+val all : t list
+(** [[Interactive; Batch; Maintenance]], in {!index} order. *)
+
+val index : t -> int
+(** [Interactive -> 0], [Batch -> 1], [Maintenance -> 2]. *)
+
+val of_index : int -> t
+(** Inverse of {!index}.
+    @raise Invalid_argument outside [0 .. count-1]. *)
+
+val name : t -> string
+(** ["interactive"], ["batch"], ["maintenance"]. *)
+
+val default_weight : t -> int
+(** Weighted-fair dequeue shares: 8 / 2 / 1. *)
+
+val pp : Format.formatter -> t -> unit

@@ -110,14 +110,22 @@ type t = {
   retries : Counter.t;         (* re-enqueues after a transient fault *)
   respawns : Counter.t;        (* crashed worker domains replaced *)
   aborted : Counter.t;         (* futures resolved Failed at shutdown *)
-  breaker_rejected : Counter.t;(* admissions refused by the open breaker *)
-  breaker_opens : Counter.t;   (* times the breaker tripped open *)
-  breaker_state : Gauge.t;     (* 0 closed / 1 half-open / 2 open *)
-  queue_depth : Gauge.t;
+  breaker_rejected : Counter.t;(* admissions refused by an open breaker *)
+  breaker_opens : Counter.t;   (* times any lane's breaker tripped open *)
+  breaker_state : Gauge.t;     (* interactive lane: 0 closed / 1 half-open / 2 open *)
+  queue_depth : Gauge.t;       (* total queued across lanes *)
   inflight : Gauge.t;
   latency_us : Histogram.t;  (* submit-to-response, microseconds *)
   ios : Histogram.t;         (* EM-model I/Os per query *)
   batch : Histogram.t;       (* jobs popped per worker wakeup *)
+  (* QoS lanes (recorded by the executor; arrays indexed by Lane.index) *)
+  lane_depth : Gauge.t array;         (* queued per lane *)
+  lane_admitted : Counter.t array;    (* submissions accepted per lane *)
+  lane_shed : Counter.t array;        (* queue-full + breaker rejections *)
+  lane_breaker_state : Gauge.t array; (* per-lane breaker state code *)
+  lane_latency_us : Histogram.t array;(* submit-to-response per lane *)
+  lane_ios : Counter.t array;         (* charged I/Os of final outcomes *)
+  lane_wait_rounds : Histogram.t array;(* dispatch rounds waited in queue *)
   (* shard fan-out (recorded by Topk_shard.Scatter) *)
   sharded_queries : Counter.t;   (* logical queries fanned out *)
   shards_pruned : Counter.t;     (* shard legs skipped by max-query bound *)
@@ -179,6 +187,13 @@ let create () =
     latency_us = Histogram.create ();
     ios = Histogram.create ();
     batch = Histogram.create ();
+    lane_depth = Array.init Lane.count (fun _ -> Gauge.create ());
+    lane_admitted = Array.init Lane.count (fun _ -> Counter.create ());
+    lane_shed = Array.init Lane.count (fun _ -> Counter.create ());
+    lane_breaker_state = Array.init Lane.count (fun _ -> Gauge.create ());
+    lane_latency_us = Array.init Lane.count (fun _ -> Histogram.create ());
+    lane_ios = Array.init Lane.count (fun _ -> Counter.create ());
+    lane_wait_rounds = Array.init Lane.count (fun _ -> Histogram.create ());
     sharded_queries = Counter.create ();
     shards_pruned = Counter.create ();
     fanout = Histogram.create ();
@@ -265,6 +280,18 @@ let report t =
   histo "topk_latency_us" t.latency_us;
   histo "topk_ios" t.ios;
   histo "topk_batch_size" t.batch;
+  List.iter
+    (fun lane ->
+      let i = Lane.index lane in
+      let pre = "topk_lane_" ^ Lane.name lane in
+      line "%s_depth %d" pre (Gauge.get t.lane_depth.(i));
+      line "%s_admitted %d" pre (Counter.get t.lane_admitted.(i));
+      line "%s_shed %d" pre (Counter.get t.lane_shed.(i));
+      line "%s_breaker_state %d" pre (Gauge.get t.lane_breaker_state.(i));
+      line "%s_ios %d" pre (Counter.get t.lane_ios.(i));
+      histo (pre ^ "_latency_us") t.lane_latency_us.(i);
+      histo (pre ^ "_wait_rounds") t.lane_wait_rounds.(i))
+    Lane.all;
   line "topk_sharded_queries %d" (Counter.get t.sharded_queries);
   line "topk_shards_pruned %d" (Counter.get t.shards_pruned);
   histo "topk_fanout" t.fanout;

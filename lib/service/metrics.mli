@@ -68,14 +68,30 @@ type t = {
   retries : Counter.t;        (** re-enqueues after a transient fault *)
   respawns : Counter.t;       (** crashed worker domains replaced *)
   aborted : Counter.t;        (** futures resolved [Failed] at shutdown *)
-  breaker_rejected : Counter.t;(** admissions refused while the breaker was open *)
-  breaker_opens : Counter.t;  (** times the breaker tripped open *)
-  breaker_state : Gauge.t;    (** 0 closed / 1 half-open / 2 open *)
-  queue_depth : Gauge.t;      (** requests waiting in the queue *)
+  breaker_rejected : Counter.t;(** admissions refused while a breaker was open *)
+  breaker_opens : Counter.t;  (** times any lane's breaker tripped open *)
+  breaker_state : Gauge.t;    (** interactive lane: 0 closed / 1 half-open / 2 open *)
+  queue_depth : Gauge.t;      (** requests waiting across all lanes *)
   inflight : Gauge.t;         (** requests being executed right now *)
   latency_us : Histogram.t;   (** submit-to-response latency, in µs *)
   ios : Histogram.t;          (** EM-model I/Os per query *)
   batch : Histogram.t;        (** jobs popped per worker wakeup *)
+  lane_depth : Gauge.t array;
+      (** per-lane queued requests, indexed by {!Lane.index} *)
+  lane_admitted : Counter.t array;
+      (** per-lane submissions accepted onto the queue *)
+  lane_shed : Counter.t array;
+      (** per-lane rejections (queue full on [try_submit] + breaker) *)
+  lane_breaker_state : Gauge.t array;
+      (** per-lane breaker state code (see {!Breaker.state_code}) *)
+  lane_latency_us : Histogram.t array;
+      (** per-lane submit-to-response latency, in µs *)
+  lane_ios : Counter.t array;
+      (** per-lane charged EM I/Os of final outcomes — sums exactly to
+          the pool's worker-side {!Topk_em.Stats} total once drained *)
+  lane_wait_rounds : Histogram.t array;
+      (** per-lane queue wait in dispatch decisions ({!Sched.round});
+          the max witnesses the aging bound *)
   sharded_queries : Counter.t;(** logical queries fanned out over shards *)
   shards_pruned : Counter.t;  (** shard legs skipped by the max-query bound *)
   fanout : Histogram.t;       (** shard jobs submitted per logical query *)

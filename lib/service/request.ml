@@ -6,6 +6,7 @@ module Certify = Topk_trace.Certify
 type spec = {
   instance : string;
   k : int;
+  lane : Lane.t;  (* QoS lane the executor queues this request on *)
   limits : Limits.t;
   deadline : float option;  (* absolute, resolved at submission *)
   submitted : float;
@@ -43,7 +44,8 @@ let spec t = t.spec
 let attempts t = !(t.attempts)
 
 let prepare (type q e) (handle : (q, e) Registry.handle)
-    ?(limits = Limits.none) (q : q) ~k : t * e Response.t Future.t =
+    ?(lane = Lane.Interactive) ?(limits = Limits.none) (q : q) ~k :
+    t * e Response.t Future.t =
   if k <= 0 then
     invalid_arg (Printf.sprintf "Request: k must be positive (got %d)" k);
   (match limits.Limits.budget with
@@ -58,7 +60,7 @@ let prepare (type q e) (handle : (q, e) Registry.handle)
   let parent = Tr.current_trace_id () in
   let info = Registry.info handle in
   let instance = info.Registry.name in
-  let spec = { instance; k; limits; deadline; submitted } in
+  let spec = { instance; k; lane; limits; deadline; submitted } in
   let attempts = ref 0 in
   let fut = Future.create () in
   (* [try_fill]: a request can race between its worker and the
@@ -101,6 +103,16 @@ let prepare (type q e) (handle : (q, e) Registry.handle)
             ("attempt", Tr.Int attempt);
             ("worker", Tr.Int worker) ]
         (fun () ->
+          (* The dispatch span: which lane the scheduler served this
+             request from and how long it queued before a worker
+             picked it up. *)
+          Tr.event "sched.dispatch"
+            ~attrs:
+              [ ("lane", Tr.Str (Lane.name lane));
+                ("queued_us",
+                 Tr.Int
+                   (int_of_float
+                      ((Unix.gettimeofday () -. submitted) *. 1e6))) ];
           match Registry.h_exec handle q ~k ~budget ~deadline with
           | result -> `Done result
           | exception Fault.Em_fault msg -> `Fault msg
@@ -136,21 +148,21 @@ let prepare (type q e) (handle : (q, e) Registry.handle)
   in
   ({ spec; attempts; run_; abort_ }, fut)
 
-let make = prepare
-
 (* A background job (e.g. an ingest level merge) travelling the same
-   queue as queries: it shares the retry/supervision machinery — a
-   transient [Em_fault] parks and retries with backoff, a worker crash
-   before the pop loses nothing — but carries no query and returns no
-   answers.  The job's EM cost is bracketed with [round_carry] exactly
-   like a query's so it lands, in full, on the worker domain that ran
-   it and shows up in [Stats.aggregate]. *)
-let make_task ~name ?(limits = Limits.none) (f : unit -> unit) :
-    t * unit Response.t Future.t =
+   scheduler as queries — on its own QoS lane ([Batch] by default) so
+   it never sits in front of interactive work: it shares the
+   retry/supervision machinery — a transient [Em_fault] parks and
+   retries with backoff, a worker crash before the pop loses nothing —
+   but carries no query and returns no answers.  The job's EM cost is
+   bracketed with [round_carry] exactly like a query's so it lands, in
+   full, on the worker domain that ran it and shows up in
+   [Stats.aggregate]. *)
+let make_task ~name ?(lane = Lane.Batch) ?(limits = Limits.none)
+    (f : unit -> unit) : t * unit Response.t Future.t =
   let submitted = Unix.gettimeofday () in
   let _budget, deadline = Limits.resolve limits ~now:submitted in
   let parent = Tr.current_trace_id () in
-  let spec = { instance = name; k = 0; limits; deadline; submitted } in
+  let spec = { instance = name; k = 0; lane; limits; deadline; submitted } in
   let attempts = ref 0 in
   let fut = Future.create () in
   let finish ~worker ~attempt ~trace_id status cost =
@@ -185,6 +197,13 @@ let make_task ~name ?(limits = Limits.none) (f : unit -> unit) :
             ("attempt", Tr.Int attempt);
             ("worker", Tr.Int worker) ]
         (fun () ->
+          Tr.event "sched.dispatch"
+            ~attrs:
+              [ ("lane", Tr.Str (Lane.name lane));
+                ("queued_us",
+                 Tr.Int
+                   (int_of_float
+                      ((Unix.gettimeofday () -. submitted) *. 1e6))) ];
           Stats.round_carry ();
           let before = Stats.snapshot () in
           let cost () =

@@ -15,14 +15,16 @@
 
     When tracing is enabled ({!Topk_trace.Trace.enable}), each attempt
     runs under a root span on its worker domain — carrying the
-    instance, [k], attempt number and worker index — and the resulting
-    trace id travels back on the {!Response.t}.  A request submitted
-    from inside another trace (e.g. a scattered shard leg) records that
-    trace as its parent. *)
+    instance, [k], attempt number and worker index, plus a
+    [sched.dispatch] child span recording the request's {!Lane.t} and
+    its queue wait — and the resulting trace id travels back on the
+    {!Response.t}.  A request submitted from inside another trace
+    (e.g. a scattered shard leg) records that trace as its parent. *)
 
 type spec = {
   instance : string;
   k : int;
+  lane : Lane.t;            (** QoS lane the executor queues this on *)
   limits : Limits.t;        (** as given at {!prepare} *)
   deadline : float option;
       (** absolute wall-clock deadline resolved at submission *)
@@ -56,15 +58,18 @@ val attempts : t -> int
 
 val prepare :
   ('q, 'e) Registry.handle ->
+  ?lane:Lane.t ->
   ?limits:Limits.t ->
   'q ->
   k:int ->
   t * 'e Response.t Future.t
 (** Build a request and the future its response will be delivered on.
-    A relative [Limits.Within] horizon is anchored now (at
-    submission); fan-out layers pass an absolute [Limits.At] so every
-    per-shard leg of one logical query shares a single deadline
-    instead of restarting the clock per leg.
+    [lane] (default [Interactive]) selects the QoS lane the executor
+    queues it on; fan-out layers pass the parent query's lane so every
+    leg inherits its priority.  A relative [Limits.Within] horizon is
+    anchored now (at submission); fan-out layers pass an absolute
+    [Limits.At] so every per-shard leg of one logical query shares a
+    single deadline instead of restarting the clock per leg.
 
     This is serving-infrastructure plumbing: application code should
     go through {!Client.query} (or [Executor.submit]) instead of
@@ -72,27 +77,21 @@ val prepare :
     @raise Invalid_argument if [k <= 0] or the limits carry a negative
     budget. *)
 
-val make :
-  ('q, 'e) Registry.handle ->
-  ?limits:Limits.t ->
-  'q ->
-  k:int ->
-  t * 'e Response.t Future.t
-[@@deprecated "use Client.query (or Executor.submit); \
-               Request.prepare remains for serving infrastructure"]
-
 val make_task :
   name:string ->
+  ?lane:Lane.t ->
   ?limits:Limits.t ->
   (unit -> unit) ->
   t * unit Response.t Future.t
-(** Build a background job that travels the executor queue like a
-    query: retried on transient {!Topk_em.Fault.Em_fault}s, supervised
-    across worker crashes, traced under a root span named ["task"],
-    its EM cost charged to the worker domain that ran it.  Used by the
-    ingestion layer for level merges.  The response carries no answers
-    ([answers = []], [k = 0]); completion (or permanent failure) is
-    signalled through the future's status. *)
+(** Build a background job that travels the executor's scheduler like
+    a query, on its own lane ([lane] defaults to [Batch]; durable
+    scrub and GC pass [Maintenance]): retried on transient
+    {!Topk_em.Fault.Em_fault}s, supervised across worker crashes,
+    traced under a root span named ["task"], its EM cost charged to
+    the worker domain that ran it.  Used by the ingestion layer for
+    level merges.  The response carries no answers ([answers = []],
+    [k = 0]); completion (or permanent failure) is signalled through
+    the future's status. *)
 
 val run : t -> worker:int -> attempt
 (** Execute one attempt on the calling domain (normally a pool

@@ -1,0 +1,206 @@
+(* Multi-lane weighted-fair scheduler — see sched.mli for the policy.
+   Pure data structure: the executor drives it under its own mutex. *)
+
+module Heap = Topk_util.Heap
+
+type config = {
+  capacities : int array;
+  weights : int array;
+  aging_rounds : int;
+  unified : bool;
+}
+
+let default_config ?(capacity = 1024) () =
+  {
+    capacities = Array.make Lane.count capacity;
+    weights = Array.of_list (List.map Lane.default_weight Lane.all);
+    aging_rounds = 32;
+    unified = false;
+  }
+
+let unified_config ?(capacity = 1024) () =
+  { (default_config ~capacity ()) with unified = true }
+
+let validate cfg =
+  if Array.length cfg.capacities <> Lane.count then
+    invalid_arg
+      (Printf.sprintf "Sched: capacities must have %d entries (got %d)"
+         Lane.count
+         (Array.length cfg.capacities));
+  if Array.length cfg.weights <> Lane.count then
+    invalid_arg
+      (Printf.sprintf "Sched: weights must have %d entries (got %d)" Lane.count
+         (Array.length cfg.weights));
+  Array.iteri
+    (fun i c ->
+      if c < 1 then
+        invalid_arg
+          (Printf.sprintf "Sched: capacity of %s must be >= 1 (got %d)"
+             (Lane.name (Lane.of_index i))
+             c))
+    cfg.capacities;
+  Array.iteri
+    (fun i w ->
+      if w < 1 then
+        invalid_arg
+          (Printf.sprintf "Sched: weight of %s must be >= 1 (got %d)"
+             (Lane.name (Lane.of_index i))
+             w))
+    cfg.weights;
+  if cfg.aging_rounds < 1 then
+    invalid_arg
+      (Printf.sprintf "Sched: aging_rounds must be >= 1 (got %d)"
+         cfg.aging_rounds)
+
+(* Interactive jobs are heap-ordered by (deadline, push sequence); the
+   FIFO lanes only need the enqueue round for the wait accounting. *)
+type 'a job = { payload : 'a; enq_round : int; key : float; seq : int }
+
+type 'a t = {
+  cfg : config;
+  deadline : 'a -> float option;
+  heap : 'a job Heap.t;          (* lane 0: deadline-ordered *)
+  fifos : 'a job Queue.t array;  (* lanes 1.. : FIFO *)
+  mutable seq : int;             (* push counter: heap tie-break *)
+  mutable round : int;           (* dispatch decisions taken *)
+  credit : int array;            (* smooth weighted round-robin state *)
+  wait_start : int array;        (* round of the lane's last grant (or
+                                    of becoming non-empty) *)
+  max_wait : int array;          (* largest per-job wait observed *)
+}
+
+let cmp_job a b =
+  match Float.compare a.key b.key with 0 -> compare a.seq b.seq | c -> c
+
+let create cfg ~deadline =
+  validate cfg;
+  {
+    cfg;
+    deadline;
+    heap = Heap.create ~cmp:cmp_job ();
+    fifos = Array.init (Lane.count - 1) (fun _ -> Queue.create ());
+    seq = 0;
+    round = 0;
+    credit = Array.make Lane.count 0;
+    wait_start = Array.make Lane.count 0;
+    max_wait = Array.make Lane.count 0;
+  }
+
+let config t = t.cfg
+
+(* In unified mode every push lands on the one queue (index 0), which
+   degrades to FIFO because all keys are +inf and the heap falls back
+   to the push sequence. *)
+let route t lane = if t.cfg.unified then 0 else Lane.index lane
+
+let depth_of t li =
+  if li = 0 then Heap.length t.heap else Queue.length t.fifos.(li - 1)
+
+let lane_depth t lane = depth_of t (route t lane)
+
+let length t =
+  let n = ref (Heap.length t.heap) in
+  Array.iter (fun q -> n := !n + Queue.length q) t.fifos;
+  !n
+
+let is_empty t = length t = 0
+
+let has_room t lane =
+  let li = route t lane in
+  depth_of t li < t.cfg.capacities.(li)
+
+let push t lane x =
+  let li = route t lane in
+  if depth_of t li = 0 then t.wait_start.(li) <- t.round;
+  let key =
+    if li <> 0 || t.cfg.unified then Float.infinity
+    else match t.deadline x with Some d -> d | None -> Float.infinity
+  in
+  let job = { payload = x; enq_round = t.round; key; seq = t.seq } in
+  t.seq <- t.seq + 1;
+  if li = 0 then Heap.push t.heap job else Queue.push job t.fifos.(li - 1)
+
+let pop_n t li n =
+  let rec go acc n =
+    if n = 0 then List.rev acc
+    else
+      let job =
+        if li = 0 then Heap.pop t.heap
+        else Queue.take_opt t.fifos.(li - 1)
+      in
+      match job with None -> List.rev acc | Some j -> go (j :: acc) (n - 1)
+  in
+  go [] n
+
+let pop_batch t ~max =
+  if max < 1 then invalid_arg "Sched.pop_batch: max must be >= 1";
+  let active = List.filter (fun li -> depth_of t li > 0) [ 0; 1; 2 ] in
+  match active with
+  | [] -> None
+  | _ ->
+      t.round <- t.round + 1;
+      let winner =
+        (* Aging first: any lane waiting past the bound is served now,
+           oldest wait first, so saturation of a heavier lane can
+           never starve the others. *)
+        let starving =
+          List.filter
+            (fun li -> t.round - t.wait_start.(li) > t.cfg.aging_rounds)
+            active
+        in
+        match starving with
+        | li :: rest ->
+            List.fold_left
+              (fun best li ->
+                if t.wait_start.(li) < t.wait_start.(best) then li else best)
+              li rest
+        | [] ->
+            (* Smooth weighted round-robin over the non-empty lanes:
+               everyone earns its weight, the richest is served and
+               pays the round's total back.  Deterministic, and every
+               active lane is granted within one cycle of the total
+               weight. *)
+            let total = ref 0 in
+            List.iter
+              (fun li ->
+                t.credit.(li) <- t.credit.(li) + t.cfg.weights.(li);
+                total := !total + t.cfg.weights.(li))
+              active;
+            let best =
+              List.fold_left
+                (fun best li ->
+                  if t.credit.(li) > t.credit.(best) then li else best)
+                (List.hd active) (List.tl active)
+            in
+            t.credit.(best) <- t.credit.(best) - !total;
+            best
+      in
+      let jobs = pop_n t winner max in
+      t.wait_start.(winner) <- t.round;
+      let with_waits =
+        List.map
+          (fun j ->
+            let waited = t.round - j.enq_round in
+            if waited > t.max_wait.(winner) then t.max_wait.(winner) <- waited;
+            (j.payload, waited))
+          jobs
+      in
+      Some (Lane.of_index winner, with_waits)
+
+let drain_all t =
+  let rec heap_all acc =
+    match Heap.pop t.heap with
+    | None -> List.rev acc
+    | Some j -> heap_all (j.payload :: acc)
+  in
+  let fifo_all q =
+    let acc = ref [] in
+    Queue.iter (fun j -> acc := j.payload :: !acc) q;
+    Queue.clear q;
+    List.rev !acc
+  in
+  heap_all [] @ List.concat_map fifo_all (Array.to_list t.fifos)
+
+let round t = t.round
+
+let max_wait_rounds t lane = t.max_wait.(route t lane)

@@ -1,0 +1,97 @@
+(** The multi-lane scheduler behind {!Executor}: three bounded queues
+    ({!Lane.t}), dequeued weighted-fair with aging.
+
+    This is a pure data structure — it does no locking and spawns no
+    domains; the executor drives it under its own mutex.  What it
+    owns is the {e policy}:
+
+    - {b Per-lane bounded queues.}  Each lane has its own capacity;
+      {!has_room} is the admission check backpressure ({!Executor.submit})
+      and shedding ({!Executor.try_submit}) are built on.  {!push}
+      itself is unconditional, because retries unparked by the
+      supervisor already hold a pending slot and must not block.
+    - {b Weighted-fair dequeue.}  Each dispatch decision picks one
+      lane by smooth weighted round-robin over the currently
+      non-empty lanes (default shares {!Lane.default_weight} = 8/2/1),
+      then pops a batch from that lane only.
+    - {b Deadline-aware interactive ordering.}  Inside the
+      [Interactive] lane, requests are ordered by absolute deadline
+      (earliest first; deadline-free requests come after all
+      deadlines, FIFO among themselves).  [Batch] and [Maintenance]
+      are FIFO.
+    - {b Aging.}  A non-empty lane that has not been granted for
+      [aging_rounds] consecutive decisions is served next regardless
+      of weights, so batch/maintenance work is starvation-free even
+      under interactive saturation: every continuously non-empty lane
+      is granted at least once per [aging_rounds + Lane.count]
+      decisions.
+    - {b Unified mode} ([unified = true]) collapses every lane into
+      one FIFO queue — the pre-lane executor, kept as the baseline
+      the [topk sched-bench] comparison runs against. *)
+
+type config = {
+  capacities : int array;  (** per-lane queue bound, indexed by {!Lane.index} *)
+  weights : int array;     (** per-lane dequeue share (>= 1 each) *)
+  aging_rounds : int;
+      (** grant a waiting non-empty lane after this many consecutive
+          dispatch decisions without service (>= 1) *)
+  unified : bool;
+      (** collapse all lanes into one FIFO queue (no deadline
+          ordering, no fairness — the single-queue baseline) *)
+}
+
+val default_config : ?capacity:int -> unit -> config
+(** Every lane bounded at [capacity] (default 1024), weights
+    {!Lane.default_weight}, [aging_rounds = 32], [unified = false]. *)
+
+val unified_config : ?capacity:int -> unit -> config
+
+val validate : config -> unit
+(** @raise Invalid_argument on wrong array lengths, a capacity or
+    weight < 1, or [aging_rounds < 1]. *)
+
+type 'a t
+
+val create : config -> deadline:('a -> float option) -> 'a t
+(** [deadline j] is consulted once at {!push} to order the interactive
+    lane; [None] sorts after every concrete deadline.  Validates the
+    config. *)
+
+val config : _ t -> config
+
+val length : _ t -> int
+(** Total queued across lanes. *)
+
+val is_empty : _ t -> bool
+
+val lane_depth : _ t -> Lane.t -> int
+(** In unified mode every lane reports the one shared queue's depth. *)
+
+val has_room : _ t -> Lane.t -> bool
+(** [lane_depth t lane < capacity of lane] (the shared queue's
+    capacity in unified mode). *)
+
+val push : 'a t -> Lane.t -> 'a -> unit
+(** Enqueue unconditionally — admission control is the caller's
+    ({!has_room}); supervisor re-pushes of backed-off retries bypass
+    it on purpose. *)
+
+val pop_batch : 'a t -> max:int -> (Lane.t * ('a * int) list) option
+(** One dispatch decision: pick a lane (aging, then weighted-fair),
+    pop up to [max] jobs from it, and return them with the number of
+    dispatch decisions each waited in the queue.  [None] when every
+    lane is empty.  In unified mode the reported lane is always
+    [Interactive] (there is only the one queue); callers that need
+    the producer's lane read it off the job itself. *)
+
+val drain_all : 'a t -> 'a list
+(** Remove and return everything still queued, interactive lane
+    first, each lane in its dequeue order.  Used by the shutdown
+    sweep. *)
+
+val round : _ t -> int
+(** Dispatch decisions taken so far. *)
+
+val max_wait_rounds : _ t -> Lane.t -> int
+(** Largest per-job queue wait (in dispatch decisions) observed on
+    this lane so far — the aging law's witness. *)

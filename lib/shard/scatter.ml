@@ -64,7 +64,8 @@ struct
         (x :: hd, tl)
     | _ -> ([], l)
 
-  let query t ?(limits = Limits.none) ?deltas q ~k =
+  let query t ?(lane = Topk_service.Lane.Interactive) ?(limits = Limits.none)
+      ?deltas q ~k =
     if k <= 0 then
       invalid_arg
         (Printf.sprintf "Scatter.query: k must be positive (got %d)" k);
@@ -220,7 +221,11 @@ struct
                           ( i,
                             k_leg,
                             `Fut
-                              (Executor.submit t.pool t.handles.(i)
+                              (* Legs inherit the logical query's lane
+                                 (and, via [leg_limits], its absolute
+                                 deadline): a fan-out never changes the
+                                 priority of the work it is part of. *)
+                              (Executor.submit t.pool t.handles.(i) ~lane
                                  ~limits:leg_limits q ~k:k_leg) ))
                     now_wave
                 in

@@ -81,17 +81,20 @@ module Make
 
   val query :
     t ->
+    ?lane:Topk_service.Lane.t ->
     ?limits:Topk_service.Limits.t ->
     ?deltas:(SS.P.query, SS.P.elem) Delta.t array ->
     SS.P.query ->
     k:int ->
     result
   (** Scatter, gather, and join one logical query (blocks the caller
-      until every submitted leg resolves).  [limits.budget] is a
-      per-leg EM-I/O budget; the limits' horizon — relative or
-      absolute — is anchored once at submission and becomes {e one}
-      shared absolute deadline raced by every leg, so a late wave
-      inherits the time its predecessors spent.
+      until every submitted leg resolves).  [lane] (default
+      [Interactive]) is inherited by every submitted per-shard leg, so
+      fanning out never changes the priority of the work.
+      [limits.budget] is a per-leg EM-I/O budget; the limits' horizon
+      — relative or absolute — is anchored once at submission and
+      becomes {e one} shared absolute deadline raced by every leg, so
+      a late wave inherits the time its predecessors spent.
 
       When tracing is enabled, the whole logical query runs under a
       ["scatter"] root span (bounds phase, prune events, one

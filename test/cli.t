@@ -224,3 +224,38 @@ I/O-reduction gates.
 
   $ topk cache-bench -n 150 --queries 600 --seed 7 | tail -n 1
   cache-bench: OK (hit rate 0.653, read I/O 1565 -> 542, -65.4%, 0 violations)
+
+Sched-bench validation.
+
+  $ topk sched-bench --rounds 0
+  topk: rounds must be positive (got 0)
+  [2]
+
+  $ topk sched-bench --queries-per-round 0
+  topk: queries-per-round must be positive (got 0)
+  [2]
+
+  $ topk sched-bench --storm-ms 0
+  topk: storm-ms must be positive (got 0)
+  [2]
+
+  $ topk sched-bench --theta 0
+  topk: theta must be positive (got 0)
+  [2]
+
+  $ topk sched-bench --fanout 1
+  topk: fanout must be >= 2 (got 1)
+  [2]
+
+A seeded run on the isolated scheduler must keep every racing query
+oracle-exact, run every maintenance heartbeat within the aging bound,
+and charge per-lane I/O that sums exactly to the pool's EM aggregate.
+
+  $ topk sched-bench -n 600 --rounds 12 --queries-per-round 8 --updates-per-round 96 --seed 7 --only lanes | tail -n 1
+  sched-bench: OK (96/96 exact, 12/12 maintenance on time, lane I/O exact)
+
+The single-queue baseline replays the identical seeded schedule and
+must pass the same exactness and accounting gates.
+
+  $ topk sched-bench -n 600 --rounds 12 --queries-per-round 8 --updates-per-round 96 --seed 7 --only unified | tail -n 1
+  sched-bench: OK (96/96 exact, 12/12 maintenance on time, lane I/O exact)

@@ -1,0 +1,396 @@
+(* Tests for the multi-lane QoS scheduler: the pure Sched laws
+   (weighted-fair shares, aging bound, deadline ordering, unified-mode
+   FIFO) and the executor-level guarantees built on it (per-lane
+   shutdown resolves every future, drain terminates under
+   self-resubmitting batch work, lane queues survive a multi-domain
+   submission race, and a failing background lane cannot trip the
+   interactive breaker). *)
+
+module Lane = Topk_service.Lane
+module Sched = Topk_service.Sched
+module Executor = Topk_service.Executor
+module Registry = Topk_service.Registry
+module Response = Topk_service.Response
+module Future = Topk_service.Future
+module Metrics = Topk_service.Metrics
+module Breaker = Topk_service.Breaker
+module Error = Topk_service.Error
+
+(* --- pure Sched laws --- *)
+
+(* Payloads carry their own optional deadline for the heap ordering. *)
+let mk_sched cfg = Sched.create cfg ~deadline:snd
+
+let push_n t lane tag n =
+  for i = 0 to n - 1 do
+    Sched.push t lane (Printf.sprintf "%s%d" tag i, None)
+  done
+
+let pop1 t =
+  match Sched.pop_batch t ~max:1 with
+  | Some (lane, [ _ ]) -> lane
+  | Some (_, jobs) ->
+      Alcotest.failf "pop_batch ~max:1 returned %d jobs" (List.length jobs)
+  | None -> Alcotest.fail "pop_batch on a non-empty sched returned None"
+
+(* Smooth weighted round-robin with the default 8/2/1 shares is exact:
+   over any window of 22 decisions with every lane saturated, the
+   grants split 16/4/2. *)
+let test_weighted_fair_shares () =
+  let t = mk_sched (Sched.default_config ~capacity:128 ()) in
+  List.iter (fun lane -> push_n t lane (Lane.name lane) 100) Lane.all;
+  let grants = Array.make Lane.count 0 in
+  for _ = 1 to 22 do
+    let lane = pop1 t in
+    grants.(Lane.index lane) <- grants.(Lane.index lane) + 1
+  done;
+  Alcotest.(check (list int))
+    "two full SWRR cycles split 16/4/2" [ 16; 4; 2 ]
+    (Array.to_list grants)
+
+(* The aging bound: however skewed the weights, every continuously
+   non-empty lane is granted at least once per
+   [aging_rounds + Lane.count] consecutive decisions. *)
+let test_aging_bound () =
+  let aging_rounds = 4 in
+  let cfg =
+    {
+      (Sched.default_config ~capacity:512 ()) with
+      Sched.weights = [| 64; 1; 1 |];
+      aging_rounds;
+    }
+  in
+  let t = mk_sched cfg in
+  push_n t Lane.Interactive "i" 400;
+  push_n t Lane.Batch "b" 40;
+  push_n t Lane.Maintenance "m" 40;
+  let bound = aging_rounds + Lane.count in
+  let last_grant = Array.make Lane.count 0 in
+  (* 150 decisions never exhaust any lane, so all three stay
+     continuously non-empty throughout. *)
+  for round = 1 to 150 do
+    let lane = pop1 t in
+    let li = Lane.index lane in
+    let gap = round - last_grant.(li) in
+    if gap > bound then
+      Alcotest.failf "%s lane waited %d decisions (bound %d)" (Lane.name lane)
+        gap bound;
+    last_grant.(li) <- round
+  done;
+  Array.iteri
+    (fun li last ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s granted in the final window"
+           (Lane.name (Lane.of_index li)))
+        true
+        (150 - last <= bound))
+    last_grant;
+  List.iter
+    (fun lane ->
+      Alcotest.(check bool)
+        (Printf.sprintf "recorded max wait on %s within bound"
+           (Lane.name lane))
+        true
+        (Sched.max_wait_rounds t lane <= 150))
+    Lane.all
+
+(* Interactive dequeue is deadline-ordered: earliest absolute deadline
+   first, deadline-free requests after every concrete deadline in FIFO
+   order. *)
+let test_deadline_ordering () =
+  let t = mk_sched (Sched.default_config ()) in
+  List.iter
+    (fun (name, d) -> Sched.push t Lane.Interactive (name, d))
+    [
+      ("late", Some 5.0);
+      ("nodeadline-1", None);
+      ("soon", Some 1.0);
+      ("mid", Some 3.0);
+      ("nodeadline-2", None);
+    ];
+  let order = ref [] in
+  for _ = 1 to 5 do
+    match Sched.pop_batch t ~max:1 with
+    | Some (Lane.Interactive, [ ((name, _), _) ]) -> order := name :: !order
+    | _ -> Alcotest.fail "expected one interactive job per decision"
+  done;
+  Alcotest.(check (list string))
+    "earliest deadline first, None last (FIFO among themselves)"
+    [ "soon"; "mid"; "late"; "nodeadline-1"; "nodeadline-2" ]
+    (List.rev !order)
+
+(* Unified mode is the single-queue baseline: every lane routes to one
+   FIFO queue and deadlines are ignored. *)
+let test_unified_fifo () =
+  let t = mk_sched (Sched.unified_config ~capacity:8 ()) in
+  Sched.push t Lane.Batch ("first", None);
+  Sched.push t Lane.Interactive ("second", Some 0.1);
+  Sched.push t Lane.Maintenance ("third", None);
+  Sched.push t Lane.Interactive ("fourth", Some 0.0);
+  List.iter
+    (fun lane ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s reports the shared depth" (Lane.name lane))
+        4
+        (Sched.lane_depth t lane))
+    Lane.all;
+  let order = ref [] in
+  for _ = 1 to 4 do
+    match Sched.pop_batch t ~max:1 with
+    | Some (_, [ ((name, _), _) ]) -> order := name :: !order
+    | _ -> Alcotest.fail "expected one job per decision"
+  done;
+  Alcotest.(check (list string))
+    "submission order, deadlines ignored"
+    [ "first"; "second"; "third"; "fourth" ]
+    (List.rev !order)
+
+(* Config validation. *)
+let test_config_validation () =
+  Alcotest.check_raises "weight < 1"
+    (Invalid_argument "Sched: weight of batch must be >= 1 (got 0)")
+    (fun () ->
+      Sched.validate
+        { (Sched.default_config ()) with Sched.weights = [| 8; 0; 1 |] });
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Sched: capacities must have 3 entries (got 2)")
+    (fun () ->
+      Sched.validate
+        { (Sched.default_config ()) with Sched.capacities = [| 4; 4 |] });
+  Alcotest.check_raises "aging_rounds < 1"
+    (Invalid_argument "Sched: aging_rounds must be >= 1 (got 0)")
+    (fun () ->
+      Sched.validate { (Sched.default_config ()) with Sched.aging_rounds = 0 })
+
+(* --- executor-level guarantees --- *)
+
+module Toy_problem = struct
+  type elem = int
+  type query = unit
+
+  let weight e = float_of_int e
+  let id e = e
+  let matches () _ = true
+  let pp_elem = Format.pp_print_int
+  let pp_query ppf () = Format.pp_print_string ppf "()"
+end
+
+module Toy = struct
+  module P = Toy_problem
+
+  type t = int list (* sorted by decreasing weight *)
+
+  let name = "toy"
+  let build ?params:_ elems =
+    List.sort (fun a b -> compare b a) (Array.to_list elems)
+
+  let size = List.length
+  let space_words = List.length
+  let query t () ~k = List.filteri (fun i _ -> i < k) t
+end
+
+let toy_handle () =
+  let registry = Registry.create () in
+  Registry.register registry ~name:"toy"
+    (module Toy)
+    (Toy.build (Array.init 16 (fun i -> i)))
+
+let await_status f = Response.status_string (Future.await f).Response.status
+
+(* Shutdown resolves every still-queued future on *every* lane as
+   [Failed "shutdown"], while the in-flight job finishes normally. *)
+let test_shutdown_resolves_all_lanes () =
+  let h = toy_handle () in
+  let pool = Executor.create ~workers:1 ~batch_max:1 ~queue_capacity:16 () in
+  let hold = Atomic.make true in
+  (* Wedge the single worker so everything after this stays queued. *)
+  let wedge =
+    Executor.submit_task pool ~name:"wedge" (fun () ->
+        while Atomic.get hold do
+          Unix.sleepf 1e-3
+        done)
+  in
+  let m = Executor.metrics pool in
+  while Metrics.Gauge.get m.Metrics.inflight < 1 do
+    Unix.sleepf 1e-3
+  done;
+  let interactive = List.init 2 (fun _ -> Executor.submit pool h () ~k:3) in
+  let batch =
+    List.init 2 (fun _ ->
+        Executor.submit_task pool ~name:"b" (fun () -> ()))
+  in
+  let maint =
+    List.init 2 (fun _ ->
+        Executor.submit_task pool ~lane:Lane.Maintenance ~name:"m" (fun () ->
+            ()))
+  in
+  Alcotest.(check int)
+    "interactive lane queued" 2
+    (Executor.lane_depth pool Lane.Interactive);
+  Alcotest.(check int)
+    "batch lane queued" 2
+    (Executor.lane_depth pool Lane.Batch);
+  Alcotest.(check int)
+    "maintenance lane queued" 2
+    (Executor.lane_depth pool Lane.Maintenance);
+  let releaser =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.05;
+        Atomic.set hold false)
+  in
+  Executor.shutdown pool;
+  Domain.join releaser;
+  let check_shutdown tag i f =
+    Alcotest.(check string)
+      (Printf.sprintf "queued %s future %d resolved by shutdown" tag i)
+      "failed:shutdown" (await_status f)
+  in
+  List.iteri (check_shutdown "interactive") interactive;
+  List.iteri (check_shutdown "batch") batch;
+  List.iteri (check_shutdown "maintenance") maint;
+  Alcotest.(check string)
+    "in-flight wedge finished normally" "complete" (await_status wedge);
+  Alcotest.(check int)
+    "aborted counter" 6
+    (Metrics.Counter.get m.Metrics.aborted)
+
+(* Drain must terminate when a batch job re-submits its own successor
+   (the shape of cascading ingest merges): each link of the bounded
+   chain is admitted while its parent is still in flight, so [pending]
+   only reaches zero when the chain is done. *)
+let test_drain_with_resubmitting_task () =
+  let pool = Executor.create ~workers:2 ~queue_capacity:64 () in
+  let ran = Atomic.make 0 in
+  let rec chain n =
+    ignore
+      (Executor.submit_task pool ~name:"chain" (fun () ->
+           Atomic.incr ran;
+           if n > 1 then chain (n - 1))
+        : unit Response.t Future.t)
+  in
+  chain 25;
+  Executor.drain pool;
+  Alcotest.(check int) "every link of the chain ran" 25 (Atomic.get ran);
+  Alcotest.(check int) "queue fully drained" 0 (Executor.queue_depth pool);
+  Executor.shutdown pool
+
+(* Four submitting domains race the three lane queues; nothing is
+   lost, per-lane accounting is exact, and the gauges return to
+   zero. *)
+let test_multidomain_lane_race () =
+  let pool = Executor.create ~workers:4 ~queue_capacity:256 () in
+  let ran = Array.init Lane.count (fun _ -> Atomic.make 0) in
+  let per_domain = 150 in
+  let submitters =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_domain - 1 do
+              let lane = Lane.of_index ((d + i) mod Lane.count) in
+              ignore
+                (Executor.submit_task pool ~lane ~name:"race" (fun () ->
+                     Atomic.incr ran.(Lane.index lane))
+                  : unit Response.t Future.t)
+            done))
+  in
+  List.iter Domain.join submitters;
+  Executor.drain pool;
+  let m = Executor.metrics pool in
+  List.iter
+    (fun lane ->
+      let li = Lane.index lane in
+      Alcotest.(check int)
+        (Printf.sprintf "%s jobs all ran" (Lane.name lane))
+        200
+        (Atomic.get ran.(li));
+      Alcotest.(check int)
+        (Printf.sprintf "%s admissions counted" (Lane.name lane))
+        200
+        (Metrics.Counter.get m.Metrics.lane_admitted.(li));
+      Alcotest.(check int)
+        (Printf.sprintf "%s depth gauge back to zero" (Lane.name lane))
+        0
+        (Metrics.Gauge.get m.Metrics.lane_depth.(li)))
+    Lane.all;
+  Alcotest.(check int)
+    "total submissions" (4 * per_domain)
+    (Metrics.Counter.get m.Metrics.submitted);
+  Executor.shutdown pool
+
+(* Regression (breaker cross-talk): a wedged/failing background lane
+   must not count toward the interactive lane's failure window.  Eight
+   permanently-failing merges trip the *batch* breaker open; queries
+   still admit and complete, and only new batch work is shed. *)
+let test_breaker_isolation () =
+  let h = toy_handle () in
+  let policy =
+    {
+      Breaker.window = 16;
+      min_samples = 8;
+      failure_threshold = 0.5;
+      open_duration = 60.0;
+      half_open_probes = 2;
+    }
+  in
+  let pool = Executor.create ~workers:2 ~queue_capacity:64 ~breaker:policy () in
+  let merges =
+    List.init 8 (fun _ ->
+        Executor.submit_task pool ~name:"merge" (fun () ->
+            failwith "merge wedged"))
+  in
+  List.iter (fun f -> ignore (Future.await f)) merges;
+  Executor.drain pool;
+  Alcotest.(check string)
+    "batch breaker tripped open" "open"
+    (Breaker.state_string (Executor.lane_breaker_state pool Lane.Batch));
+  Alcotest.(check string)
+    "interactive breaker unaffected" "closed"
+    (Breaker.state_string (Executor.breaker_state pool));
+  Alcotest.(check string)
+    "maintenance breaker unaffected" "closed"
+    (Breaker.state_string (Executor.lane_breaker_state pool Lane.Maintenance));
+  (* Queries still flow... *)
+  Alcotest.(check string)
+    "interactive query admitted and served" "complete"
+    (await_status (Executor.submit pool h () ~k:3));
+  (* ...while the failing lane sheds. *)
+  Alcotest.check_raises "batch lane sheds load"
+    (Error.Error Error.Overloaded) (fun () ->
+      ignore
+        (Executor.submit_task pool ~name:"merge" (fun () -> ())
+          : unit Response.t Future.t));
+  let m = Executor.metrics pool in
+  Alcotest.(check int)
+    "one trip recorded" 1
+    (Metrics.Counter.get m.Metrics.breaker_opens);
+  Alcotest.(check int)
+    "batch breaker gauge open" 2
+    (Metrics.Gauge.get m.Metrics.lane_breaker_state.(Lane.index Lane.Batch));
+  Alcotest.(check int)
+    "interactive breaker gauge closed" 0
+    (Metrics.Gauge.get m.Metrics.breaker_state);
+  Executor.shutdown pool
+
+let () =
+  Alcotest.run "topk_sched"
+    [
+      ( "sched-laws",
+        [
+          Alcotest.test_case "weighted-fair shares" `Quick
+            test_weighted_fair_shares;
+          Alcotest.test_case "aging bound" `Quick test_aging_bound;
+          Alcotest.test_case "deadline ordering" `Quick test_deadline_ordering;
+          Alcotest.test_case "unified mode is FIFO" `Quick test_unified_fifo;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+        ] );
+      ( "executor-lanes",
+        [
+          Alcotest.test_case "shutdown resolves all lanes" `Quick
+            test_shutdown_resolves_all_lanes;
+          Alcotest.test_case "drain with self-resubmitting batch job" `Quick
+            test_drain_with_resubmitting_task;
+          Alcotest.test_case "4-domain lane race" `Quick
+            test_multidomain_lane_race;
+          Alcotest.test_case "breaker cross-talk isolation" `Quick
+            test_breaker_isolation;
+        ] );
+    ]
